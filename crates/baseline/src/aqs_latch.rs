@@ -1,0 +1,117 @@
+//! `java.util.concurrent.CountDownLatch` analogue on the AQS engine (the
+//! Fig. 6 baseline "Java CountDownLatch").
+
+use std::sync::atomic::Ordering;
+
+use crate::aqs::{Aqs, Synchronizer};
+
+#[derive(Debug)]
+struct LatchSync;
+
+impl Synchronizer for LatchSync {
+    fn try_acquire_shared(&self, aqs: &Aqs<Self>, _arg: i64) -> i64 {
+        if aqs.state().load(Ordering::SeqCst) == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    fn try_release_shared(&self, aqs: &Aqs<Self>, _arg: i64) -> bool {
+        loop {
+            let c = aqs.state().load(Ordering::SeqCst);
+            if c == 0 {
+                return false;
+            }
+            if aqs
+                .state()
+                .compare_exchange(c, c - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return c == 1;
+            }
+        }
+    }
+}
+
+/// An AQS-based count-down latch.
+///
+/// # Example
+///
+/// ```
+/// use cqs_baseline::AqsLatch;
+///
+/// let latch = AqsLatch::new(1);
+/// latch.count_down();
+/// latch.wait(); // returns immediately, the count is zero
+/// ```
+#[derive(Debug)]
+pub struct AqsLatch {
+    aqs: Aqs<LatchSync>,
+}
+
+impl AqsLatch {
+    /// Creates a latch that opens after `count` count-downs.
+    pub fn new(count: usize) -> Self {
+        AqsLatch {
+            aqs: Aqs::new(count as i64, LatchSync),
+        }
+    }
+
+    /// The remaining count.
+    pub fn count(&self) -> i64 {
+        self.aqs.state().load(Ordering::SeqCst)
+    }
+
+    /// Records one completed operation.
+    pub fn count_down(&self) {
+        self.aqs.release_shared(1);
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self) {
+        self.aqs.acquire_shared(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn opens_when_count_reaches_zero() {
+        const WAITERS: usize = 4;
+        let latch = Arc::new(AqsLatch::new(2));
+        let released = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..WAITERS {
+            let latch = Arc::clone(&latch);
+            let released = Arc::clone(&released);
+            joins.push(std::thread::spawn(move || {
+                latch.wait();
+                released.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(latch.count(), 0);
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        latch.count_down();
+        latch.count_down();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), WAITERS);
+    }
+
+    #[test]
+    fn extra_count_downs_are_harmless() {
+        let latch = AqsLatch::new(1);
+        latch.count_down();
+        latch.count_down();
+        assert_eq!(latch.count(), 0);
+        latch.wait();
+    }
+}

@@ -1,0 +1,133 @@
+//! `ReentrantLock`-style exclusive lock on the AQS engine, in fair and
+//! unfair variants (the Fig. 7 baselines "Java Lock fair/unfair").
+//!
+//! Reentrancy is omitted — the paper's benchmarks never re-enter — so
+//! `state` is simply `1` (free) / `0` (held).
+
+use std::sync::atomic::Ordering;
+
+use crate::aqs::{Aqs, Synchronizer};
+
+#[derive(Debug)]
+struct LockSync {
+    fair: bool,
+}
+
+impl Synchronizer for LockSync {
+    fn try_acquire(&self, aqs: &Aqs<Self>, _arg: i64) -> bool {
+        if self.fair && aqs.has_queued_predecessors() {
+            return false;
+        }
+        aqs.state()
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn try_release(&self, aqs: &Aqs<Self>, _arg: i64) -> bool {
+        aqs.state().store(1, Ordering::SeqCst);
+        true
+    }
+}
+
+/// An AQS-based mutual-exclusion lock (Java `ReentrantLock` analogue,
+/// without reentrancy).
+///
+/// # Example
+///
+/// ```
+/// use cqs_baseline::AqsLock;
+///
+/// let lock = AqsLock::fair();
+/// lock.lock();
+/// assert!(!lock.try_lock());
+/// lock.unlock();
+/// ```
+#[derive(Debug)]
+pub struct AqsLock {
+    aqs: Aqs<LockSync>,
+}
+
+impl AqsLock {
+    /// Creates a fair lock: the longest-waiting thread acquires next.
+    pub fn fair() -> Self {
+        AqsLock {
+            aqs: Aqs::new(1, LockSync { fair: true }),
+        }
+    }
+
+    /// Creates an unfair (barging) lock.
+    pub fn unfair() -> Self {
+        AqsLock {
+            aqs: Aqs::new(1, LockSync { fair: false }),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) {
+        self.aqs.acquire(1);
+    }
+
+    /// Acquires the lock only if it is free right now (always barging, as in
+    /// Java's `tryLock()`).
+    pub fn try_lock(&self) -> bool {
+        self.aqs
+            .state()
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Releases the lock.
+    pub fn unlock(&self) {
+        self.aqs.release(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn exclusion(lock: Arc<AqsLock>) {
+        const THREADS: usize = 8;
+        const OPS: usize = 2_000;
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    lock.lock();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert_eq!(now, 1);
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    lock.unlock();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fair_lock_mutual_exclusion() {
+        exclusion(Arc::new(AqsLock::fair()));
+    }
+
+    #[test]
+    fn unfair_lock_mutual_exclusion() {
+        exclusion(Arc::new(AqsLock::unfair()));
+    }
+
+    #[test]
+    fn try_lock_contract() {
+        let lock = AqsLock::unfair();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+}

@@ -1,0 +1,156 @@
+//! `java.util.concurrent.Semaphore` analogue on the AQS engine, fair and
+//! unfair (the Fig. 7/14 baselines "Java Semaphore fair/unfair").
+
+use std::sync::atomic::Ordering;
+
+use crate::aqs::{Aqs, Synchronizer};
+
+#[derive(Debug)]
+struct SemaphoreSync {
+    fair: bool,
+}
+
+impl Synchronizer for SemaphoreSync {
+    fn try_acquire_shared(&self, aqs: &Aqs<Self>, arg: i64) -> i64 {
+        loop {
+            if self.fair && aqs.has_queued_predecessors() {
+                return -1;
+            }
+            let available = aqs.state().load(Ordering::SeqCst);
+            let remaining = available - arg;
+            if remaining < 0 {
+                return remaining;
+            }
+            if aqs
+                .state()
+                .compare_exchange(available, remaining, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return remaining;
+            }
+        }
+    }
+
+    fn try_release_shared(&self, aqs: &Aqs<Self>, arg: i64) -> bool {
+        aqs.state().fetch_add(arg, Ordering::SeqCst);
+        true
+    }
+}
+
+/// An AQS-based counting semaphore.
+///
+/// # Example
+///
+/// ```
+/// use cqs_baseline::AqsSemaphore;
+///
+/// let semaphore = AqsSemaphore::fair(2);
+/// semaphore.acquire();
+/// semaphore.acquire();
+/// assert!(!semaphore.try_acquire());
+/// semaphore.release();
+/// ```
+#[derive(Debug)]
+pub struct AqsSemaphore {
+    aqs: Aqs<SemaphoreSync>,
+}
+
+impl AqsSemaphore {
+    /// Creates a fair semaphore with `permits` permits.
+    pub fn fair(permits: usize) -> Self {
+        AqsSemaphore {
+            aqs: Aqs::new(permits as i64, SemaphoreSync { fair: true }),
+        }
+    }
+
+    /// Creates an unfair (barging) semaphore with `permits` permits.
+    pub fn unfair(permits: usize) -> Self {
+        AqsSemaphore {
+            aqs: Aqs::new(permits as i64, SemaphoreSync { fair: false }),
+        }
+    }
+
+    /// Acquires a permit, blocking until one is available.
+    pub fn acquire(&self) {
+        self.aqs.acquire_shared(1);
+    }
+
+    /// Takes a permit only if one is immediately available (barging).
+    pub fn try_acquire(&self) -> bool {
+        loop {
+            let available = self.aqs.state().load(Ordering::SeqCst);
+            if available <= 0 {
+                return false;
+            }
+            if self
+                .aqs
+                .state()
+                .compare_exchange(available, available - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Returns a permit, potentially waking a waiter.
+    pub fn release(&self) {
+        self.aqs.release_shared(1);
+    }
+
+    /// A snapshot of the available permit count.
+    pub fn available_permits(&self) -> i64 {
+        self.aqs.state().load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn bounded_concurrency(semaphore: Arc<AqsSemaphore>, k: usize) {
+        const THREADS: usize = 8;
+        const OPS: usize = 1_000;
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let semaphore = Arc::clone(&semaphore);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    semaphore.acquire();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= k, "{now} > {k} holders");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    semaphore.release();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fair_semaphore_bounds_concurrency() {
+        bounded_concurrency(Arc::new(AqsSemaphore::fair(3)), 3);
+    }
+
+    #[test]
+    fn unfair_semaphore_bounds_concurrency() {
+        bounded_concurrency(Arc::new(AqsSemaphore::unfair(3)), 3);
+    }
+
+    #[test]
+    fn try_acquire_contract() {
+        let s = AqsSemaphore::unfair(1);
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        s.release();
+        assert_eq!(s.available_permits(), 1);
+    }
+}

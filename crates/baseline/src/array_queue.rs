@@ -1,0 +1,182 @@
+//! `java.util.concurrent.ArrayBlockingQueue` analogue: a bounded buffer
+//! guarded by one lock (fair or unfair [`AqsLock`], exactly as Java's fair
+//! flag selects a fair `ReentrantLock`) with two conditions. One of the
+//! Fig. 8/15 baselines.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+use crate::{AqsLock, Condition};
+
+/// A bounded blocking queue over a circular buffer, single-lock design.
+///
+/// # Example
+///
+/// ```
+/// use cqs_baseline::ArrayBlockingQueue;
+///
+/// let q = ArrayBlockingQueue::new(2, /* fair = */ false);
+/// q.put(1);
+/// q.put(2);
+/// assert_eq!(q.take(), 1);
+/// ```
+pub struct ArrayBlockingQueue<E> {
+    lock: AqsLock,
+    not_empty: Condition,
+    not_full: Condition,
+    capacity: usize,
+    /// Guarded by `lock`; an `UnsafeCell` because the lock is external to
+    /// the type system.
+    items: UnsafeCell<VecDeque<E>>,
+}
+
+// SAFETY: `items` is only touched between `lock.lock()` and
+// `lock.unlock()`, which provide mutual exclusion and ordering.
+unsafe impl<E: Send> Send for ArrayBlockingQueue<E> {}
+unsafe impl<E: Send> Sync for ArrayBlockingQueue<E> {}
+
+impl<E> ArrayBlockingQueue<E> {
+    /// Creates a queue holding at most `capacity` elements; `fair` selects
+    /// the fair lock (FIFO access among blocked producers/consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, fair: bool) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ArrayBlockingQueue {
+            lock: if fair {
+                AqsLock::fair()
+            } else {
+                AqsLock::unfair()
+            },
+            not_empty: Condition::new(),
+            not_full: Condition::new(),
+            capacity,
+            items: UnsafeCell::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `element`, waiting for space if the queue is full.
+    pub fn put(&self, element: E) {
+        self.lock.lock();
+        // SAFETY: we hold `lock`.
+        unsafe {
+            while (*self.items.get()).len() == self.capacity {
+                self.not_full.wait(&self.lock);
+            }
+            (*self.items.get()).push_back(element);
+        }
+        self.not_empty.signal();
+        self.lock.unlock();
+    }
+
+    /// Removes the head element, waiting if the queue is empty.
+    pub fn take(&self) -> E {
+        self.lock.lock();
+        // SAFETY: we hold `lock`.
+        let element = unsafe {
+            loop {
+                if let Some(e) = (*self.items.get()).pop_front() {
+                    break e;
+                }
+                self.not_empty.wait(&self.lock);
+            }
+        };
+        self.not_full.signal();
+        self.lock.unlock();
+        element
+    }
+
+    /// A locked snapshot of the current length.
+    pub fn len(&self) -> usize {
+        self.lock.lock();
+        // SAFETY: we hold `lock`.
+        let len = unsafe { (*self.items.get()).len() };
+        self.lock.unlock();
+        len
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> std::fmt::Debug for ArrayBlockingQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayBlockingQueue")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = ArrayBlockingQueue::new(4, false);
+        for v in 0..4 {
+            q.put(v);
+        }
+        for v in 0..4 {
+            assert_eq!(q.take(), v);
+        }
+    }
+
+    #[test]
+    fn put_blocks_on_full_queue() {
+        let q = Arc::new(ArrayBlockingQueue::new(1, true));
+        q.put(1);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.put(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.take(), 1);
+        producer.join().unwrap();
+        assert_eq!(q.take(), 2);
+    }
+
+    fn element_conservation(fair: bool) {
+        const THREADS: usize = 4;
+        const ELEMENTS: usize = 3;
+        const OPS: usize = 2_000;
+        let q = Arc::new(ArrayBlockingQueue::new(ELEMENTS, fair));
+        for e in 0..ELEMENTS {
+            q.put(e);
+        }
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let q = Arc::clone(&q);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    let e = q.take();
+                    q.put(e);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let back: HashSet<_> = (0..ELEMENTS).map(|_| q.take()).collect();
+        assert_eq!(back.len(), ELEMENTS);
+    }
+
+    #[test]
+    fn fair_queue_conserves_elements() {
+        element_conservation(true);
+    }
+
+    #[test]
+    fn unfair_queue_conserves_elements() {
+        element_conservation(false);
+    }
+}

@@ -1,0 +1,119 @@
+//! A condition variable for [`crate::AqsLock`], mirroring Java's
+//! `ReentrantLock.newCondition()`: waiters queue in FIFO order, release the
+//! lock while waiting, and re-acquire it before returning.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+use crate::AqsLock;
+
+struct CondWaiter {
+    thread: Thread,
+    signalled: AtomicBool,
+}
+
+/// A FIFO condition queue tied to an [`AqsLock`].
+///
+/// All methods require the associated lock to be held by the caller, as
+/// with Java's `Condition`.
+#[derive(Default)]
+pub struct Condition {
+    waiters: Mutex<VecDeque<Arc<CondWaiter>>>,
+}
+
+impl Condition {
+    /// Creates an empty condition queue.
+    pub fn new() -> Self {
+        Condition {
+            waiters: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Atomically releases `lock`, waits until signalled, and re-acquires
+    /// `lock`. Spurious wake-ups do not occur (each waiter has its own
+    /// signal flag), but callers should still re-check their predicate in a
+    /// loop, as another thread may run between the signal and the
+    /// re-acquisition.
+    pub fn wait(&self, lock: &AqsLock) {
+        let waiter = Arc::new(CondWaiter {
+            thread: std::thread::current(),
+            signalled: AtomicBool::new(false),
+        });
+        self.waiters.lock().unwrap().push_back(Arc::clone(&waiter));
+        lock.unlock();
+        while !waiter.signalled.load(Ordering::Acquire) {
+            std::thread::park();
+        }
+        lock.lock();
+    }
+
+    /// Wakes the longest-waiting thread, if any.
+    pub fn signal(&self) {
+        if let Some(waiter) = self.waiters.lock().unwrap().pop_front() {
+            waiter.signalled.store(true, Ordering::Release);
+            waiter.thread.unpark();
+        }
+    }
+
+    /// Wakes every waiting thread.
+    pub fn signal_all(&self) {
+        let drained: Vec<_> = self.waiters.lock().unwrap().drain(..).collect();
+        for waiter in drained {
+            waiter.signalled.store(true, Ordering::Release);
+            waiter.thread.unpark();
+        }
+    }
+}
+
+impl std::fmt::Debug for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condition")
+            .field("waiters", &self.waiters.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_blocks_until_signal() {
+        let lock = Arc::new(AqsLock::unfair());
+        let cond = Arc::new(Condition::new());
+        let released = Arc::new(AtomicUsize::new(0));
+
+        let mut joins = Vec::new();
+        for _ in 0..3 {
+            let lock = Arc::clone(&lock);
+            let cond = Arc::clone(&cond);
+            let released = Arc::clone(&released);
+            joins.push(std::thread::spawn(move || {
+                lock.lock();
+                cond.wait(&lock);
+                released.fetch_add(1, Ordering::SeqCst);
+                lock.unlock();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+
+        lock.lock();
+        cond.signal();
+        lock.unlock();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(released.load(Ordering::SeqCst), 1);
+
+        lock.lock();
+        cond.signal_all();
+        lock.unlock();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 3);
+    }
+}

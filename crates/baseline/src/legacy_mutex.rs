@@ -1,0 +1,252 @@
+//! A mutex in the style of the *pre-CQS* Kotlin Coroutines implementation
+//! (the Fig. 13 baseline): a CAS-manipulated state word plus a Michael-Scott
+//! queue of waiter records.
+//!
+//! The design differences from the CQS mutex are exactly the ones the paper
+//! credits for its speedup:
+//!
+//! * the hot path is a CAS retry loop instead of fetch-and-add, so it
+//!   degrades under contention;
+//! * waiters are enqueued as individually allocated queue nodes, and the
+//!   unlock path dequeues with CAS on the queue head.
+
+use std::sync::Arc;
+
+use cqs_future::{CqsFuture, Request};
+use cqs_reclaim::{pin, AtomicArc, Guard};
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+struct MsNode<T: Send + Sync + 'static> {
+    value: Option<T>,
+    next: AtomicArc<MsNode<T>>,
+}
+
+/// A Michael-Scott lock-free FIFO queue used for the waiter list.
+struct MsQueue<T: Send + Sync + 'static> {
+    head: AtomicArc<MsNode<T>>,
+    tail: AtomicArc<MsNode<T>>,
+}
+
+impl<T: Send + Sync + Clone + 'static> MsQueue<T> {
+    fn new() -> Self {
+        let dummy = Arc::new(MsNode {
+            value: None,
+            next: AtomicArc::null(),
+        });
+        MsQueue {
+            head: AtomicArc::new(Some(Arc::clone(&dummy))),
+            tail: AtomicArc::new(Some(dummy)),
+        }
+    }
+
+    fn enqueue(&self, value: T, guard: &Guard) {
+        let node = Arc::new(MsNode {
+            value: Some(value),
+            next: AtomicArc::null(),
+        });
+        loop {
+            let tail = self.tail.load(guard).expect("tail is never null");
+            match tail.next.compare_exchange_null(Arc::clone(&node), guard) {
+                Ok(()) => {
+                    let _ = self
+                        .tail
+                        .compare_exchange(Arc::as_ptr(&tail), Some(node), guard);
+                    return;
+                }
+                Err(_) => {
+                    // Help advance the lagging tail.
+                    if let Some(next) = tail.next.load(guard) {
+                        let _ = self
+                            .tail
+                            .compare_exchange(Arc::as_ptr(&tail), Some(next), guard);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dequeue(&self, guard: &Guard) -> Option<T> {
+        loop {
+            let head = self.head.load(guard).expect("head is never null");
+            let next = head.next.load(guard)?;
+            let value = next.value.clone();
+            if self
+                .head
+                .compare_exchange(Arc::as_ptr(&head), Some(next), guard)
+                .is_ok()
+            {
+                return Some(value.expect("non-dummy node holds a value"));
+            }
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // Flatten the forward chain iteratively.
+        let guard = pin();
+        self.tail.store(None, &guard);
+        let mut cur = self.head.take(&guard);
+        while let Some(node) = cur {
+            cur = node.next.take(&guard);
+        }
+    }
+}
+
+/// The pre-CQS-style fair mutex (see module docs).
+///
+/// API mirrors the CQS `RawMutex`: `lock()` returns a future, `unlock()`
+/// resumes the first waiter.
+///
+/// # Example
+///
+/// ```
+/// use cqs_baseline::LegacyMutex;
+///
+/// let mutex = LegacyMutex::new();
+/// mutex.lock().wait().unwrap();
+/// mutex.unlock();
+/// ```
+pub struct LegacyMutex {
+    /// 1 = unlocked; `w <= 0` = locked with `-w` waiters, like the CQS
+    /// mutex, but manipulated exclusively with CAS retry loops.
+    state: AtomicI64,
+    waiters: MsQueue<Arc<Request<()>>>,
+}
+
+impl LegacyMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        LegacyMutex {
+            state: AtomicI64::new(1),
+            waiters: MsQueue::<Arc<Request<()>>>::new(),
+        }
+    }
+
+    /// Acquires the lock; the future completes when the lock is handed
+    /// over.
+    pub fn lock(&self) -> CqsFuture<()> {
+        loop {
+            let s = self.state.load(Ordering::SeqCst);
+            if s == 1 {
+                if self
+                    .state
+                    .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return CqsFuture::immediate(());
+                }
+            } else if self
+                .state
+                .compare_exchange(s, s - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let request = Arc::new(Request::new());
+                let guard = pin();
+                self.waiters.enqueue(Arc::clone(&request), &guard);
+                return CqsFuture::suspended(request);
+            }
+        }
+    }
+
+    /// Releases the lock, handing it to the first waiter if there is one.
+    pub fn unlock(&self) {
+        loop {
+            let s = self.state.load(Ordering::SeqCst);
+            if s == 0 {
+                if self
+                    .state
+                    .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return;
+                }
+            } else if self
+                .state
+                .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // A waiter is registered (or about to be); spin until its
+                // enqueue lands, then hand the lock over.
+                let guard = pin();
+                loop {
+                    if let Some(request) = self.waiters.dequeue(&guard) {
+                        request
+                            .complete(())
+                            .unwrap_or_else(|_| unreachable!("legacy waiters never cancel"));
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl Default for LegacyMutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LegacyMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LegacyMutex")
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let m = LegacyMutex::new();
+        m.lock().wait().unwrap();
+        m.unlock();
+        m.lock().wait().unwrap();
+        m.unlock();
+    }
+
+    #[test]
+    fn waiters_are_fifo() {
+        let m = LegacyMutex::new();
+        m.lock().wait().unwrap();
+        let f1 = m.lock();
+        let f2 = m.lock();
+        m.unlock();
+        f1.wait().unwrap();
+        m.unlock();
+        f2.wait().unwrap();
+        m.unlock();
+    }
+
+    #[test]
+    fn mutual_exclusion_stress() {
+        const THREADS: usize = 8;
+        const OPS: usize = 2_000;
+        let m = Arc::new(LegacyMutex::new());
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    m.lock().wait().unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert_eq!(now, 1, "two holders in the legacy mutex");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    m.unlock();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

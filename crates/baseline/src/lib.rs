@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # `cqs-baseline` — the synchronizers the CQS paper compares against
+//!
+//! Every baseline in the paper's evaluation (§6, Appendix F), implemented
+//! from scratch so the benchmarks compare algorithms rather than runtimes:
+//!
+//! * [`Aqs`]/[`Synchronizer`] — a port of Java's
+//!   `AbstractQueuedSynchronizer` [Lea 2005], the only other practical
+//!   framework with comparable semantics;
+//! * [`AqsLock`] (fair/unfair), [`AqsSemaphore`] (fair/unfair),
+//!   [`AqsLatch`] — `ReentrantLock`, `Semaphore` and `CountDownLatch`
+//!   analogues on that engine;
+//! * [`ClhLock`] and [`McsLock`] — the classic queue spin locks;
+//! * [`SpinBarrier`] (active waiting) and [`LockBarrier`]
+//!   (`CyclicBarrier`-style, lock + condition under the hood);
+//! * [`ArrayBlockingQueue`] (fair/unfair) and [`LinkedBlockingQueue`]
+//!   (two-lock) — the pool baselines;
+//! * [`LegacyMutex`] — the pre-CQS Kotlin-Coroutines-style mutex
+//!   (CAS state word + Michael-Scott waiter queue).
+
+mod aqs;
+mod aqs_latch;
+mod aqs_lock;
+mod aqs_semaphore;
+mod array_queue;
+mod clh;
+mod condition;
+mod legacy_mutex;
+mod linked_queue;
+mod lock_barrier;
+mod mcs;
+mod spin_barrier;
+
+pub use aqs::{Aqs, Synchronizer};
+pub use aqs_latch::AqsLatch;
+pub use aqs_lock::AqsLock;
+pub use aqs_semaphore::AqsSemaphore;
+pub use array_queue::ArrayBlockingQueue;
+pub use clh::{ClhGuard, ClhLock};
+pub use condition::Condition;
+pub use legacy_mutex::LegacyMutex;
+pub use linked_queue::LinkedBlockingQueue;
+pub use lock_barrier::LockBarrier;
+pub use mcs::{McsGuard, McsLock};
+pub use spin_barrier::SpinBarrier;

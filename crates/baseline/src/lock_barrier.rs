@@ -1,0 +1,107 @@
+//! A mutex + condition-variable barrier, mirroring Java's `CyclicBarrier`
+//! (which, as the paper notes with some surprise, uses a `ReentrantLock`
+//! under the hood instead of AQS directly). This is the "Java Barrier"
+//! baseline of Fig. 5.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable barrier built on a lock and a condition variable.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs_baseline::LockBarrier;
+///
+/// let barrier = Arc::new(LockBarrier::new(2));
+/// let b = Arc::clone(&barrier);
+/// let t = std::thread::spawn(move || b.arrive());
+/// barrier.arrive();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct LockBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    trip: Condvar,
+}
+
+impl LockBarrier {
+    /// Creates a lock-based barrier for `parties` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        LockBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            trip: Condvar::new(),
+        }
+    }
+
+    /// The number of parties per round.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Arrives at the barrier and blocks until all parties of this round
+    /// have arrived.
+    pub fn arrive(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.arrived += 1;
+        if state.arrived == self.parties {
+            state.arrived = 0;
+            state.generation += 1;
+            self.trip.notify_all();
+            return;
+        }
+        let generation = state.generation;
+        while state.generation == generation {
+            state = self.trip.wait(state).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn many_rounds() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 300;
+        let barrier = Arc::new(LockBarrier::new(PARTIES));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..PARTIES {
+            let barrier = Arc::clone(&barrier);
+            let phase = Arc::clone(&phase);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    barrier.arrive();
+                    assert!(
+                        phase.load(Ordering::SeqCst) >= (round + 1) * PARTIES,
+                        "passed before all parties arrived"
+                    );
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

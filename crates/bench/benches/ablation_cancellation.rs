@@ -1,0 +1,54 @@
+//! Ablation A1 (design choice, `DESIGN.md`): cost of the final wake-up
+//! after mass cancellation under simple vs smart cancellation modes. The
+//! smart mode should stay flat; the simple mode pays Θ(cancelled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_sync::{CountDownLatch, SimpleCancelLatch};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cancellation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for cancelled in [100usize, 2_000] {
+        group.bench_function(BenchmarkId::new("smart", cancelled), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let latch = CountDownLatch::new(1);
+                    let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+                    for f in futures.iter().take(cancelled) {
+                        assert!(f.cancel());
+                    }
+                    let begin = std::time::Instant::now();
+                    latch.count_down();
+                    total += begin.elapsed();
+                    futures.into_iter().next_back().unwrap().wait().unwrap();
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("simple", cancelled), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let latch = SimpleCancelLatch::new(1);
+                    let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+                    for f in futures.iter().take(cancelled) {
+                        assert!(f.cancel());
+                    }
+                    let begin = std::time::Instant::now();
+                    latch.count_down();
+                    total += begin.elapsed();
+                    futures.into_iter().next_back().unwrap().wait().unwrap();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation A2 (design choice, `DESIGN.md`): uncontended suspend/resume
+//! round-trip cost as a function of `SEGM_SIZE`. Small segments allocate
+//! and link more often; very large ones waste memory without further
+//! speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_segment_size");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for seg_size in [2usize, 8, 32, 128] {
+        group.bench_function(BenchmarkId::new("round_trip", seg_size), |b| {
+            let cqs: Cqs<u64> =
+                Cqs::new(CqsConfig::new().segment_size(seg_size), SimpleCancellation);
+            let mut i = 0u64;
+            b.iter(|| {
+                let f = cqs.suspend().expect_future();
+                cqs.resume(i).unwrap();
+                i += 1;
+                f.wait().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Extension bench (not a paper figure): the CQS-composed bounded channel
+//! and rendezvous channel against `std::sync::mpsc`, single producer /
+//! single consumer ping-pong and streaming.
+//!
+//! The types live in the `cqs` facade crate, which this bench crate cannot
+//! depend on (it would be cyclic); the compositions are small enough to
+//! restate inline from the same public pieces.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cqs_pool::QueuePool;
+use cqs_sync::Semaphore;
+
+/// The facade's bounded channel, restated: semaphore for capacity, queue
+/// pool for the buffer.
+struct Bounded<T: Send + 'static> {
+    permits: Semaphore,
+    buffer: QueuePool<T>,
+}
+
+impl<T: Send + 'static> Bounded<T> {
+    fn new(capacity: usize) -> Self {
+        Bounded {
+            permits: Semaphore::new(capacity),
+            buffer: QueuePool::new(),
+        }
+    }
+
+    fn send(&self, value: T) {
+        self.permits.acquire().wait().unwrap();
+        self.buffer.put(value);
+    }
+
+    fn receive(&self) -> T {
+        let v = self.buffer.take().wait().unwrap();
+        self.permits.release();
+        v
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_channels");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("cqs_bounded_spsc_stream", |b| {
+        b.iter_custom(|iters| {
+            let ch = Arc::new(Bounded::new(64));
+            let c2 = Arc::clone(&ch);
+            let start = std::time::Instant::now();
+            let producer = std::thread::spawn(move || {
+                for v in 0..iters {
+                    c2.send(v);
+                }
+            });
+            for _ in 0..iters {
+                ch.receive();
+            }
+            producer.join().unwrap();
+            start.elapsed()
+        })
+    });
+
+    group.bench_function("std_mpsc_spsc_stream", |b| {
+        b.iter_custom(|iters| {
+            let (tx, rx) = std::sync::mpsc::sync_channel(64);
+            let start = std::time::Instant::now();
+            let producer = std::thread::spawn(move || {
+                for v in 0..iters {
+                    tx.send(v).unwrap();
+                }
+            });
+            for _ in 0..iters {
+                rx.recv().unwrap();
+            }
+            producer.join().unwrap();
+            start.elapsed()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

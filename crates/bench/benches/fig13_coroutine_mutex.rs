@@ -1,0 +1,28 @@
+//! Criterion regression bench for Figure 13 (coroutine mutex): 1 000
+//! coroutines on a small executor, CQS vs legacy mutex.
+//! Full sweeps: `figures --fig 13`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_bench::fig13_coroutine_mutex::{run_once, LockImpl};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_coroutine_mutex");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let threads = 2usize;
+    for (which, name) in [
+        (LockImpl::CqsAsync, "cqs_async"),
+        (LockImpl::CqsSync, "cqs_sync"),
+        (LockImpl::Legacy, "legacy"),
+    ] {
+        group.bench_function(BenchmarkId::new(name, threads), |b| {
+            b.iter_custom(|iters| run_once(which, 1_000, threads, iters.max(1_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion regression bench for Figure 14 (semaphore, extended permit
+//! sweep): higher permit counts than Fig. 7, comparing CQS async vs sync vs
+//! the fair AQS semaphore. Full sweeps: `figures --fig 14`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::AqsSemaphore;
+use cqs_harness::{measure, Workload};
+use cqs_sync::Semaphore;
+
+fn bench(c: &mut Criterion) {
+    let work = Workload::new(100);
+    let mut group = c.benchmark_group("fig14_semaphore_ext");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let threads = 4usize;
+    for permits in [8usize, 32] {
+        group.bench_function(BenchmarkId::new("cqs_async", permits), |b| {
+            b.iter_custom(|iters| {
+                let s = Arc::new(Semaphore::new(permits));
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        s.acquire().wait().unwrap();
+                        work.run(&mut rng);
+                        s.release();
+                    }
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("cqs_sync", permits), |b| {
+            b.iter_custom(|iters| {
+                let s = Arc::new(Semaphore::new_sync(permits));
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        s.acquire().wait().unwrap();
+                        work.run(&mut rng);
+                        s.release();
+                    }
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("aqs_fair", permits), |b| {
+            b.iter_custom(|iters| {
+                let s = Arc::new(AqsSemaphore::fair(permits));
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        s.acquire();
+                        work.run(&mut rng);
+                        s.release();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

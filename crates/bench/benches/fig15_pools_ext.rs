@@ -1,0 +1,77 @@
+//! Criterion regression bench for Figure 15 (pools, extended element
+//! sweep): more shared elements than Fig. 8.
+//! Full sweeps: `figures --fig 15`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::ArrayBlockingQueue;
+use cqs_harness::{measure, Workload};
+use cqs_pool::{QueuePool, StackPool};
+
+fn bench(c: &mut Criterion) {
+    let work = Workload::new(100);
+    let mut group = c.benchmark_group("fig15_pools_ext");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let threads = 4usize;
+    for elements in [8usize, 32] {
+        group.bench_function(BenchmarkId::new("cqs_queue", elements), |b| {
+            b.iter_custom(|iters| {
+                let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+                for e in 0..elements as u64 {
+                    pool.put(e);
+                }
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        let e = pool.take().wait().unwrap();
+                        work.run(&mut rng);
+                        pool.put(e);
+                    }
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("cqs_stack", elements), |b| {
+            b.iter_custom(|iters| {
+                let pool: Arc<StackPool<u64>> = Arc::new(StackPool::new());
+                for e in 0..elements as u64 {
+                    pool.put(e);
+                }
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        let e = pool.take().wait().unwrap();
+                        work.run(&mut rng);
+                        pool.put(e);
+                    }
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("abq_fair", elements), |b| {
+            b.iter_custom(|iters| {
+                let pool = Arc::new(ArrayBlockingQueue::new(elements, true));
+                for e in 0..elements as u64 {
+                    pool.put(e);
+                }
+                measure(threads, |t| {
+                    let mut rng = work.rng(t as u64);
+                    for _ in 0..iters {
+                        work.run(&mut rng);
+                        let e = pool.take();
+                        work.run(&mut rng);
+                        pool.put(e);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

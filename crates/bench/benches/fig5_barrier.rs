@@ -1,0 +1,71 @@
+//! Criterion regression bench for Figure 5 (barrier): representative
+//! thread counts, both work sizes. Full sweeps: `figures --fig 5`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::{LockBarrier, SpinBarrier};
+use cqs_harness::{measure, Workload};
+use cqs_sync::CyclicBarrier;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_barrier");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [2usize, 4] {
+        for work_mean in [100u64, 1000] {
+            let work = Workload::new(work_mean);
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let barrier = Arc::new(CyclicBarrier::new(threads));
+                        measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                barrier.arrive().wait();
+                                work.run(&mut rng);
+                            }
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("lock_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let barrier = Arc::new(LockBarrier::new(threads));
+                        measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                barrier.arrive();
+                                work.run(&mut rng);
+                            }
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("spin_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let barrier = Arc::new(SpinBarrier::new(threads));
+                        measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                barrier.arrive();
+                                work.run(&mut rng);
+                            }
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

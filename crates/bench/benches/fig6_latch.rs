@@ -1,0 +1,73 @@
+//! Criterion regression bench for Figure 6 (count-down latch).
+//! Full sweeps: `figures --fig 6`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::AqsLatch;
+use cqs_harness::{measure, Workload};
+use cqs_sync::CountDownLatch;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_latch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [2usize, 4] {
+        for work_mean in [50u64, 200] {
+            let work = Workload::new(work_mean);
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let latch = Arc::new(CountDownLatch::new(iters as usize * threads));
+                        let elapsed = measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                latch.count_down();
+                                work.run(&mut rng);
+                            }
+                        });
+                        latch.wait().unwrap();
+                        elapsed
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("aqs_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let latch = Arc::new(AqsLatch::new(iters as usize * threads));
+                        let elapsed = measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                latch.count_down();
+                                work.run(&mut rng);
+                            }
+                        });
+                        latch.wait();
+                        elapsed
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("baseline_w{work_mean}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        measure(threads, |t| {
+                            let mut rng = work.rng(t as u64);
+                            for _ in 0..iters {
+                                work.run(&mut rng);
+                            }
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion regression bench for Figure 7 (mutex & semaphore).
+//! Full sweeps: `figures --fig 7`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::{AqsLock, AqsSemaphore, ClhLock, McsLock};
+use cqs_harness::{measure, Workload};
+use cqs_sync::Semaphore;
+
+fn acquire_release_loop<S: Sync>(
+    threads: usize,
+    iters: u64,
+    work: Workload,
+    sync: &S,
+    op: impl Fn(&S, &mut dyn FnMut()) + Send + Sync + Copy,
+) -> std::time::Duration {
+    measure(threads, |t| {
+        let mut rng = work.rng(t as u64);
+        for _ in 0..iters {
+            work.run(&mut rng);
+            let mut critical = || work.run(&mut rng);
+            op(sync, &mut critical);
+        }
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let work = Workload::new(100);
+    let mut group = c.benchmark_group("fig7_semaphore");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [2usize, 4] {
+        for permits in [1usize, 4] {
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_async_p{permits}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let s = Arc::new(Semaphore::new(permits));
+                        acquire_release_loop(threads, iters, work, &*s, |s, f| {
+                            s.acquire().wait().unwrap();
+                            f();
+                            s.release();
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_sync_p{permits}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let s = Arc::new(Semaphore::new_sync(permits));
+                        acquire_release_loop(threads, iters, work, &*s, |s, f| {
+                            s.acquire().wait().unwrap();
+                            f();
+                            s.release();
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("aqs_fair_p{permits}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let s = Arc::new(AqsSemaphore::fair(permits));
+                        acquire_release_loop(threads, iters, work, &*s, |s, f| {
+                            s.acquire();
+                            f();
+                            s.release();
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("aqs_unfair_p{permits}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let s = Arc::new(AqsSemaphore::unfair(permits));
+                        acquire_release_loop(threads, iters, work, &*s, |s, f| {
+                            s.acquire();
+                            f();
+                            s.release();
+                        })
+                    })
+                },
+            );
+        }
+        // Mutex-only baselines (permits = 1 scenario).
+        group.bench_function(BenchmarkId::new("aqs_lock_fair", threads), |b| {
+            b.iter_custom(|iters| {
+                let l = Arc::new(AqsLock::fair());
+                acquire_release_loop(threads, iters, work, &*l, |l, f| {
+                    l.lock();
+                    f();
+                    l.unlock();
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("clh", threads), |b| {
+            b.iter_custom(|iters| {
+                let l = Arc::new(ClhLock::new());
+                acquire_release_loop(threads, iters, work, &*l, |l, f| {
+                    let g = l.lock();
+                    f();
+                    drop(g);
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("mcs", threads), |b| {
+            b.iter_custom(|iters| {
+                let l = Arc::new(McsLock::new());
+                acquire_release_loop(threads, iters, work, &*l, |l, f| {
+                    let g = l.lock();
+                    f();
+                    drop(g);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

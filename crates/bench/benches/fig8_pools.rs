@@ -1,0 +1,109 @@
+//! Criterion regression bench for Figure 8 (blocking pools).
+//! Full sweeps: `figures --fig 8`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqs_baseline::{ArrayBlockingQueue, LinkedBlockingQueue};
+use cqs_harness::{measure, Workload};
+use cqs_pool::{QueuePool, StackPool};
+
+fn take_put_loop<P: Sync>(
+    threads: usize,
+    iters: u64,
+    work: Workload,
+    pool: &P,
+    op: impl Fn(&P, &mut dyn FnMut()) + Send + Sync + Copy,
+) -> std::time::Duration {
+    measure(threads, |t| {
+        let mut rng = work.rng(t as u64);
+        for _ in 0..iters {
+            work.run(&mut rng);
+            let mut with_element = || work.run(&mut rng);
+            op(pool, &mut with_element);
+        }
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let work = Workload::new(100);
+    let mut group = c.benchmark_group("fig8_pools");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [2usize, 4] {
+        for elements in [1usize, 4] {
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_queue_e{elements}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+                        for e in 0..elements as u64 {
+                            pool.put(e);
+                        }
+                        take_put_loop(threads, iters, work, &*pool, |p, f| {
+                            let e = p.take().wait().unwrap();
+                            f();
+                            p.put(e);
+                        })
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("cqs_stack_e{elements}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let pool: Arc<StackPool<u64>> = Arc::new(StackPool::new());
+                        for e in 0..elements as u64 {
+                            pool.put(e);
+                        }
+                        take_put_loop(threads, iters, work, &*pool, |p, f| {
+                            let e = p.take().wait().unwrap();
+                            f();
+                            p.put(e);
+                        })
+                    })
+                },
+            );
+            for fair in [true, false] {
+                group.bench_function(
+                    BenchmarkId::new(
+                        format!("abq_{}_e{elements}", if fair { "fair" } else { "unfair" }),
+                        threads,
+                    ),
+                    |b| {
+                        b.iter_custom(|iters| {
+                            let pool = Arc::new(ArrayBlockingQueue::new(elements, fair));
+                            for e in 0..elements as u64 {
+                                pool.put(e);
+                            }
+                            take_put_loop(threads, iters, work, &*pool, |p, f| {
+                                let e = p.take();
+                                f();
+                                p.put(e);
+                            })
+                        })
+                    },
+                );
+            }
+            group.bench_function(BenchmarkId::new(format!("lbq_e{elements}"), threads), |b| {
+                b.iter_custom(|iters| {
+                    let pool = Arc::new(LinkedBlockingQueue::unbounded());
+                    for e in 0..elements as u64 {
+                        pool.put(e);
+                    }
+                    take_put_loop(threads, iters, work, &*pool, |p, f| {
+                        let e = p.take();
+                        f();
+                        p.put(e);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Single-threaded, uncontended fast-path latency of every primitive —
+//! the regime in which the paper's "up to 4x over Java when threads <=
+//! permits" claims originate. One op = one full acquire/release (or
+//! equivalent) round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cqs_baseline::{AqsLock, AqsSemaphore, ClhLock, LegacyMutex, McsLock};
+use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
+use cqs_pool::QueuePool;
+use cqs_sync::{CountDownLatch, RawMutex, RawRwLock, Semaphore};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_latency");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    let cqs: Cqs<u64> = Cqs::new(CqsConfig::new(), SimpleCancellation);
+    group.bench_function("cqs_suspend_resume", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let f = cqs.suspend().expect_future();
+            cqs.resume(i).unwrap();
+            i += 1;
+            f.wait().unwrap()
+        })
+    });
+
+    let semaphore = Semaphore::new(1);
+    group.bench_function("cqs_semaphore", |b| {
+        b.iter(|| {
+            semaphore.acquire().wait().unwrap();
+            semaphore.release();
+        })
+    });
+
+    let mutex = RawMutex::new();
+    group.bench_function("cqs_mutex", |b| {
+        b.iter(|| {
+            mutex.lock().wait().unwrap();
+            mutex.unlock();
+        })
+    });
+
+    let rwlock = RawRwLock::new();
+    group.bench_function("cqs_rwlock_read", |b| {
+        b.iter(|| {
+            rwlock.read().wait();
+            rwlock.read_unlock();
+        })
+    });
+
+    let pool: QueuePool<u64> = QueuePool::new();
+    pool.put(1);
+    group.bench_function("cqs_pool_take_put", |b| {
+        b.iter(|| {
+            let e = pool.take().wait().unwrap();
+            pool.put(e);
+        })
+    });
+
+    group.bench_function("cqs_latch_lifecycle", |b| {
+        b.iter(|| {
+            let latch = CountDownLatch::new(1);
+            latch.count_down();
+            latch.wait().unwrap();
+        })
+    });
+
+    let aqs_lock = AqsLock::unfair();
+    group.bench_function("aqs_lock", |b| {
+        b.iter(|| {
+            aqs_lock.lock();
+            aqs_lock.unlock();
+        })
+    });
+
+    let aqs_sem = AqsSemaphore::fair(1);
+    group.bench_function("aqs_semaphore_fair", |b| {
+        b.iter(|| {
+            aqs_sem.acquire();
+            aqs_sem.release();
+        })
+    });
+
+    let clh = ClhLock::new();
+    group.bench_function("clh_lock", |b| {
+        b.iter(|| drop(clh.lock()));
+    });
+
+    let mcs = McsLock::new();
+    group.bench_function("mcs_lock", |b| {
+        b.iter(|| drop(mcs.lock()));
+    });
+
+    let legacy = LegacyMutex::new();
+    group.bench_function("legacy_mutex", |b| {
+        b.iter(|| {
+            legacy.lock().wait().unwrap();
+            legacy.unlock();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

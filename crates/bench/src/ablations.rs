@@ -1,0 +1,75 @@
+//! Design-choice ablations called out in `DESIGN.md` (not figures of the
+//! paper, but direct measurements of the §3 trade-off discussion):
+//!
+//! * **A1 — cancellation mode**: the Θ(N)-per-wakeup cost of simple
+//!   cancellation versus the O(live) cost of smart cancellation, measured
+//!   on the latch variants under a mass-abort workload (paper §3.1
+//!   "Limitations" / §4.2).
+//! * **A2 — segment size**: suspension/resumption throughput as a function
+//!   of `SEGM_SIZE`.
+
+use std::time::Instant;
+
+use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
+use cqs_harness::Series;
+use cqs_sync::{CountDownLatch, SimpleCancelLatch};
+
+use crate::Scale;
+
+/// A1: time for the final `count_down()` to wake the single live waiter
+/// when `cancelled` other waiters aborted first, per cancellation mode.
+pub fn cancellation_mode(scale: Scale) -> Vec<Series> {
+    let sweep: &[u64] = match scale {
+        Scale::Quick => &[100, 1_000, 10_000],
+        Scale::Full => &[100, 1_000, 10_000, 100_000],
+    };
+    let mut smart = Series::new("smart cancellation");
+    let mut simple = Series::new("simple cancellation");
+
+    for &cancelled in sweep {
+        let latch = CountDownLatch::new(1);
+        let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+        for f in futures.iter().take(cancelled as usize) {
+            assert!(f.cancel());
+        }
+        let begin = Instant::now();
+        latch.count_down();
+        smart.push(cancelled, begin.elapsed().as_nanos() as f64);
+        assert_eq!(
+            futures.into_iter().next_back().unwrap().wait(),
+            Ok(()),
+            "live waiter must be resumed"
+        );
+
+        let latch = SimpleCancelLatch::new(1);
+        let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+        for f in futures.iter().take(cancelled as usize) {
+            assert!(f.cancel());
+        }
+        let begin = Instant::now();
+        latch.count_down();
+        simple.push(cancelled, begin.elapsed().as_nanos() as f64);
+        assert_eq!(futures.into_iter().next_back().unwrap().wait(), Ok(()));
+    }
+    vec![smart, simple]
+}
+
+/// A2: uncontended suspend+resume round-trip cost per segment size.
+pub fn segment_size(scale: Scale) -> Vec<Series> {
+    let ops = scale.ops();
+    let mut series = Series::new("suspend+resume round-trip");
+    for seg_size in [2u64, 8, 32, 128] {
+        let cqs: Cqs<u64> = Cqs::new(
+            CqsConfig::new().segment_size(seg_size as usize),
+            SimpleCancellation,
+        );
+        let begin = Instant::now();
+        for i in 0..ops {
+            let f = cqs.suspend().expect_future();
+            cqs.resume(i).unwrap();
+            assert_eq!(f.wait(), Ok(i));
+        }
+        series.push(seg_size, begin.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    vec![series]
+}

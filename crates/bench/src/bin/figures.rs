@@ -1,0 +1,172 @@
+//! Regenerates the paper's figures as textual tables.
+//!
+//! ```text
+//! figures [--quick] [--threads a,b,c] (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment)
+//! ```
+//!
+//! All numbers are nanoseconds per operation (lower is better) except the
+//! Fig. 13 speedup tables (scaled ×1000, higher is better).
+
+use cqs_bench::{
+    ablations, fig13_coroutine_mutex, fig5_barrier, fig6_latch, fig7_semaphore, fig8_pools,
+    print_figure, thread_sweep, Scale,
+};
+
+#[derive(Debug)]
+struct Options {
+    scale: Scale,
+    threads: Vec<usize>,
+    figures: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut scale = Scale::Full;
+    let mut threads = thread_sweep();
+    let mut figures = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--threads" => {
+                let list = args.next().expect("--threads needs a value");
+                threads = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad thread count"))
+                    .collect();
+            }
+            "--all" => {
+                figures = ["5", "6", "7", "8", "13", "14", "15", "a1", "a2"]
+                    .map(String::from)
+                    .to_vec();
+            }
+            "--fig" => figures.push(args.next().expect("--fig needs a number")),
+            "--ablation" => {
+                let which = args.next().expect("--ablation needs a name");
+                figures.push(match which.as_str() {
+                    "cancellation" => "a1".to_string(),
+                    "segment" => "a2".to_string(),
+                    other => panic!("unknown ablation {other}"),
+                });
+            }
+            other => panic!("unknown argument {other} (try --all or --fig N)"),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("5".to_string());
+    }
+    Options {
+        scale,
+        threads,
+        figures,
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let scale = options.scale;
+    let threads = &options.threads;
+    println!(
+        "running {:?} at {:?} scale on threads {:?}",
+        options.figures, scale, threads
+    );
+
+    for figure in &options.figures {
+        match figure.as_str() {
+            "5" => {
+                for work in [100, 1000] {
+                    let series = fig5_barrier::run(scale, work, threads);
+                    print_figure(
+                        &format!("Figure 5: barrier, work = {work}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "6" => {
+                for work in [50, 200] {
+                    let series = fig6_latch::run(scale, work, threads);
+                    print_figure(
+                        &format!("Figure 6: count-down latch, work = {work}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "7" => {
+                for permits in [1usize, 4, 16] {
+                    let series = fig7_semaphore::run(scale, permits, threads);
+                    print_figure(
+                        &format!("Figure 7: semaphore, permits = {permits}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "8" => {
+                for elements in [1usize, 4, 16] {
+                    let series = fig8_pools::run(scale, elements, threads);
+                    print_figure(
+                        &format!("Figure 8: blocking pools, elements = {elements}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "13" => {
+                for coroutines in [1_000usize, 10_000] {
+                    let raw = fig13_coroutine_mutex::run(scale, coroutines, threads);
+                    print_figure(
+                        &format!("Figure 13: coroutine mutex, {coroutines} coroutines (ns/op)"),
+                        "threads",
+                        &raw,
+                    );
+                    let speedups = fig13_coroutine_mutex::speedups(&raw);
+                    print_figure(
+                        &format!(
+                            "Figure 13: speedup vs legacy mutex, {coroutines} coroutines (x1000)"
+                        ),
+                        "threads",
+                        &speedups,
+                    );
+                }
+            }
+            "14" => {
+                for permits in [2usize, 8, 32, 64] {
+                    let series = fig7_semaphore::run(scale, permits, threads);
+                    print_figure(
+                        &format!("Figure 14: semaphore (extended), permits = {permits}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "15" => {
+                for elements in [2usize, 8, 32, 64] {
+                    let series = fig8_pools::run(scale, elements, threads);
+                    print_figure(
+                        &format!("Figure 15: blocking pools (extended), elements = {elements}"),
+                        "threads",
+                        &series,
+                    );
+                }
+            }
+            "a1" => {
+                let series = ablations::cancellation_mode(scale);
+                print_figure(
+                    "Ablation A1: final wake-up cost after N cancelled waiters (total ns)",
+                    "cancelled",
+                    &series,
+                );
+            }
+            "a2" => {
+                let series = ablations::segment_size(scale);
+                print_figure(
+                    "Ablation A2: uncontended suspend+resume vs segment size (ns/op)",
+                    "SEGM_SIZE",
+                    &series,
+                );
+            }
+            other => eprintln!("unknown figure {other}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 5: barrier synchronization phases.
+//!
+//! Each of N threads repeatedly arrives at a shared barrier and then
+//! performs geometrically distributed uncontended work; reported is the
+//! average time per synchronization phase. Series: the CQS barrier, the
+//! Java-style lock+condvar barrier, and the counter-based spin barrier.
+
+use std::sync::Arc;
+
+use cqs_baseline::{LockBarrier, SpinBarrier};
+use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_sync::CyclicBarrier;
+
+use crate::Scale;
+
+/// One synchronization-phase benchmark for a single barrier implementation.
+fn bench_barrier<B: Sync>(
+    threads: usize,
+    rounds: u64,
+    work: Workload,
+    barrier: &B,
+    arrive: impl Fn(&B) + Send + Sync + Copy,
+) -> f64 {
+    measure_per_op(threads, rounds, |t| {
+        let mut rng = work.rng(t as u64);
+        for _ in 0..rounds {
+            arrive(barrier);
+            work.run(&mut rng);
+        }
+    })
+}
+
+/// Runs the Fig. 5 sweep for one work size.
+pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
+    let work = Workload::new(work_mean);
+    let mut cqs = Series::new("CQS barrier");
+    let mut java = Series::new("Lock barrier (Java)");
+    let mut spin = Series::new("Spin barrier");
+
+    for &n in threads {
+        let rounds = (scale.rounds() / n.max(1) as u64).max(100);
+
+        let b = Arc::new(CyclicBarrier::new(n));
+        cqs.push(
+            n as u64,
+            bench_barrier(n, rounds, work, &*b, |b: &CyclicBarrier| b.arrive().wait()),
+        );
+
+        let b = Arc::new(LockBarrier::new(n));
+        java.push(
+            n as u64,
+            bench_barrier(n, rounds, work, &*b, |b: &LockBarrier| b.arrive()),
+        );
+
+        let b = Arc::new(SpinBarrier::new(n));
+        spin.push(
+            n as u64,
+            bench_barrier(n, rounds, work, &*b, |b: &SpinBarrier| b.arrive()),
+        );
+    }
+    vec![cqs, java, spin]
+}

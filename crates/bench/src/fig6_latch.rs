@@ -1,0 +1,67 @@
+//! Figure 6: count-down latch.
+//!
+//! A fixed number of `count_down()` invocations is split across N threads,
+//! each followed by uncontended work. The "no latch" baseline performs only
+//! the work, exposing the latch's overhead. Series: CQS latch, AQS (Java)
+//! latch, baseline.
+
+use std::sync::Arc;
+
+use cqs_baseline::AqsLatch;
+use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_sync::CountDownLatch;
+
+use crate::Scale;
+
+/// Runs the Fig. 6 sweep for one work size.
+pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
+    let work = Workload::new(work_mean);
+    let total = scale.ops();
+    let mut cqs = Series::new("CQS latch");
+    let mut java = Series::new("AQS latch (Java)");
+    let mut baseline = Series::new("no latch (work only)");
+
+    for &n in threads {
+        let per_thread = total / n as u64;
+        let total_ops = per_thread * n as u64;
+
+        let latch = Arc::new(CountDownLatch::new(total_ops as usize));
+        let l = Arc::clone(&latch);
+        cqs.push(
+            n as u64,
+            measure_per_op(n, total_ops, |t| {
+                let mut rng = work.rng(t as u64);
+                for _ in 0..per_thread {
+                    l.count_down();
+                    work.run(&mut rng);
+                }
+            }),
+        );
+        latch.wait().unwrap();
+
+        let latch = Arc::new(AqsLatch::new(total_ops as usize));
+        let l = Arc::clone(&latch);
+        java.push(
+            n as u64,
+            measure_per_op(n, total_ops, |t| {
+                let mut rng = work.rng(t as u64);
+                for _ in 0..per_thread {
+                    l.count_down();
+                    work.run(&mut rng);
+                }
+            }),
+        );
+        latch.wait();
+
+        baseline.push(
+            n as u64,
+            measure_per_op(n, total_ops, |t| {
+                let mut rng = work.rng(t as u64);
+                for _ in 0..per_thread {
+                    work.run(&mut rng);
+                }
+            }),
+        );
+    }
+    vec![cqs, java, baseline]
+}

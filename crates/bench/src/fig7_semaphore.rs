@@ -1,0 +1,140 @@
+//! Figures 7 and 14: mutex and semaphore throughput.
+//!
+//! N threads execute a fixed total number of operations; each operation is
+//! preceded by uncontended "preparation" work and wrapped in an
+//! `acquire()`/`release()` pair guarding more work, with the parallelism
+//! level bounded by the semaphore's permit count. With one permit the
+//! semaphore degenerates to a mutex, so the classic CLH/MCS locks and the
+//! AQS lock join the comparison there.
+
+use std::sync::Arc;
+
+use cqs_baseline::{AqsLock, AqsSemaphore, ClhLock, McsLock};
+use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_sync::Semaphore;
+
+use crate::Scale;
+
+fn bench<S: Sync + ?Sized>(
+    threads: usize,
+    total: u64,
+    work: Workload,
+    sync: &S,
+    acquire_release: impl Fn(&S, &mut dyn FnMut()) + Send + Sync + Copy,
+) -> f64 {
+    let per_thread = total / threads as u64;
+    measure_per_op(threads, per_thread * threads as u64, |t| {
+        let mut rng = work.rng(t as u64);
+        for _ in 0..per_thread {
+            // Preparation phase outside the critical section.
+            work.run(&mut rng);
+            let mut critical = || work.run(&mut rng);
+            acquire_release(sync, &mut critical);
+        }
+    })
+}
+
+/// Runs the Fig. 7/14 sweep for one permit count.
+pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
+    let work = Workload::new(100);
+    let total = scale.ops();
+
+    let mut cqs_async = Series::new("CQS async");
+    let mut cqs_sync = Series::new("CQS sync");
+    let mut aqs_fair = Series::new("AQS sem fair (Java)");
+    let mut aqs_unfair = Series::new("AQS sem unfair (Java)");
+    let mut lock_fair = Series::new("AQS lock fair");
+    let mut lock_unfair = Series::new("AQS lock unfair");
+    let mut clh = Series::new("CLH lock");
+    let mut mcs = Series::new("MCS lock");
+
+    for &n in threads {
+        let s = Arc::new(Semaphore::new(permits));
+        cqs_async.push(
+            n as u64,
+            bench(n, total, work, &*s, |s: &Semaphore, critical| {
+                s.acquire().wait().expect("benchmark never cancels");
+                critical();
+                s.release();
+            }),
+        );
+
+        let s = Arc::new(Semaphore::new_sync(permits));
+        cqs_sync.push(
+            n as u64,
+            bench(n, total, work, &*s, |s: &Semaphore, critical| {
+                s.acquire().wait().expect("benchmark never cancels");
+                critical();
+                s.release();
+            }),
+        );
+
+        let s = Arc::new(AqsSemaphore::fair(permits));
+        aqs_fair.push(
+            n as u64,
+            bench(n, total, work, &*s, |s: &AqsSemaphore, critical| {
+                s.acquire();
+                critical();
+                s.release();
+            }),
+        );
+
+        let s = Arc::new(AqsSemaphore::unfair(permits));
+        aqs_unfair.push(
+            n as u64,
+            bench(n, total, work, &*s, |s: &AqsSemaphore, critical| {
+                s.acquire();
+                critical();
+                s.release();
+            }),
+        );
+
+        if permits == 1 {
+            let l = Arc::new(AqsLock::fair());
+            lock_fair.push(
+                n as u64,
+                bench(n, total, work, &*l, |l: &AqsLock, critical| {
+                    l.lock();
+                    critical();
+                    l.unlock();
+                }),
+            );
+
+            let l = Arc::new(AqsLock::unfair());
+            lock_unfair.push(
+                n as u64,
+                bench(n, total, work, &*l, |l: &AqsLock, critical| {
+                    l.lock();
+                    critical();
+                    l.unlock();
+                }),
+            );
+
+            let l = Arc::new(ClhLock::new());
+            clh.push(
+                n as u64,
+                bench(n, total, work, &*l, |l: &ClhLock, critical| {
+                    let g = l.lock();
+                    critical();
+                    drop(g);
+                }),
+            );
+
+            let l = Arc::new(McsLock::new());
+            mcs.push(
+                n as u64,
+                bench(n, total, work, &*l, |l: &McsLock, critical| {
+                    let g = l.lock();
+                    critical();
+                    drop(g);
+                }),
+            );
+        }
+    }
+
+    let mut series = vec![cqs_async, cqs_sync, aqs_fair, aqs_unfair];
+    if permits == 1 {
+        series.extend([lock_fair, lock_unfair, clh, mcs]);
+    }
+    series
+}

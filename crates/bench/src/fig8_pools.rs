@@ -1,0 +1,101 @@
+//! Figures 8 and 15: blocking pools of shared elements.
+//!
+//! N threads run a fixed total number of operations: uncontended work, then
+//! `take()` an element, work "with" it, and `put()` it back. Series: the
+//! CQS queue- and stack-based pools against the fair/unfair
+//! `ArrayBlockingQueue` and the `LinkedBlockingQueue` analogues.
+
+use std::sync::Arc;
+
+use cqs_baseline::{ArrayBlockingQueue, LinkedBlockingQueue};
+use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_pool::{QueuePool, StackPool};
+
+use crate::Scale;
+
+fn bench<P: Sync>(
+    threads: usize,
+    total: u64,
+    work: Workload,
+    pool: &P,
+    take_put: impl Fn(&P, &mut dyn FnMut()) + Send + Sync + Copy,
+) -> f64 {
+    let per_thread = total / threads as u64;
+    measure_per_op(threads, per_thread * threads as u64, |t| {
+        let mut rng = work.rng(t as u64);
+        for _ in 0..per_thread {
+            work.run(&mut rng);
+            let mut with_element = || work.run(&mut rng);
+            take_put(pool, &mut with_element);
+        }
+    })
+}
+
+/// Runs the Fig. 8/15 sweep for one shared-element count.
+pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
+    let work = Workload::new(100);
+    let total = scale.ops();
+
+    let mut queue_pool = Series::new("CQS queue pool");
+    let mut stack_pool = Series::new("CQS stack pool");
+    let mut abq_fair = Series::new("ArrayBlockingQueue fair");
+    let mut abq_unfair = Series::new("ArrayBlockingQueue unfair");
+    let mut lbq = Series::new("LinkedBlockingQueue");
+
+    for &n in threads {
+        let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+        for e in 0..elements as u64 {
+            pool.put(e);
+        }
+        queue_pool.push(
+            n as u64,
+            bench(n, total, work, &*pool, |p: &QueuePool<u64>, f| {
+                let e = p.take().wait().expect("benchmark never cancels");
+                f();
+                p.put(e);
+            }),
+        );
+
+        let pool: Arc<StackPool<u64>> = Arc::new(StackPool::new());
+        for e in 0..elements as u64 {
+            pool.put(e);
+        }
+        stack_pool.push(
+            n as u64,
+            bench(n, total, work, &*pool, |p: &StackPool<u64>, f| {
+                let e = p.take().wait().expect("benchmark never cancels");
+                f();
+                p.put(e);
+            }),
+        );
+
+        for (series, fair) in [(&mut abq_fair, true), (&mut abq_unfair, false)] {
+            let pool = Arc::new(ArrayBlockingQueue::new(elements.max(1), fair));
+            for e in 0..elements as u64 {
+                pool.put(e);
+            }
+            series.push(
+                n as u64,
+                bench(n, total, work, &*pool, |p: &ArrayBlockingQueue<u64>, f| {
+                    let e = p.take();
+                    f();
+                    p.put(e);
+                }),
+            );
+        }
+
+        let pool = Arc::new(LinkedBlockingQueue::unbounded());
+        for e in 0..elements as u64 {
+            pool.put(e);
+        }
+        lbq.push(
+            n as u64,
+            bench(n, total, work, &*pool, |p: &LinkedBlockingQueue<u64>, f| {
+                let e = p.take();
+                f();
+                p.put(e);
+            }),
+        );
+    }
+    vec![queue_pool, stack_pool, abq_fair, abq_unfair, lbq]
+}

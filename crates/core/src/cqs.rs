@@ -1,0 +1,471 @@
+//! The `CancellableQueueSynchronizer` itself: `suspend()` / `resume(..)`
+//! over the infinite array, with all four mode combinations (paper,
+//! Listings 1, 5, 11, 13).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cqs_future::{CancellationHandler, CqsFuture, Request};
+use cqs_reclaim::{pin, AtomicArc};
+
+use crate::cell::{self, CancelSwap};
+use crate::segment::{find_and_move_forward, Segment};
+use crate::{CancellationMode, CqsConfig, ResumeMode};
+
+/// User hooks for the *smart* cancellation mode (paper, Listing 3).
+///
+/// A primitive built on CQS with smart cancellation implements this trait to
+/// (1) logically deregister an aborted waiter and (2) consume a resumption
+/// that arrived for a waiter that no longer exists.
+///
+/// With [`CancellationMode::Simple`] neither hook is invoked; use
+/// [`SimpleCancellation`] there.
+pub trait CqsCallbacks<T>: Send + Sync + 'static {
+    /// Invoked when a waiter is cancelled. Returns `true` if the waiter was
+    /// logically removed from the primitive's state (the cell becomes
+    /// `CANCELLED` and resumers skip it), or `false` if a concurrent
+    /// `resume(..)` is already bound to this waiter and must be *refused*
+    /// (the cell becomes `REFUSE`).
+    fn on_cancellation(&self) -> bool;
+
+    /// Consumes the value of a refused `resume(..)` — e.g. returns an
+    /// element back to a pool. For permit-like values this is often a no-op.
+    fn complete_refused_resume(&self, value: T);
+}
+
+/// Callbacks for primitives using [`CancellationMode::Simple`], where the
+/// smart hooks are never invoked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleCancellation;
+
+impl<T> CqsCallbacks<T> for SimpleCancellation {
+    fn on_cancellation(&self) -> bool {
+        unreachable!("on_cancellation is never invoked in simple cancellation mode")
+    }
+
+    fn complete_refused_resume(&self, _value: T) {
+        unreachable!("complete_refused_resume is never invoked in simple cancellation mode")
+    }
+}
+
+/// Result of [`Cqs::suspend`].
+#[derive(Debug)]
+pub enum Suspend<T> {
+    /// The waiter was enqueued or eliminated; observe the future.
+    Future(CqsFuture<T>),
+    /// Synchronous mode only: the cell was broken by the rendezvousing
+    /// resumer; the caller restarts its logical operation (paper,
+    /// Listing 11: `suspend()` returns `null`).
+    Broken,
+}
+
+impl<T> Suspend<T> {
+    /// Unwraps the future.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suspension failed on a broken cell.
+    pub fn expect_future(self) -> CqsFuture<T> {
+        match self {
+            Suspend::Future(f) => f,
+            Suspend::Broken => panic!("suspend() failed on a broken cell"),
+        }
+    }
+}
+
+struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
+    config: CqsConfig,
+    suspend_idx: AtomicU64,
+    resume_idx: AtomicU64,
+    suspend_segm: AtomicArc<Segment<T>>,
+    resume_segm: AtomicArc<Segment<T>>,
+    callbacks: C,
+}
+
+/// A `CancellableQueueSynchronizer`: a FIFO queue of waiters with efficient
+/// built-in cancellation (paper, Section 2).
+///
+/// `Cqs` maintains an (emulated) infinite array with two counters:
+/// [`suspend`](Cqs::suspend) enqueues a waiter at the next suspension cell
+/// and returns its future; [`resume`](Cqs::resume) visits the next
+/// resumption cell and completes the waiter found there with a value —
+/// or, if it arrives first, leaves the value for the upcoming `suspend()`.
+///
+/// `resume(..)` may be invoked before the matching `suspend()` as long as
+/// the caller knows the suspension is coming — primitives actively exploit
+/// this race for simplicity and speed.
+///
+/// # Example
+///
+/// ```
+/// use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
+///
+/// let cqs: Cqs<u32, _> = Cqs::new(CqsConfig::new(), SimpleCancellation);
+/// let future = cqs.suspend().expect_future();
+/// cqs.resume(7).unwrap();
+/// assert_eq!(future.wait(), Ok(7));
+/// ```
+pub struct Cqs<T: Send + 'static, C: CqsCallbacks<T> = SimpleCancellation> {
+    inner: Arc<CqsInner<T, C>>,
+}
+
+impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
+    /// Creates a CQS with the given configuration and smart-cancellation
+    /// callbacks (use [`SimpleCancellation`] when the simple mode is
+    /// configured).
+    pub fn new(config: CqsConfig, callbacks: C) -> Self {
+        let first = Segment::new(0, config.get_segment_size(), 2);
+        Cqs {
+            inner: Arc::new(CqsInner {
+                config,
+                suspend_idx: AtomicU64::new(0),
+                resume_idx: AtomicU64::new(0),
+                suspend_segm: AtomicArc::new(Some(Arc::clone(&first))),
+                resume_segm: AtomicArc::new(Some(first)),
+                callbacks,
+            }),
+        }
+    }
+
+    /// The configuration this CQS was created with.
+    pub fn config(&self) -> &CqsConfig {
+        &self.inner.config
+    }
+
+    /// The smart-cancellation callbacks.
+    pub fn callbacks(&self) -> &C {
+        &self.inner.callbacks
+    }
+
+    /// Registers the caller as the next waiter and returns a future that
+    /// completes when a `resume(..)` reaches it. If a racing `resume(..)`
+    /// already deposited a value in the caller's cell, the returned future
+    /// is immediate.
+    ///
+    /// In [`ResumeMode::Synchronous`] the returned value may be
+    /// [`Suspend::Broken`], meaning the rendezvous failed and the caller
+    /// must restart its logical operation.
+    pub fn suspend(&self) -> Suspend<T> {
+        self.inner.suspend(&self.inner)
+    }
+
+    /// Resumes the next waiter with `value`. If no waiter has arrived at the
+    /// target cell yet, the behaviour depends on the resumption mode:
+    /// asynchronous resumers leave the value in the cell; synchronous
+    /// resumers wait for a bounded rendezvous, then break the cell and fail.
+    ///
+    /// # Errors
+    ///
+    /// Hands `value` back if the resumption failed:
+    ///
+    /// * in [`CancellationMode::Simple`], the waiter at the cell had been
+    ///   cancelled;
+    /// * in [`ResumeMode::Synchronous`], the rendezvous timed out and the
+    ///   cell was broken.
+    ///
+    /// With smart cancellation and asynchronous resumption, `resume` never
+    /// fails.
+    pub fn resume(&self, value: T) -> Result<(), T> {
+        self.inner.resume(value)
+    }
+
+    /// Current value of the suspension counter (diagnostics/tests).
+    pub fn suspend_count(&self) -> u64 {
+        self.inner.suspend_idx.load(Ordering::SeqCst)
+    }
+
+    /// Current value of the resumption counter (diagnostics/tests).
+    pub fn resume_count(&self) -> u64 {
+        self.inner.resume_idx.load(Ordering::SeqCst)
+    }
+
+    /// The number of segments currently linked into the queue (diagnostics;
+    /// a racy snapshot). The paper's memory claim is that this stays
+    /// `O(live waiters / SEGM_SIZE)` no matter how many waiters cancelled:
+    /// fully-cancelled segments are physically unlinked.
+    pub fn live_segments(&self) -> usize {
+        let guard = pin();
+        let resume_head = self.inner.resume_segm.load(&guard);
+        let suspend_head = self.inner.suspend_segm.load(&guard);
+        let mut cur = match (resume_head, suspend_head) {
+            (Some(r), Some(s)) => Some(if r.id() <= s.id() { r } else { s }),
+            (r, s) => r.or(s),
+        };
+        let mut count = 0;
+        while let Some(segment) = cur {
+            count += 1;
+            cur = segment.next(&guard);
+        }
+        count
+    }
+}
+
+impl<T: Send + 'static, C: CqsCallbacks<T>> Drop for Cqs<T, C> {
+    fn drop(&mut self) {
+        // Break reference cycles:
+        // * `next`/`prev` links between neighbouring segments;
+        // * `cell.waiter -> Request -> handler -> Arc<Segment>` of waiters
+        //   never completed nor cancelled.
+        let guard = pin();
+        let resume_head = self.inner.resume_segm.load(&guard);
+        let suspend_head = self.inner.suspend_segm.load(&guard);
+        let mut cur = match (resume_head, suspend_head) {
+            (Some(r), Some(s)) => Some(if r.id() <= s.id() { r } else { s }),
+            (r, s) => r.or(s),
+        };
+        while let Some(segment) = cur {
+            for i in 0..segment.len() {
+                segment.cell(i).clear_waiter(&guard);
+            }
+            let next = segment.next(&guard);
+            segment.clear_links(&guard);
+            cur = next;
+        }
+    }
+}
+
+impl<T: Send + 'static, C: CqsCallbacks<T>> std::fmt::Debug for Cqs<T, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cqs")
+            .field("suspend_idx", &self.suspend_count())
+            .field("resume_idx", &self.resume_count())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+/// The per-waiter cancellation handler: knows the cell (segment + index) and
+/// drives the cell-side part of cancellation (paper, Listing 5
+/// `cancellationHandler`).
+struct CellCancellationHandler<T: Send + 'static, C: CqsCallbacks<T>> {
+    inner: Arc<CqsInner<T, C>>,
+    segment: Arc<Segment<T>>,
+    index: usize,
+}
+
+impl<T: Send + 'static, C: CqsCallbacks<T>> CancellationHandler for CellCancellationHandler<T, C> {
+    fn on_cancel(&self) {
+        self.inner.on_waiter_cancelled(&self.segment, self.index);
+    }
+}
+
+impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
+    fn segment_size(&self) -> u64 {
+        self.config.get_segment_size() as u64
+    }
+
+    fn suspend(&self, self_arc: &Arc<Self>) -> Suspend<T> {
+        let guard = pin();
+        let n = self.segment_size();
+        // Read the head *before* incrementing the counter (paper, Listing
+        // 14): this guarantees the target segment is reachable from `start`.
+        let start = self
+            .suspend_segm
+            .load(&guard)
+            .expect("head pointers are never null");
+        let i = self.suspend_idx.fetch_add(1, Ordering::SeqCst);
+        let id = i / n;
+        let segment = find_and_move_forward(
+            &self.suspend_segm,
+            start,
+            id,
+            self.config.get_segment_size(),
+            &guard,
+        );
+        // A segment containing a cell never yet suspended into cannot be
+        // fully cancelled, hence cannot have been removed.
+        debug_assert_eq!(segment.id(), id, "suspend target segment was removed");
+        let index = (i % n) as usize;
+        let cell = segment.cell(index);
+
+        let request: Arc<Request<T>> = Arc::new(Request::new());
+        if cell.try_install_waiter(Arc::clone(&request), &guard) {
+            request.set_cancellation_handler(Box::new(CellCancellationHandler {
+                inner: Arc::clone(self_arc),
+                segment,
+                index,
+            }));
+            return Suspend::Future(CqsFuture::suspended(request));
+        }
+        // A racing resume(..) reached the cell first: eliminate.
+        match cell.take_for_elimination() {
+            Some(value) => Suspend::Future(CqsFuture::immediate(value)),
+            None => Suspend::Broken,
+        }
+    }
+
+    fn resume(&self, mut value: T) -> Result<(), T> {
+        let n = self.segment_size();
+        let simple = self.config.get_cancellation_mode() == CancellationMode::Simple;
+        let sync = self.config.get_resume_mode() == ResumeMode::Synchronous;
+        'operation: loop {
+            let guard = pin();
+            let start = self
+                .resume_segm
+                .load(&guard)
+                .expect("head pointers are never null");
+            let i = self.resume_idx.fetch_add(1, Ordering::SeqCst);
+            let id = i / n;
+            let segment = find_and_move_forward(
+                &self.resume_segm,
+                start,
+                id,
+                self.config.get_segment_size(),
+                &guard,
+            );
+            // Links to already-processed segments are not needed any more.
+            segment.clear_prev(&guard);
+            if segment.id() != id {
+                // The whole target segment was removed: its cells were all
+                // cancelled.
+                if simple {
+                    return Err(value);
+                }
+                // Smart cancellation: fast-forward the counter over the
+                // removed segments and retry (paper, Listing 15 line 12).
+                let _ = self.resume_idx.compare_exchange(
+                    i + 1,
+                    segment.id() * n,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                continue 'operation;
+            }
+            let cell = segment.cell((i % n) as usize);
+            'cell: loop {
+                match cell.state() {
+                    cell::EMPTY => {
+                        match cell.try_publish_value(value) {
+                            Err(v) => {
+                                value = v;
+                                continue 'cell;
+                            }
+                            Ok(()) => {
+                                if !sync {
+                                    return Ok(());
+                                }
+                                // Synchronous rendezvous: bounded wait for
+                                // the value to be taken.
+                                for _ in 0..self.config.get_spin_limit() {
+                                    if cell.state() == cell::TAKEN {
+                                        return Ok(());
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                                match cell.try_break() {
+                                    Some(v) => return Err(v),
+                                    None => return Ok(()), // taken after all
+                                }
+                            }
+                        }
+                    }
+                    cell::REQUEST => {
+                        let Some(request) = cell.peek_waiter(&guard) else {
+                            // The cancellation handler removed the waiter
+                            // between our state read and the peek.
+                            continue 'cell;
+                        };
+                        match request.complete(value) {
+                            Ok(()) => {
+                                cell.mark_resumed(&guard);
+                                return Ok(());
+                            }
+                            Err(v) => {
+                                value = v;
+                                // The waiter was cancelled.
+                                if simple {
+                                    return Err(value);
+                                }
+                                if sync {
+                                    // Never leave the value unattended: wait
+                                    // for the handler to decide CANCELLED or
+                                    // REFUSE (paper, Listing 13 line 28).
+                                    let mut spins = 0u32;
+                                    while cell.state() == cell::REQUEST {
+                                        spins += 1;
+                                        if spins.is_multiple_of(128) {
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::hint::spin_loop();
+                                        }
+                                    }
+                                    continue 'cell;
+                                }
+                                // Smart + async: delegate the rest of this
+                                // resumption to the cancellation handler.
+                                match cell.try_delegate_value(value, &guard) {
+                                    Ok(()) => return Ok(()),
+                                    Err(v) => {
+                                        value = v;
+                                        continue 'cell;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    cell::CANCELLED => {
+                        if simple {
+                            return Err(value);
+                        }
+                        // Smart: skip this cell and take the next index.
+                        continue 'operation;
+                    }
+                    cell::REFUSE => {
+                        self.callbacks.complete_refused_resume(value);
+                        return Ok(());
+                    }
+                    other => unreachable!(
+                        "resume() observed cell in state {}",
+                        cell::state_name(other)
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The cell-side part of cancellation, invoked by `Request::cancel`
+    /// through the installed handler (paper, Listing 5).
+    fn on_waiter_cancelled(&self, segment: &Arc<Segment<T>>, index: usize) {
+        let guard = pin();
+        let cell = segment.cell(index);
+        match self.config.get_cancellation_mode() {
+            CancellationMode::Simple => {
+                match cell.cancel_swap(cell::CANCELLED, &guard) {
+                    CancelSwap::WasRequest => {}
+                    CancelSwap::WasValue(_) => {
+                        unreachable!("simple-mode resumers never delegate values")
+                    }
+                }
+                segment.on_cancelled_cell(&guard);
+            }
+            CancellationMode::Smart => {
+                if self.callbacks.on_cancellation() {
+                    // Logically deregistered: the cell becomes CANCELLED and
+                    // resumers skip it.
+                    match cell.cancel_swap(cell::CANCELLED, &guard) {
+                        CancelSwap::WasRequest => {
+                            segment.on_cancelled_cell(&guard);
+                        }
+                        CancelSwap::WasValue(v) => {
+                            // A resumer delegated its value to us: pass it to
+                            // the next waiter.
+                            segment.on_cancelled_cell(&guard);
+                            drop(guard);
+                            self.resume(v).unwrap_or_else(|_| {
+                                unreachable!("smart asynchronous resume cannot fail")
+                            });
+                        }
+                    }
+                } else {
+                    // The upcoming resume(..) must be refused.
+                    match cell.cancel_swap(cell::REFUSE, &guard) {
+                        CancelSwap::WasRequest => {}
+                        CancelSwap::WasValue(v) => {
+                            self.callbacks.complete_refused_resume(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

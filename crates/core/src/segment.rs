@@ -1,0 +1,413 @@
+//! Segments of the infinite array and the lock-free removal algorithm for
+//! segments whose cells are all cancelled (paper, Appendix C, Listing 15).
+//!
+//! Each segment is a fixed-size block of cells with `next`/`prev` links. A
+//! segment is *logically removed* once all of its cells are cancelled and no
+//! head pointer (`suspend_segm`/`resume_segm`) references it; physical
+//! removal links its alive neighbours around it in O(1) absent contention.
+//!
+//! Reclamation: in the paper the JVM GC frees unlinked segments. Here the
+//! links are [`AtomicArc`]s, so a segment is deallocated when the last
+//! `Arc` reference — a link, a head pointer, an in-flight traversal, or a
+//! pending request's cancellation handler — goes away (plus an epoch grace
+//! period for displaced link references).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cqs_reclaim::{AtomicArc, Guard};
+
+use crate::cell::CqsCell;
+
+/// `pointers` (head-pointer references) and `cancelled` (cancelled-cell
+/// count) packed into one atomic so they can be inspected and updated
+/// together (paper, Listing 15 right, line 58).
+const POINTER_UNIT: u64 = 1 << 32;
+const CANCELLED_MASK: u64 = POINTER_UNIT - 1;
+
+pub(crate) struct Segment<T: Send + 'static> {
+    id: u64,
+    next: AtomicArc<Segment<T>>,
+    prev: AtomicArc<Segment<T>>,
+    /// `pointers << 32 | cancelled`.
+    ctr: AtomicU64,
+    cells: Box<[CqsCell<T>]>,
+}
+
+impl<T: Send + 'static> Segment<T> {
+    pub(crate) fn new(id: u64, size: usize, initial_pointers: u64) -> Arc<Self> {
+        let cells = (0..size).map(|_| CqsCell::new()).collect();
+        Arc::new(Segment {
+            id,
+            next: AtomicArc::null(),
+            prev: AtomicArc::null(),
+            ctr: AtomicU64::new(initial_pointers * POINTER_UNIT),
+            cells,
+        })
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn cell(&self, index: usize) -> &CqsCell<T> {
+        &self.cells[index]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub(crate) fn next(&self, guard: &Guard) -> Option<Arc<Segment<T>>> {
+        self.next.load(guard)
+    }
+
+    pub(crate) fn clear_prev(&self, guard: &Guard) {
+        self.prev.store(None, guard);
+    }
+
+    /// Clears both links; used only by the owning CQS's destructor to break
+    /// `next`/`prev` reference cycles between neighbouring segments.
+    pub(crate) fn clear_links(&self, guard: &Guard) {
+        self.next.store(None, guard);
+        self.prev.store(None, guard);
+    }
+
+    /// Whether the segment is logically removed: every cell cancelled and no
+    /// head pointer referencing it.
+    pub(crate) fn removed(&self) -> bool {
+        let ctr = self.ctr.load(Ordering::SeqCst);
+        (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0
+    }
+
+    /// Registers one more cancelled cell; physically removes the segment if
+    /// it became logically removed (paper, `onCancelledCell`).
+    pub(crate) fn on_cancelled_cell(self: &Arc<Self>, guard: &Guard) {
+        let ctr = self.ctr.fetch_add(1, Ordering::SeqCst) + 1;
+        debug_assert!(
+            (ctr & CANCELLED_MASK) as usize <= self.cells.len(),
+            "more cancellations than cells"
+        );
+        if (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0 {
+            self.remove(guard);
+        }
+    }
+
+    /// Increments the head-pointer count unless the segment is already
+    /// logically removed.
+    fn try_inc_pointers(&self) -> bool {
+        let mut ctr = self.ctr.load(Ordering::SeqCst);
+        loop {
+            if (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0 {
+                return false; // logically removed
+            }
+            match self.ctr.compare_exchange(
+                ctr,
+                ctr + POINTER_UNIT,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => ctr = actual,
+            }
+        }
+    }
+
+    /// Decrements the head-pointer count; returns `true` if the segment
+    /// became logically removed.
+    fn dec_pointers(&self) -> bool {
+        let ctr = self.ctr.fetch_sub(POINTER_UNIT, Ordering::SeqCst) - POINTER_UNIT;
+        debug_assert!(ctr >> 32 < u32::MAX as u64, "pointer count underflow");
+        (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0
+    }
+
+    /// Physically removes a logically removed segment by linking its alive
+    /// neighbours to each other (paper, Listing 15 `remove`). The tail
+    /// segment is never removed; its removal is re-attempted when the tail
+    /// moves.
+    pub(crate) fn remove(self: &Arc<Self>, guard: &Guard) {
+        loop {
+            // The tail segment cannot be removed.
+            if self.next.load_ptr(guard).is_null() {
+                return;
+            }
+            let prev = self.alive_segment_left(guard);
+            let next = self.alive_segment_right(guard);
+
+            // Link next and prev to each other.
+            next.prev.store(prev.clone(), guard);
+            if let Some(prev) = &prev {
+                prev.next.store(Some(Arc::clone(&next)), guard);
+            }
+
+            // Restart if a neighbour was removed in the meantime (unless it
+            // became the tail, which cannot be removed anyway).
+            if next.removed() && !next.next.load_ptr(guard).is_null() {
+                continue;
+            }
+            if let Some(prev) = &prev {
+                if prev.removed() {
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    /// First non-removed segment to the left, or `None` if all are removed
+    /// or already processed.
+    fn alive_segment_left(&self, guard: &Guard) -> Option<Arc<Segment<T>>> {
+        let mut cur = self.prev.load(guard);
+        while let Some(segment) = &cur {
+            if !segment.removed() {
+                return cur;
+            }
+            cur = segment.prev.load(guard);
+        }
+        None
+    }
+
+    /// First non-removed segment to the right, or the tail if all are
+    /// removed.
+    ///
+    /// # Panics
+    ///
+    /// Must only be called on a segment that is not the tail.
+    fn alive_segment_right(&self, guard: &Guard) -> Arc<Segment<T>> {
+        let mut cur = self
+            .next
+            .load(guard)
+            .expect("alive_segment_right called on the tail segment");
+        loop {
+            if !cur.removed() {
+                return cur;
+            }
+            match cur.next.load(guard) {
+                Some(next) => cur = next,
+                None => return cur, // the tail, even if removed
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Segment<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ctr = self.ctr.load(Ordering::Relaxed);
+        f.debug_struct("Segment")
+            .field("id", &self.id)
+            .field("pointers", &(ctr >> 32))
+            .field("cancelled", &(ctr & CANCELLED_MASK))
+            .finish()
+    }
+}
+
+/// Returns the first non-removed segment with `id >= target_id`, starting
+/// the search from `start` and creating new segments as needed (paper,
+/// Listing 15 `findSegment`).
+pub(crate) fn find_segment<T: Send + 'static>(
+    start: Arc<Segment<T>>,
+    target_id: u64,
+    segment_size: usize,
+    guard: &Guard,
+) -> Arc<Segment<T>> {
+    let mut cur = start;
+    while cur.id < target_id || cur.removed() {
+        let next = match cur.next.load(guard) {
+            Some(next) => next,
+            None => {
+                // Create and append a new tail segment.
+                let fresh = Segment::new(cur.id + 1, segment_size, 0);
+                match cur.next.compare_exchange_null(Arc::clone(&fresh), guard) {
+                    Ok(()) => {
+                        fresh.prev.store(Some(Arc::clone(&cur)), guard);
+                        // The old tail might have become logically removed
+                        // while it was still protected by its tail status.
+                        if cur.removed() {
+                            cur.remove(guard);
+                        }
+                        fresh
+                    }
+                    // Someone else appended; reuse theirs.
+                    Err(_) => cur
+                        .next
+                        .load(guard)
+                        .expect("next observed non-null cannot revert to null"),
+                }
+            }
+        };
+        cur = next;
+    }
+    cur
+}
+
+/// Moves the head pointer `pointer` forward to `to` unless it is already at
+/// or past it, maintaining the `pointers` counts (paper, Listing 15
+/// `moveForwardResume`). Returns `false` if `to` was logically removed, in
+/// which case the caller restarts its search.
+pub(crate) fn move_forward<T: Send + 'static>(
+    pointer: &AtomicArc<Segment<T>>,
+    to: &Arc<Segment<T>>,
+    guard: &Guard,
+) -> bool {
+    loop {
+        let cur = pointer.load(guard).expect("head pointers are never null");
+        if cur.id >= to.id {
+            return true;
+        }
+        if !to.try_inc_pointers() {
+            return false;
+        }
+        let cur_ptr = Arc::as_ptr(&cur);
+        if pointer
+            .compare_exchange(cur_ptr, Some(Arc::clone(to)), guard)
+            .is_ok()
+        {
+            if cur.dec_pointers() {
+                cur.remove(guard);
+            }
+            return true;
+        }
+        // The head moved under us: give back the pointer count and retry.
+        if to.dec_pointers() {
+            to.remove(guard);
+        }
+    }
+}
+
+/// `findAndMoveForward`: find the segment for `target_id` and advance the
+/// head pointer to it, restarting if the found segment gets removed before
+/// the pointer update lands.
+pub(crate) fn find_and_move_forward<T: Send + 'static>(
+    pointer: &AtomicArc<Segment<T>>,
+    start: Arc<Segment<T>>,
+    target_id: u64,
+    segment_size: usize,
+    guard: &Guard,
+) -> Arc<Segment<T>> {
+    let mut from = start;
+    loop {
+        let found = find_segment(Arc::clone(&from), target_id, segment_size, guard);
+        if move_forward(pointer, &found, guard) {
+            return found;
+        }
+        from = found;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqs_reclaim::pin;
+
+    fn chain(len: usize, size: usize) -> Vec<Arc<Segment<u32>>> {
+        let guard = pin();
+        let first: Arc<Segment<u32>> = Segment::new(0, size, 2);
+        let mut all = vec![Arc::clone(&first)];
+        let mut cur = first;
+        for _ in 1..len {
+            let next = find_segment(Arc::clone(&cur), cur.id + 1, size, &guard);
+            all.push(Arc::clone(&next));
+            cur = next;
+        }
+        all
+    }
+
+    #[test]
+    fn find_segment_creates_sequential_ids() {
+        let segments = chain(5, 4);
+        for (i, s) in segments.iter().enumerate() {
+            assert_eq!(s.id(), i as u64);
+        }
+    }
+
+    #[test]
+    fn find_segment_skips_removed() {
+        let guard = pin();
+        let segments = chain(4, 2);
+        // Cancel all cells of segment 1 (it has 0 pointers).
+        segments[1].on_cancelled_cell(&guard);
+        segments[1].on_cancelled_cell(&guard);
+        assert!(segments[1].removed());
+        let found = find_segment(Arc::clone(&segments[0]), 1, 2, &guard);
+        assert_eq!(found.id(), 2, "removed segment must be skipped");
+    }
+
+    #[test]
+    fn removed_segment_is_unlinked() {
+        let guard = pin();
+        let segments = chain(4, 1);
+        segments[1].on_cancelled_cell(&guard);
+        segments[2].on_cancelled_cell(&guard);
+        assert!(segments[1].removed() && segments[2].removed());
+        // Segment 0 now links directly to segment 3.
+        let next = segments[0].next(&guard).unwrap();
+        assert_eq!(next.id(), 3);
+    }
+
+    #[test]
+    fn tail_segment_is_never_removed() {
+        let guard = pin();
+        let segments = chain(2, 1);
+        segments[1].on_cancelled_cell(&guard);
+        assert!(segments[1].removed());
+        // Still linked: removal of the tail is postponed.
+        assert_eq!(segments[0].next(&guard).unwrap().id(), 1);
+        // Appending a new segment removes the old removed tail.
+        let s2 = find_segment(Arc::clone(&segments[0]), 2, 1, &guard);
+        assert_eq!(s2.id(), 2);
+        assert_eq!(segments[0].next(&guard).unwrap().id(), 2);
+    }
+
+    #[test]
+    fn move_forward_transfers_pointer_counts() {
+        let guard = pin();
+        let segments = chain(3, 2);
+        let head: AtomicArc<Segment<u32>> = AtomicArc::new(Some(Arc::clone(&segments[0])));
+        // segments[0] starts with 2 pointer units (constructor above).
+        assert!(move_forward(&head, &segments[2], &guard));
+        assert_eq!(head.load(&guard).unwrap().id(), 2);
+        // Moving backwards is a no-op returning true.
+        assert!(move_forward(&head, &segments[1], &guard));
+        assert_eq!(head.load(&guard).unwrap().id(), 2);
+    }
+
+    #[test]
+    fn move_forward_fails_onto_removed_segment() {
+        let guard = pin();
+        let segments = chain(3, 1);
+        let head: AtomicArc<Segment<u32>> = AtomicArc::new(Some(Arc::clone(&segments[0])));
+        segments[1].on_cancelled_cell(&guard);
+        assert!(segments[1].removed());
+        assert!(!move_forward(&head, &segments[1], &guard));
+        assert_eq!(head.load(&guard).unwrap().id(), 0);
+    }
+
+    #[test]
+    fn find_and_move_forward_lands_on_alive_segment() {
+        let guard = pin();
+        let segments = chain(4, 1);
+        let head: AtomicArc<Segment<u32>> = AtomicArc::new(Some(Arc::clone(&segments[0])));
+        segments[1].on_cancelled_cell(&guard);
+        let found = find_and_move_forward(&head, Arc::clone(&segments[0]), 1, 1, &guard);
+        assert_eq!(found.id(), 2);
+        assert_eq!(head.load(&guard).unwrap().id(), 2);
+    }
+
+    #[test]
+    fn pointer_decrement_triggers_removal() {
+        let guard = pin();
+        let segments = chain(3, 1);
+        let head: AtomicArc<Segment<u32>> = AtomicArc::new(Some(Arc::clone(&segments[0])));
+        // Pin segment 1 with the head pointer, then cancel its only cell.
+        assert!(move_forward(&head, &segments[1], &guard));
+        segments[1].on_cancelled_cell(&guard);
+        assert!(
+            !segments[1].removed(),
+            "pointer reference must keep the segment alive"
+        );
+        // Moving the head off the segment completes the removal.
+        assert!(move_forward(&head, &segments[2], &guard));
+        assert!(segments[1].removed());
+        assert_eq!(segments[0].next(&guard).unwrap().id(), 2);
+    }
+}

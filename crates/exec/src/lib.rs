@@ -1,0 +1,496 @@
+#![warn(missing_docs)]
+
+//! # `cqs-exec` — a lightweight coroutine executor
+//!
+//! The CQS paper's practical motivation is synchronization for *coroutines*:
+//! lightweight tasks multiplexed over a small thread pool, where suspension
+//! must not block the carrier thread and where cancellations are frequent.
+//! This crate supplies the minimal executor needed to reproduce those
+//! experiments (Fig. 13: thousands of coroutines contending on a mutex over
+//! a fixed-size scheduler) — and to let library users actually consume
+//! `CqsFuture`s without parking threads.
+//!
+//! A [`Coroutine`] is a resumable state machine: the executor calls
+//! [`Coroutine::step`] until it returns [`CoroStep::Done`]. When a step
+//! would block on a [`cqs_future::CqsFuture`], the coroutine arranges its
+//! own wake-up with [`CoroWaker::wake_on_ready`] and returns
+//! [`CoroStep::Pending`]; the carrier thread immediately picks up another
+//! coroutine.
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_exec::{CoroStep, CoroWaker, Executor, FnCoroutine};
+//!
+//! let executor = Executor::new(2);
+//! for i in 0..8 {
+//!     executor.spawn(FnCoroutine::new(move |_waker| {
+//!         // ... do some work for task i ...
+//!         let _ = i;
+//!         CoroStep::Done
+//!     }));
+//! }
+//! executor.wait_idle();
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cqs_future::CqsFuture;
+
+/// Result of one [`Coroutine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoroStep {
+    /// The coroutine finished; it will not run again.
+    Done,
+    /// The coroutine yields; re-enqueue it immediately.
+    Yield,
+    /// The coroutine suspended; it registered a wake-up (via
+    /// [`CoroWaker::wake_on_ready`] or [`CoroWaker::wake`]) that will
+    /// re-enqueue it.
+    Pending,
+}
+
+/// A resumable task. Implementations typically keep an explicit state
+/// machine: which phase the task is in and, when suspended, the future it
+/// is waiting on.
+pub trait Coroutine: Send + 'static {
+    /// Runs until completion, a yield point, or a suspension.
+    fn step(&mut self, waker: &CoroWaker) -> CoroStep;
+}
+
+/// Adapter turning a closure into a [`Coroutine`]: the closure is invoked
+/// on every step.
+pub struct FnCoroutine<F>(F);
+
+impl<F: FnMut(&CoroWaker) -> CoroStep + Send + 'static> FnCoroutine<F> {
+    /// Wraps `f` as a coroutine.
+    pub fn new(f: F) -> Self {
+        FnCoroutine(f)
+    }
+}
+
+impl<F: FnMut(&CoroWaker) -> CoroStep + Send + 'static> Coroutine for FnCoroutine<F> {
+    fn step(&mut self, waker: &CoroWaker) -> CoroStep {
+        (self.0)(waker)
+    }
+}
+
+type BoxedCoroutine = Box<dyn Coroutine>;
+
+#[derive(Default)]
+struct ParkCell {
+    coroutine: Option<BoxedCoroutine>,
+    /// Set if the wake-up fired before the carrier parked the coroutine.
+    woken_early: bool,
+}
+
+/// Re-enqueues a suspended coroutine. Each step invocation gets a fresh
+/// waker; it is cheap to clone into wake-up callbacks.
+#[derive(Clone)]
+pub struct CoroWaker {
+    shared: Arc<ExecShared>,
+    cell: Arc<Mutex<ParkCell>>,
+}
+
+impl CoroWaker {
+    /// Schedules the suspended coroutine to run again. Idempotent; callable
+    /// from any thread, including before the suspending step has returned.
+    pub fn wake(&self) {
+        let parked = {
+            let mut cell = self.cell.lock().unwrap();
+            match cell.coroutine.take() {
+                Some(c) => Some(c),
+                None => {
+                    cell.woken_early = true;
+                    None
+                }
+            }
+        };
+        if let Some(c) = parked {
+            self.shared.enqueue(c);
+        }
+    }
+
+    /// Convenience: wires this waker to fire when `future` completes or is
+    /// cancelled, then the caller returns [`CoroStep::Pending`].
+    pub fn wake_on_ready<T>(&self, future: &CqsFuture<T>) {
+        let waker = self.clone();
+        future.on_ready(move || waker.wake());
+    }
+}
+
+impl std::fmt::Debug for CoroWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CoroWaker")
+    }
+}
+
+struct ExecShared {
+    queue: Mutex<VecDeque<BoxedCoroutine>>,
+    work_available: Condvar,
+    /// Coroutines spawned and not yet Done.
+    live: AtomicUsize,
+    idle: Condvar,
+    idle_lock: Mutex<()>,
+    shutdown: AtomicBool,
+}
+
+impl ExecShared {
+    fn enqueue(&self, c: BoxedCoroutine) {
+        self.queue.lock().unwrap().push_back(c);
+        self.work_available.notify_one();
+    }
+
+    fn finish_one(&self) {
+        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.idle_lock.lock().unwrap();
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// A fixed-size thread pool running [`Coroutine`]s (see crate docs).
+pub struct Executor {
+    shared: Arc<ExecShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts an executor with `threads` carrier threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "an executor needs at least one thread");
+        let shared = Arc::new(ExecShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            live: AtomicUsize::new(0),
+            idle: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cqs-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn executor worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Submits a coroutine for execution.
+    pub fn spawn<C: Coroutine>(&self, coroutine: C) {
+        self.shared.live.fetch_add(1, Ordering::SeqCst);
+        self.shared.enqueue(Box::new(coroutine));
+    }
+
+    /// Blocks until every spawned coroutine has finished.
+    pub fn wait_idle(&self) {
+        let mut g = self.shared.idle_lock.lock().unwrap();
+        while self.shared.live.load(Ordering::SeqCst) != 0 {
+            g = self.shared.idle.wait(g).unwrap();
+        }
+    }
+
+    /// The number of coroutines not yet finished.
+    pub fn live_count(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+}
+
+fn worker_loop(shared: &Arc<ExecShared>) {
+    loop {
+        let coroutine = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(c) = queue.pop_front() {
+                    break c;
+                }
+                queue = shared.work_available.wait(queue).unwrap();
+            }
+        };
+        run_one(shared, coroutine);
+    }
+}
+
+fn run_one(shared: &Arc<ExecShared>, mut coroutine: BoxedCoroutine) {
+    loop {
+        let waker = CoroWaker {
+            shared: Arc::clone(shared),
+            cell: Arc::new(Mutex::new(ParkCell::default())),
+        };
+        let step =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| coroutine.step(&waker)));
+        let step = match step {
+            Ok(step) => step,
+            Err(_) => {
+                // A panicking coroutine counts as finished; the carrier
+                // thread survives and keeps serving other coroutines.
+                shared.finish_one();
+                return;
+            }
+        };
+        match step {
+            CoroStep::Done => {
+                shared.finish_one();
+                return;
+            }
+            CoroStep::Yield => {
+                shared.enqueue(coroutine);
+                return;
+            }
+            CoroStep::Pending => {
+                let mut cell = waker.cell.lock().unwrap();
+                if cell.woken_early {
+                    // The wake-up raced ahead of us: keep running.
+                    cell.woken_early = false;
+                    drop(cell);
+                    continue;
+                }
+                cell.coroutine = Some(coroutine);
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake all workers so they observe the flag.
+        {
+            let _q = self.shared.queue.lock().unwrap();
+            self.shared.work_available.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.workers.len())
+            .field("live", &self.live_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqs_future::Request;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_simple_tasks() {
+        let executor = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            executor.spawn(FnCoroutine::new(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                CoroStep::Done
+            }));
+        }
+        executor.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn yielding_coroutine_runs_repeatedly() {
+        let executor = Executor::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut remaining = 10;
+        executor.spawn(FnCoroutine::new(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            remaining -= 1;
+            if remaining == 0 {
+                CoroStep::Done
+            } else {
+                CoroStep::Yield
+            }
+        }));
+        executor.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn suspension_and_wakeup() {
+        let executor = Executor::new(2);
+        let request: Arc<Request<u64>> = Arc::new(Request::new());
+        let result = Arc::new(AtomicUsize::new(0));
+
+        let mut future = Some(CqsFuture::suspended(Arc::clone(&request)));
+        let r2 = Arc::clone(&result);
+        executor.spawn(FnCoroutine::new(move |waker| {
+            let f = future.as_mut().expect("still waiting");
+            match f.try_get() {
+                cqs_future::FutureState::Ready(v) => {
+                    r2.store(v as usize, Ordering::SeqCst);
+                    CoroStep::Done
+                }
+                cqs_future::FutureState::Pending => {
+                    waker.wake_on_ready(f);
+                    CoroStep::Pending
+                }
+                cqs_future::FutureState::Cancelled => unreachable!(),
+            }
+        }));
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(executor.live_count(), 1, "coroutine must be suspended");
+        request.complete(55).unwrap();
+        executor.wait_idle();
+        assert_eq!(result.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        // A future that is completed *during* the step, so the wake fires
+        // before the carrier parks the coroutine.
+        let executor = Executor::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&done);
+        let mut state = 0;
+        executor.spawn(FnCoroutine::new(move |waker| {
+            if state == 0 {
+                state = 1;
+                let f = CqsFuture::immediate(1u32); // already ready
+                waker.wake_on_ready(&f); // fires immediately
+                CoroStep::Pending
+            } else {
+                d2.fetch_add(1, Ordering::SeqCst);
+                CoroStep::Done
+            }
+        }));
+        executor.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_coroutines_many_threads() {
+        let executor = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            let mut steps = 3;
+            executor.spawn(FnCoroutine::new(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                steps -= 1;
+                if steps == 0 {
+                    CoroStep::Done
+                } else {
+                    CoroStep::Yield
+                }
+            }));
+        }
+        executor.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 3000);
+    }
+
+    #[test]
+    fn drop_shuts_down_workers() {
+        let executor = Executor::new(3);
+        executor.spawn(FnCoroutine::new(|_| CoroStep::Done));
+        executor.wait_idle();
+        drop(executor); // must not hang
+    }
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn panicking_coroutine_does_not_kill_the_executor() {
+        let executor = Executor::new(1);
+        executor.spawn(FnCoroutine::new(|_| panic!("boom")));
+        executor.wait_idle();
+        // The single worker must still be alive and able to run tasks.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        executor.spawn(FnCoroutine::new(move |_| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            CoroStep::Done
+        }));
+        executor.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A single-threaded executor runs ready coroutines in FIFO spawn order.
+    #[test]
+    fn single_worker_runs_fifo() {
+        let executor = Executor::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Occupy the worker so spawns below queue up deterministically.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g2 = Arc::clone(&gate);
+        executor.spawn(FnCoroutine::new(move |_| {
+            if g2.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+                CoroStep::Yield
+            } else {
+                CoroStep::Done
+            }
+        }));
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            executor.spawn(FnCoroutine::new(move |_| {
+                log.lock().unwrap().push(i);
+                CoroStep::Done
+            }));
+        }
+        gate.store(1, Ordering::SeqCst);
+        executor.wait_idle();
+        // The gate coroutine yields between each, so the five tasks ran in
+        // spawn order interleaved with it.
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    /// `wait_idle` returns immediately when nothing was spawned.
+    #[test]
+    fn wait_idle_on_empty_executor() {
+        let executor = Executor::new(2);
+        executor.wait_idle();
+        assert_eq!(executor.live_count(), 0);
+    }
+
+    /// Coroutines outlive bursts of idleness: spawn, drain, spawn again.
+    #[test]
+    fn multiple_idle_cycles() {
+        let executor = Executor::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _round in 0..5 {
+            for _ in 0..20 {
+                let count = Arc::clone(&count);
+                executor.spawn(FnCoroutine::new(move |_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    CoroStep::Done
+                }));
+            }
+            executor.wait_idle();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,768 @@
+#![warn(missing_docs)]
+
+//! The future model the CQS framework suspends on (paper, Appendix A).
+//!
+//! A blocking operation such as `Mutex::lock()` is split at its suspension
+//! point: instead of blocking the thread, it returns a [`CqsFuture`]. If the
+//! operation completed without suspending, the future is an *immediate
+//! result*; otherwise it wraps a [`Request`] registered in the waiter queue,
+//! completed later by a `resume(..)` and cancellable via
+//! [`CqsFuture::cancel`].
+//!
+//! The same object serves threads, callback-style coroutines and async code:
+//!
+//! * [`CqsFuture::wait`] parks the calling thread until completion;
+//! * [`CqsFuture::on_ready`] registers a callback (used by `cqs-exec`);
+//! * [`CqsFuture`] implements [`std::future::Future`].
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_future::{CqsFuture, Request};
+//! use std::sync::Arc;
+//!
+//! // An operation that completed without suspension:
+//! let fut = CqsFuture::immediate(42);
+//! assert_eq!(fut.wait(), Ok(42));
+//!
+//! // An operation that suspended; someone completes it later:
+//! let request = Arc::new(Request::<u32>::new());
+//! let fut = CqsFuture::suspended(Arc::clone(&request));
+//! request.complete(7).unwrap();
+//! assert_eq!(fut.wait(), Ok(7));
+//! ```
+
+use std::cell::UnsafeCell;
+use std::error::Error;
+use std::fmt;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// The operation was aborted by [`CqsFuture::cancel`] before completion.
+///
+/// Corresponds to the paper's `⊥` result of `Future.get()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation was cancelled before completion")
+    }
+}
+
+impl Error for Cancelled {}
+
+/// Non-blocking observation of a future's state.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FutureState<T> {
+    /// Not completed yet (`get()` returns `null` in the paper's model).
+    Pending,
+    /// Completed with a value.
+    Ready(T),
+    /// Cancelled (`get()` returns `⊥`).
+    Cancelled,
+}
+
+/// Invoked exactly once when a pending [`Request`] is successfully
+/// cancelled. In the CQS this is where the cell transitions to `CANCELLED`
+/// or `REFUSE` (paper, Listing 5 `cancellationHandler`).
+pub trait CancellationHandler: Send + Sync {
+    /// Reacts to the cancellation of the request this handler was installed
+    /// on.
+    fn on_cancel(&self);
+}
+
+impl<F: Fn() + Send + Sync> CancellationHandler for F {
+    fn on_cancel(&self) {
+        self()
+    }
+}
+
+const PENDING: u8 = 0;
+const COMPLETING: u8 = 1;
+const COMPLETED: u8 = 2;
+const CANCELLED: u8 = 3;
+const TAKEN: u8 = 4;
+
+/// Everything that may need waking when the request reaches a terminal
+/// state.
+#[derive(Default)]
+struct WakerSlot {
+    thread: Option<Thread>,
+    callback: Option<Box<dyn FnOnce() + Send>>,
+    task_waker: Option<std::task::Waker>,
+}
+
+/// A suspended request: the waiter object stored in a CQS cell (paper,
+/// Listing 9 `Request<R>`).
+///
+/// Exactly one party may successfully [`complete`](Request::complete) it and
+/// exactly one party may successfully [`cancel`](Request::cancel) it; the two
+/// race and atomically resolve in favour of one side.
+pub struct Request<T> {
+    state: AtomicU8,
+    value: UnsafeCell<Option<T>>,
+    waker: Mutex<WakerSlot>,
+    handler: OnceLock<Box<dyn CancellationHandler>>,
+    /// Set when `cancel()` won the race before a handler was installed;
+    /// the installer then runs the handler itself.
+    handler_due: AtomicBool,
+    handler_ran: AtomicBool,
+}
+
+// SAFETY: the value slot is written by the (unique) completer before the
+// `COMPLETED` release-store and read by the (unique) taker after an acquire
+// load, so `T: Send` suffices for cross-thread handoff.
+unsafe impl<T: Send> Send for Request<T> {}
+unsafe impl<T: Send> Sync for Request<T> {}
+
+impl<T> Request<T> {
+    /// Creates a pending request with no cancellation handler.
+    pub fn new() -> Self {
+        Request {
+            state: AtomicU8::new(PENDING),
+            value: UnsafeCell::new(None),
+            waker: Mutex::new(WakerSlot::default()),
+            handler: OnceLock::new(),
+            handler_due: AtomicBool::new(false),
+            handler_ran: AtomicBool::new(false),
+        }
+    }
+
+    /// Installs the cancellation handler. May be called at most once, before
+    /// the request is handed to user code (paper: the handler is a
+    /// constructor argument; here it is installed right after the request is
+    /// placed into its cell, when the segment and index are known).
+    ///
+    /// If a racing [`cancel`](Request::cancel) already succeeded, the handler
+    /// runs immediately on this thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handler was already installed.
+    pub fn set_cancellation_handler(&self, handler: Box<dyn CancellationHandler>) {
+        if self.handler.set(handler).is_err() {
+            panic!("cancellation handler installed twice");
+        }
+        if self.handler_due.load(Ordering::Acquire) {
+            self.run_handler_once();
+        }
+    }
+
+    fn run_handler_once(&self) {
+        if let Some(handler) = self.handler.get() {
+            if !self.handler_ran.swap(true, Ordering::AcqRel) {
+                handler.on_cancel();
+            }
+        } else {
+            self.handler_due.store(true, Ordering::Release);
+        }
+    }
+
+    /// Completes the request with `value`, waking any waiter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the request was already cancelled (or, in
+    /// violation of the single-completer contract, already completed).
+    pub fn complete(&self, value: T) -> Result<(), T> {
+        if self
+            .state
+            .compare_exchange(PENDING, COMPLETING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(value);
+        }
+        // SAFETY: the CAS above made us the unique completer; no one reads
+        // the slot until they observe COMPLETED.
+        unsafe { *self.value.get() = Some(value) };
+        self.state.store(COMPLETED, Ordering::Release);
+        self.wake();
+        Ok(())
+    }
+
+    /// Atomically aborts the request if it is still pending. On success the
+    /// cancellation handler (if any) is invoked on the calling thread.
+    ///
+    /// Returns `true` if this call cancelled the request, `false` if it was
+    /// already completed (or cancelled).
+    pub fn cancel(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(PENDING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.run_handler_once();
+        self.wake();
+        true
+    }
+
+    /// Whether the request reached a terminal state.
+    pub fn is_terminated(&self) -> bool {
+        matches!(
+            self.state.load(Ordering::Acquire),
+            COMPLETED | CANCELLED | TAKEN
+        )
+    }
+
+    /// Whether the request was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CANCELLED
+    }
+
+    /// Attempts to take the completion value. At most one call ever returns
+    /// `Ready`.
+    fn try_take(&self) -> FutureState<T> {
+        match self.state.load(Ordering::Acquire) {
+            PENDING | COMPLETING => FutureState::Pending,
+            CANCELLED => FutureState::Cancelled,
+            TAKEN => panic!("completion value taken twice"),
+            _ => {
+                match self.state.compare_exchange(
+                    COMPLETED,
+                    TAKEN,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    // SAFETY: the CAS made us the unique taker; the completer
+                    // published the value before storing COMPLETED.
+                    Ok(_) => FutureState::Ready(
+                        unsafe { (*self.value.get()).take() }
+                            .expect("completed request must hold a value"),
+                    ),
+                    Err(CANCELLED) => FutureState::Cancelled,
+                    Err(_) => panic!("completion value taken twice"),
+                }
+            }
+        }
+    }
+
+    fn wake(&self) {
+        let (thread, callback, task_waker) = {
+            let mut slot = self.waker.lock().unwrap();
+            (
+                slot.thread.take(),
+                slot.callback.take(),
+                slot.task_waker.take(),
+            )
+        };
+        if let Some(t) = thread {
+            t.unpark();
+        }
+        if let Some(cb) = callback {
+            cb();
+        }
+        if let Some(w) = task_waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Default for Request<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Request<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match self.state.load(Ordering::Relaxed) {
+            PENDING => "pending",
+            COMPLETING => "completing",
+            COMPLETED => "completed",
+            CANCELLED => "cancelled",
+            _ => "taken",
+        };
+        f.debug_struct("Request").field("state", &state).finish()
+    }
+}
+
+enum Inner<T> {
+    /// Operation completed without suspension (paper: `ImmediateResult`).
+    /// The option is emptied by the first take.
+    Immediate(Option<T>),
+    /// Operation suspended; the request lives in a CQS cell too.
+    Suspended(Arc<Request<T>>),
+}
+
+/// The result of a potentially blocking operation (paper, Appendix A).
+///
+/// `CqsFuture` is an owned, single-consumer handle: taking the value
+/// requires `&mut self` or consumes the future. It can be observed without
+/// blocking ([`try_get`](Self::try_get)), waited on synchronously
+/// ([`wait`](Self::wait)), hooked with a callback
+/// ([`on_ready`](Self::on_ready)) or awaited as a [`std::future::Future`].
+pub struct CqsFuture<T> {
+    inner: Inner<T>,
+}
+
+impl<T> CqsFuture<T> {
+    /// Wraps a value produced without suspension.
+    pub fn immediate(value: T) -> Self {
+        CqsFuture {
+            inner: Inner::Immediate(Some(value)),
+        }
+    }
+
+    /// Wraps a suspended request.
+    pub fn suspended(request: Arc<Request<T>>) -> Self {
+        CqsFuture {
+            inner: Inner::Suspended(request),
+        }
+    }
+
+    /// Whether the operation completed without suspending. Mirrors the
+    /// practical optimization mentioned in the paper: real implementations
+    /// return the raw value instead of an `ImmediateResult` wrapper.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self.inner, Inner::Immediate(_))
+    }
+
+    /// Non-blocking check; takes the value if ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous call already returned the value.
+    pub fn try_get(&mut self) -> FutureState<T> {
+        match &mut self.inner {
+            Inner::Immediate(v) => match v.take() {
+                Some(v) => FutureState::Ready(v),
+                None => panic!("completion value taken twice"),
+            },
+            Inner::Suspended(r) => r.try_take(),
+        }
+    }
+
+    /// Cancels the operation if it has not completed yet. Returns `true` if
+    /// this call aborted it. Immediate results can never be cancelled.
+    pub fn cancel(&self) -> bool {
+        match &self.inner {
+            Inner::Immediate(_) => false,
+            Inner::Suspended(r) => r.cancel(),
+        }
+    }
+
+    /// Blocks the calling thread until the operation completes or is
+    /// cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the request was aborted.
+    pub fn wait(mut self) -> Result<T, Cancelled> {
+        match self.try_get() {
+            FutureState::Ready(v) => return Ok(v),
+            FutureState::Cancelled => return Err(Cancelled),
+            FutureState::Pending => {}
+        }
+        let request = match &self.inner {
+            Inner::Suspended(r) => Arc::clone(r),
+            Inner::Immediate(_) => unreachable!("immediate futures are always ready"),
+        };
+        loop {
+            {
+                let mut slot = request.waker.lock().unwrap();
+                slot.thread = Some(std::thread::current());
+            }
+            // Re-check after registering to avoid a missed wakeup.
+            match self.try_get() {
+                FutureState::Ready(v) => return Ok(v),
+                FutureState::Cancelled => return Err(Cancelled),
+                FutureState::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`, cancelling
+    /// the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the request was aborted — by this timeout or
+    /// by another `cancel` call.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<T, Cancelled> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_get() {
+                FutureState::Ready(v) => return Ok(v),
+                FutureState::Cancelled => return Err(Cancelled),
+                FutureState::Pending => {}
+            }
+            let request = match &self.inner {
+                Inner::Suspended(r) => Arc::clone(r),
+                Inner::Immediate(_) => unreachable!("immediate futures are always ready"),
+            };
+            {
+                let mut slot = request.waker.lock().unwrap();
+                slot.thread = Some(std::thread::current());
+            }
+            match self.try_get() {
+                FutureState::Ready(v) => return Ok(v),
+                FutureState::Cancelled => return Err(Cancelled),
+                FutureState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        if self.cancel() {
+                            return Err(Cancelled);
+                        }
+                        // A completion raced the timeout; take it.
+                        continue;
+                    }
+                    std::thread::park_timeout(deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Registers `callback` to run when the future reaches a terminal state
+    /// (completed *or* cancelled). If it already has, the callback runs
+    /// immediately on this thread. Used by executors to reschedule
+    /// coroutines.
+    pub fn on_ready<F: FnOnce() + Send + 'static>(&self, callback: F) {
+        match &self.inner {
+            Inner::Immediate(_) => callback(),
+            Inner::Suspended(r) => {
+                {
+                    let mut slot = r.waker.lock().unwrap();
+                    if !r.is_terminated() {
+                        slot.callback = Some(Box::new(callback));
+                        return;
+                    }
+                }
+                callback();
+            }
+        }
+    }
+}
+
+// The future never holds self-referential state: `T` is only ever moved out
+// whole, so pinning imposes no obligations.
+impl<T> Unpin for CqsFuture<T> {}
+
+impl<T> std::future::Future for CqsFuture<T> {
+    type Output = Result<T, Cancelled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.try_get() {
+            FutureState::Ready(v) => return Poll::Ready(Ok(v)),
+            FutureState::Cancelled => return Poll::Ready(Err(Cancelled)),
+            FutureState::Pending => {}
+        }
+        let request = match &this.inner {
+            Inner::Suspended(r) => Arc::clone(r),
+            Inner::Immediate(_) => unreachable!("immediate futures are always ready"),
+        };
+        {
+            let mut slot = request.waker.lock().unwrap();
+            slot.task_waker = Some(cx.waker().clone());
+        }
+        match this.try_get() {
+            FutureState::Ready(v) => Poll::Ready(Ok(v)),
+            FutureState::Cancelled => Poll::Ready(Err(Cancelled)),
+            FutureState::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T> fmt::Debug for CqsFuture<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Inner::Immediate(_) => f.write_str("CqsFuture::Immediate"),
+            Inner::Suspended(r) => f.debug_tuple("CqsFuture::Suspended").field(r).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn immediate_future_is_ready() {
+        let mut f = CqsFuture::immediate(3);
+        assert!(f.is_immediate());
+        assert!(!f.cancel());
+        assert_eq!(f.try_get(), FutureState::Ready(3));
+    }
+
+    #[test]
+    fn complete_then_wait() {
+        let r = Arc::new(Request::new());
+        r.complete(10).unwrap();
+        let f = CqsFuture::suspended(r);
+        assert_eq!(f.wait(), Ok(10));
+    }
+
+    #[test]
+    fn complete_wins_over_second_complete() {
+        let r: Request<u32> = Request::new();
+        r.complete(1).unwrap();
+        assert_eq!(r.complete(2), Err(2));
+    }
+
+    #[test]
+    fn cancel_beats_complete() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        assert!(r.cancel());
+        assert!(!r.cancel());
+        assert_eq!(r.complete(5), Err(5));
+        let f = CqsFuture::suspended(r);
+        assert_eq!(f.wait(), Err(Cancelled));
+    }
+
+    #[test]
+    fn complete_beats_cancel() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        r.complete(5).unwrap();
+        assert!(!r.cancel());
+        assert_eq!(CqsFuture::suspended(r).wait(), Ok(5));
+    }
+
+    #[test]
+    fn cancellation_handler_runs_once() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r: Request<u32> = Request::new();
+        let runs2 = Arc::clone(&runs);
+        r.set_cancellation_handler(Box::new(move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(r.cancel());
+        assert!(!r.cancel());
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn handler_installed_after_cancel_still_runs() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r: Request<u32> = Request::new();
+        assert!(r.cancel());
+        let runs2 = Arc::clone(&runs);
+        r.set_cancellation_handler(Box::new(move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn handler_not_run_on_completion() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r: Request<u32> = Request::new();
+        let runs2 = Arc::clone(&runs);
+        r.set_cancellation_handler(Box::new(move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        }));
+        r.complete(1).unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_blocks_until_completed() {
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let completer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            r.complete(99).unwrap();
+        });
+        assert_eq!(f.wait(), Ok(99));
+        completer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_cancels() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        assert_eq!(f.wait_timeout(Duration::from_millis(20)), Err(Cancelled));
+        assert!(r.is_cancelled());
+    }
+
+    #[test]
+    fn wait_timeout_returns_value_if_completed() {
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        r.complete(4).unwrap();
+        assert_eq!(f.wait_timeout(Duration::from_millis(20)), Ok(4));
+    }
+
+    #[test]
+    fn on_ready_fires_for_completion() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let fired2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        r.complete(1).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn on_ready_fires_immediately_if_already_done() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r = Arc::new(Request::new());
+        r.complete(1).unwrap();
+        let f = CqsFuture::suspended(r);
+        let fired2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn on_ready_fires_on_cancel() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let fired2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        f.cancel();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn async_poll_integration() {
+        // A minimal hand-rolled block_on to avoid external runtimes.
+        use std::task::Wake;
+        struct ThreadWaker(Thread);
+        impl Wake for ThreadWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.unpark();
+            }
+        }
+        fn block_on<F: std::future::Future>(mut fut: F) -> F::Output {
+            let waker = Arc::new(ThreadWaker(std::thread::current())).into();
+            let mut cx = Context::from_waker(&waker);
+            // SAFETY: fut is stack-pinned and never moved afterwards.
+            let mut fut = unsafe { Pin::new_unchecked(&mut fut) };
+            loop {
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(v) => return v,
+                    Poll::Pending => std::thread::park(),
+                }
+            }
+        }
+
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let completer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            r.complete(123).unwrap();
+        });
+        assert_eq!(block_on(f), Ok(123));
+        completer.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_complete_cancel_race() {
+        for _ in 0..200 {
+            let r: Arc<Request<u32>> = Arc::new(Request::new());
+            let completions = Arc::new(AtomicUsize::new(0));
+            let cancellations = Arc::new(AtomicUsize::new(0));
+            let r1 = Arc::clone(&r);
+            let c1 = Arc::clone(&completions);
+            let t1 = std::thread::spawn(move || {
+                if r1.complete(1).is_ok() {
+                    c1.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            let r2 = Arc::clone(&r);
+            let c2 = Arc::clone(&cancellations);
+            let t2 = std::thread::spawn(move || {
+                if r2.cancel() {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            t1.join().unwrap();
+            t2.join().unwrap();
+            assert_eq!(
+                completions.load(Ordering::SeqCst) + cancellations.load(Ordering::SeqCst),
+                1,
+                "exactly one of complete/cancel must win"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Request<u32>>();
+        assert_send::<CqsFuture<u32>>();
+    }
+
+    /// wait_timeout whose deadline races an in-flight completion must
+    /// return exactly one of the two outcomes and never both/neither.
+    #[test]
+    fn timeout_vs_completion_race() {
+        for i in 0..100 {
+            let r = Arc::new(Request::new());
+            let f = CqsFuture::suspended(Arc::clone(&r));
+            let r2 = Arc::clone(&r);
+            let completer = std::thread::spawn(move || {
+                // Jitter around the deadline.
+                if i % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                r2.complete(1u32).is_ok()
+            });
+            let got = f.wait_timeout(Duration::from_micros(50 * (i % 4)));
+            let completed = completer.join().unwrap();
+            match got {
+                Ok(v) => {
+                    assert_eq!(v, 1);
+                    assert!(completed, "value received but completion failed");
+                }
+                Err(Cancelled) => {
+                    assert!(!completed, "completion succeeded but waiter saw cancel");
+                }
+            }
+        }
+    }
+
+    /// Multiple `on_ready` registrations: the last one wins (documented
+    /// single-slot semantics); earlier callbacks are dropped unfired.
+    #[test]
+    fn on_ready_is_single_slot() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let f1 = Arc::clone(&fired);
+        f.on_ready(move || {
+            f1.fetch_add(1, Ordering::SeqCst);
+        });
+        let f2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            f2.fetch_add(10, Ordering::SeqCst);
+        });
+        r.complete(0u32).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 10);
+    }
+
+    /// A future dropped while pending leaves the request completable; the
+    /// value is then released with the request.
+    #[test]
+    fn dropping_pending_future_is_safe() {
+        let r = Arc::new(Request::new());
+        let f: CqsFuture<String> = CqsFuture::suspended(Arc::clone(&r));
+        drop(f);
+        r.complete("late".to_string()).unwrap();
+        assert!(r.is_terminated());
+    }
+}

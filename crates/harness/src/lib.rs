@@ -1,0 +1,244 @@
+#![warn(missing_docs)]
+
+//! # `cqs-harness` — the benchmark harness
+//!
+//! Reimplements the paper's experimental methodology (§6, "Experimental
+//! Setup") in Rust, standing in for JMH:
+//!
+//! * [`Workload`] — uncontended busy-work whose size is geometrically
+//!   distributed with a configurable mean, exactly as the paper inserts
+//!   between synchronization operations;
+//! * [`measure`] / [`measure_per_op`] — runs a closure on N threads with a
+//!   synchronized start and reports wall time (per operation);
+//! * [`Series`] and [`print_figure`] — collects `(x, y)` measurements per
+//!   algorithm and prints the paper-style table for a figure;
+//! * [`thread_sweep`] — the thread counts to plot against.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Geometrically distributed uncontended busy-work.
+///
+/// # Example
+///
+/// ```
+/// use cqs_harness::Workload;
+///
+/// let work = Workload::new(100);
+/// let mut rng = work.rng(0);
+/// work.run(&mut rng); // ~100 loop iterations on average
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    mean: u64,
+}
+
+impl Workload {
+    /// Work with the given mean number of loop iterations. A mean of zero
+    /// disables the work entirely.
+    pub fn new(mean: u64) -> Self {
+        Workload { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> u64 {
+        self.mean
+    }
+
+    /// A deterministic per-thread RNG.
+    pub fn rng(&self, thread: u64) -> SmallRng {
+        SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ thread)
+    }
+
+    /// Samples a geometrically distributed iteration count with mean
+    /// `self.mean` (success probability `1/mean`).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.mean == 0 {
+            return 0;
+        }
+        // Inverse-transform sampling: ceil(ln U / ln (1 - 1/mean)).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let p = 1.0 / self.mean as f64;
+        (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    }
+
+    /// Performs one sampled unit of uncontended work.
+    pub fn run(&self, rng: &mut SmallRng) {
+        let iterations = self.sample(rng);
+        let mut acc = 0u64;
+        for i in 0..iterations {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+/// Runs `body(thread_index)` on `threads` threads with a synchronized
+/// start, returning the wall-clock time from release to the last exit.
+pub fn measure<F>(threads: usize, body: F) -> Duration
+where
+    F: Fn(usize) + Send + Sync,
+{
+    std::thread::scope(|scope| {
+        let start = Arc::new(AtomicBool::new(false));
+        let body = &body;
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = Arc::clone(&start);
+            handles.push(scope.spawn(move || {
+                while !start.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                body(t);
+            }));
+        }
+        let begin = Instant::now();
+        start.store(true, Ordering::Release);
+        for h in handles {
+            h.join().expect("benchmark thread panicked");
+        }
+        begin.elapsed()
+    })
+}
+
+/// Like [`measure`], but divides by `total_ops` and returns nanoseconds per
+/// operation — the y-axis of every figure in the paper.
+pub fn measure_per_op<F>(threads: usize, total_ops: u64, body: F) -> f64
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let elapsed = measure(threads, body);
+    elapsed.as_nanos() as f64 / total_ops as f64
+}
+
+/// One plotted line: an algorithm's measurements across the sweep variable.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Algorithm name as it appears in the figure legend.
+    pub name: String,
+    /// `(x, nanoseconds)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, x: u64, nanos: f64) {
+        self.points.push((x, nanos));
+    }
+}
+
+/// Prints a paper-style table for one figure: rows are the sweep variable,
+/// columns the algorithms.
+pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{x_label:>12}");
+    for s in series {
+        print!(" | {:>22}", s.name);
+    }
+    println!();
+    let xs: Vec<u64> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+        .unwrap_or_default();
+    for (row, x) in xs.iter().enumerate() {
+        print!("{x:>12}");
+        for s in series {
+            match s.points.get(row) {
+                Some((sx, y)) if sx == x => print!(" | {:>19.0} ns", y),
+                _ => print!(" | {:>22}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// The default thread counts to sweep: powers of two up to twice the
+/// available parallelism.
+pub fn thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // Sweep past the core count, as the paper does (its x-axes extend to
+    // and beyond the 144 hardware threads of its testbed); on small
+    // machines still cover oversubscription up to at least 8 threads.
+    let top = (cores * 2).max(8);
+    let mut sweep = Vec::new();
+    let mut n = 1;
+    while n <= top {
+        sweep.push(n);
+        n *= 2;
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_is_roughly_right() {
+        let work = Workload::new(100);
+        let mut rng = work.rng(1);
+        let samples: u64 = (0..20_000).map(|_| work.sample(&mut rng)).sum();
+        let mean = samples as f64 / 20_000.0;
+        assert!(
+            (70.0..130.0).contains(&mean),
+            "geometric sample mean {mean} too far from 100"
+        );
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let work = Workload::new(0);
+        let mut rng = work.rng(0);
+        assert_eq!(work.sample(&mut rng), 0);
+        work.run(&mut rng);
+    }
+
+    #[test]
+    fn measure_runs_every_thread() {
+        use std::sync::atomic::AtomicUsize;
+        let count = AtomicUsize::new(0);
+        let elapsed = measure(4, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn per_op_scales_by_total() {
+        let a = measure_per_op(2, 1, |_| {});
+        let b = measure_per_op(2, 1_000, |_| {});
+        // Same (trivial) work, a thousand times more ops: per-op time must
+        // shrink drastically.
+        assert!(b < a);
+    }
+
+    #[test]
+    fn thread_sweep_is_nonempty_and_increasing() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn print_figure_does_not_panic() {
+        let mut s = Series::new("test");
+        s.push(1, 100.0);
+        s.push(2, 200.0);
+        print_figure("Fig X", "threads", &[s]);
+    }
+}

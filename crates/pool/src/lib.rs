@@ -1,0 +1,370 @@
+#![warn(missing_docs)]
+
+//! # `cqs-pool` — blocking pools of shared resources on top of CQS
+//!
+//! A *blocking pool* maintains a set of expensive, reusable elements
+//! (database connections, sockets, buffers): [`BlockingPool::take`]
+//! retrieves one or suspends until somebody returns one;
+//! [`BlockingPool::put`] hands an element to the first waiting taker or
+//! stores it. Waiting takers are served in FIFO order and may abort at any
+//! time; elements are never lost (paper, §4.4 and Appendix D,
+//! Listings 17/18).
+//!
+//! Two storage backends are provided:
+//!
+//! * [`QueueBackend`] (use via [`QueuePool`]) — an infinite-array queue,
+//!   fetch-and-add on the contended path, the faster option;
+//! * [`StackBackend`] (use via [`StackPool`]) — a Treiber stack returning
+//!   the most recently used ("hottest") element.
+//!
+//! Both pools are *not* linearizable — under races elements can be handed
+//! out slightly out of order — which is fine for a pool, whose contents are
+//! unordered by contract.
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_pool::QueuePool;
+//!
+//! let pool: QueuePool<String> = QueuePool::new();
+//! pool.put("conn-a".to_string());
+//! pool.put("conn-b".to_string());
+//!
+//! let conn = pool.take().wait().unwrap();
+//! // ... use the connection ...
+//! pool.put(conn);
+//! ```
+
+mod backend;
+
+pub use backend::{PoolBackend, QueueBackend, StackBackend};
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Weak};
+
+use cqs_core::{CancellationMode, Cqs, CqsCallbacks, CqsConfig, CqsFuture, Suspend};
+
+/// A pool over the queue backend: elements come back in insertion order.
+pub type QueuePool<E> = BlockingPool<E, QueueBackend<E>>;
+
+/// A pool over the stack backend: the most recently returned element is
+/// handed out first.
+pub type StackPool<E> = BlockingPool<E, StackBackend<E>>;
+
+struct PoolShared<E: Send + 'static, B: PoolBackend<E>> {
+    /// `size >= 0`: elements stored; `size < 0`: waiting takers (negated).
+    size: AtomicI64,
+    backend: B,
+    cqs: Cqs<E, PoolCallbacks<E, B>>,
+}
+
+/// Smart-cancellation hooks of the abstract pool (paper, Listing 17).
+///
+/// Holds a weak reference to the pool internals: a strong one would form a
+/// permanent `Cqs -> callbacks -> pool -> Cqs` cycle. If a refused
+/// resumption arrives after the pool was dropped, the element is dropped
+/// with it.
+struct PoolCallbacks<E: Send + 'static, B: PoolBackend<E>> {
+    shared: Weak<PoolShared<E, B>>,
+}
+
+impl<E: Send + 'static, B: PoolBackend<E>> CqsCallbacks<E> for PoolCallbacks<E, B> {
+    fn on_cancellation(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            // Pool dropped: treat the waiter as plainly removed.
+            return true;
+        };
+        // Identical to the semaphore: deregister the waiter, or refuse the
+        // incoming resume if a put() already committed to it.
+        let s = shared.size.fetch_add(1, Ordering::SeqCst);
+        s < 0
+    }
+
+    fn complete_refused_resume(&self, element: E) {
+        if let Some(shared) = self.shared.upgrade() {
+            // Return the refused element to the pool (paper: `if
+            // !tryInsert(e): put(e)`).
+            if let Err(element) = shared.backend.try_insert(element) {
+                shared.put(element);
+            }
+        }
+    }
+}
+
+/// A blocking pool of shared elements (see the crate docs).
+///
+/// Cloning is cheap and yields another handle to the same pool.
+pub struct BlockingPool<E: Send + 'static, B: PoolBackend<E>> {
+    shared: Arc<PoolShared<E, B>>,
+}
+
+impl<E: Send + 'static, B: PoolBackend<E>> Clone for BlockingPool<E, B> {
+    fn clone(&self) -> Self {
+        BlockingPool {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<E: Send + 'static, B: PoolBackend<E> + Default> BlockingPool<E, B> {
+    /// Creates an empty pool with a default-constructed backend.
+    pub fn new() -> Self {
+        Self::with_backend(B::default())
+    }
+}
+
+impl<E: Send + 'static, B: PoolBackend<E> + Default> Default for BlockingPool<E, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
+    /// Creates an empty pool around the given backend.
+    pub fn with_backend(backend: B) -> Self {
+        let shared = Arc::new_cyclic(|weak: &Weak<PoolShared<E, B>>| PoolShared {
+            size: AtomicI64::new(0),
+            backend,
+            cqs: Cqs::new(
+                CqsConfig::new().cancellation_mode(CancellationMode::Smart),
+                PoolCallbacks {
+                    shared: Weak::clone(weak),
+                },
+            ),
+        });
+        BlockingPool { shared }
+    }
+
+    /// A racy snapshot of the number of stored elements (zero if takers are
+    /// waiting).
+    pub fn len(&self) -> usize {
+        self.shared.size.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// Whether no elements are currently stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `element` to the pool, handing it directly to the first
+    /// waiting [`take`](Self::take) if there is one.
+    pub fn put(&self, element: E) {
+        self.shared.put(element);
+    }
+
+    /// Retrieves an element: immediately if one is stored, otherwise the
+    /// returned future completes when a [`put`](Self::put) hands one over
+    /// (FIFO among waiting takers). Cancel the future to abort waiting.
+    pub fn take(&self) -> CqsFuture<E> {
+        let shared = &self.shared;
+        loop {
+            let s = shared.size.fetch_sub(1, Ordering::SeqCst);
+            if s > 0 {
+                // An element should be there; a racing put() that announced
+                // itself but has not inserted yet makes us restart.
+                if let Some(element) = shared.backend.try_retrieve() {
+                    return CqsFuture::immediate(element);
+                }
+            } else {
+                match shared.cqs.suspend() {
+                    Suspend::Future(f) => return f,
+                    Suspend::Broken => {
+                        unreachable!("pool uses asynchronous resumption; cells never break")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
+    fn put(&self, mut element: E) {
+        loop {
+            let s = self.size.fetch_add(1, Ordering::SeqCst);
+            if s < 0 {
+                // Resume the first waiting taker; with smart cancellation
+                // and asynchronous resumption this cannot fail.
+                self.cqs
+                    .resume(element)
+                    .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
+                return;
+            }
+            match self.backend.try_insert(element) {
+                Ok(()) => return,
+                // A racing take() discovered our increment but broke the
+                // slot; its decrement and our increment cancel out, restart.
+                Err(e) => element = e,
+            }
+        }
+    }
+}
+
+impl<E: Send + 'static, B: PoolBackend<E>> std::fmt::Debug for BlockingPool<E, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockingPool")
+            .field("size", &self.shared.size.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    fn put_take_roundtrip<B: PoolBackend<u64> + Default>() {
+        let pool: BlockingPool<u64, B> = BlockingPool::new();
+        assert!(pool.is_empty());
+        pool.put(1);
+        pool.put(2);
+        assert_eq!(pool.len(), 2);
+        let a = pool.take().wait().unwrap();
+        let b = pool.take().wait().unwrap();
+        assert_eq!([a, b].iter().collect::<HashSet<_>>().len(), 2);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn queue_pool_roundtrip() {
+        put_take_roundtrip::<QueueBackend<u64>>();
+    }
+
+    #[test]
+    fn stack_pool_roundtrip() {
+        put_take_roundtrip::<StackBackend<u64>>();
+    }
+
+    #[test]
+    fn take_suspends_until_put() {
+        let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+        let mut f = pool.take();
+        assert_eq!(f.try_get(), cqs_core::FutureState::Pending);
+        pool.put(42);
+        assert_eq!(f.wait(), Ok(42));
+    }
+
+    #[test]
+    fn waiting_takers_are_fifo() {
+        let pool: QueuePool<u64> = QueuePool::new();
+        let f1 = pool.take();
+        let f2 = pool.take();
+        pool.put(1);
+        pool.put(2);
+        assert_eq!(f1.wait(), Ok(1));
+        assert_eq!(f2.wait(), Ok(2));
+    }
+
+    #[test]
+    fn stack_pool_returns_hottest_element() {
+        let pool: StackPool<u64> = StackPool::new();
+        pool.put(1);
+        pool.put(2);
+        assert_eq!(pool.take().wait(), Ok(2), "stack pool must be LIFO");
+    }
+
+    #[test]
+    fn cancelled_taker_is_skipped() {
+        let pool: QueuePool<u64> = QueuePool::new();
+        let f1 = pool.take();
+        let f2 = pool.take();
+        assert!(f1.cancel());
+        pool.put(9);
+        assert_eq!(f2.wait(), Ok(9));
+    }
+
+    #[test]
+    fn refused_resume_returns_element_to_pool() {
+        for _ in 0..100 {
+            let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+            let f = pool.take();
+            let p2 = Arc::clone(&pool);
+            let putter = std::thread::spawn(move || p2.put(5));
+            if !f.cancel() {
+                // The put resumed us first; return the element.
+                pool.put(f.wait().unwrap());
+            }
+            putter.join().unwrap();
+            // Whatever the interleaving, the element must be retrievable.
+            assert_eq!(pool.take().wait(), Ok(5));
+        }
+    }
+
+    #[test]
+    fn elements_conserved_under_concurrency() {
+        const THREADS: usize = 8;
+        const ELEMENTS: u64 = 4;
+        const OPS: usize = 2_000;
+        let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+        for e in 0..ELEMENTS {
+            pool.put(e);
+        }
+        let held = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            let held = Arc::clone(&held);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    let e = pool.take().wait().unwrap();
+                    let now = held.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= ELEMENTS as usize, "more elements in use than exist");
+                    held.fetch_sub(1, Ordering::SeqCst);
+                    pool.put(e);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // All elements are back and distinct.
+        let mut back = HashSet::new();
+        for _ in 0..ELEMENTS {
+            back.insert(pool.take().wait().unwrap());
+        }
+        assert_eq!(back.len(), ELEMENTS as usize, "elements lost or duplicated");
+    }
+
+    #[test]
+    fn conservation_with_cancellation_storm() {
+        const THREADS: usize = 6;
+        const ELEMENTS: u64 = 2;
+        const OPS: usize = 1_500;
+        let pool: Arc<StackPool<u64>> = Arc::new(StackPool::new());
+        for e in 0..ELEMENTS {
+            pool.put(e);
+        }
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let f = pool.take();
+                    if (i + t) % 3 == 0 && f.cancel() {
+                        continue;
+                    }
+                    let e = f.wait().unwrap();
+                    pool.put(e);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut back = HashSet::new();
+        for _ in 0..ELEMENTS {
+            back.insert(pool.take().wait().unwrap());
+        }
+        assert_eq!(back.len(), ELEMENTS as usize, "elements lost or duplicated");
+    }
+
+    #[test]
+    fn dropping_pool_with_waiters_is_safe() {
+        let pool: QueuePool<u64> = QueuePool::new();
+        let futures: Vec<_> = (0..4).map(|_| pool.take()).collect();
+        drop(pool);
+        for f in futures {
+            let _ = f.cancel();
+        }
+    }
+}

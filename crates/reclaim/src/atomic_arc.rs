@@ -1,0 +1,371 @@
+//! A lock-free, atomically swappable `Option<Arc<T>>` cell.
+//!
+//! The cell owns one strong reference to the stored value. Loads clone that
+//! reference (one atomic increment); stores/swaps/CASes replace the pointer
+//! and *defer* the release of the displaced reference through the epoch
+//! engine. Deferring is what makes [`AtomicArc::load`] sound: between reading
+//! the raw pointer and incrementing the strong count, the cell's own
+//! reference cannot be dropped, because every thread that could drop it is
+//! excluded by the loader's epoch pin.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use crate::Guard;
+
+/// An atomically swappable `Option<Arc<T>>`.
+///
+/// All operations are lock-free. Operations that can observe concurrent
+/// modification require an epoch [`Guard`], obtained from [`crate::pin`] or
+/// a [`crate::LocalHandle`]. All collaborating threads must pin the **same**
+/// collector (the free function [`crate::pin`] always does).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs_reclaim::{pin, AtomicArc};
+///
+/// let cell: AtomicArc<&str> = AtomicArc::new(None);
+/// let guard = pin();
+/// assert!(cell
+///     .compare_exchange_null(Arc::new("hello"), &guard)
+///     .is_ok());
+/// assert_eq!(*cell.load(&guard).unwrap(), "hello");
+/// ```
+pub struct AtomicArc<T> {
+    ptr: AtomicPtr<T>,
+    _marker: PhantomData<Option<Arc<T>>>,
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones across threads, which is what
+// `Arc` itself requires `T: Send + Sync` for.
+unsafe impl<T: Send + Sync> Send for AtomicArc<T> {}
+unsafe impl<T: Send + Sync> Sync for AtomicArc<T> {}
+
+fn into_ptr<T>(value: Option<Arc<T>>) -> *mut T {
+    match value {
+        Some(arc) => Arc::into_raw(arc) as *mut T,
+        None => ptr::null_mut(),
+    }
+}
+
+/// Reconstructs ownership of the reference held behind `ptr`.
+///
+/// # Safety
+///
+/// `ptr` must be null or a pointer produced by [`into_ptr`] whose reference
+/// has not yet been released.
+unsafe fn from_ptr<T>(ptr: *mut T) -> Option<Arc<T>> {
+    if ptr.is_null() {
+        None
+    } else {
+        Some(Arc::from_raw(ptr))
+    }
+}
+
+impl<T: Send + Sync + 'static> AtomicArc<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Option<Arc<T>>) -> Self {
+        AtomicArc {
+            ptr: AtomicPtr::new(into_ptr(value)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty cell.
+    pub fn null() -> Self {
+        Self::new(None)
+    }
+
+    /// Returns the current raw pointer. Useful for pointer-identity checks
+    /// (e.g. CAS loops); dereferencing it is not safe in general.
+    pub fn load_ptr(&self, _guard: &Guard) -> *const T {
+        self.ptr.load(Ordering::Acquire)
+    }
+
+    /// Returns a clone of the stored reference, or `None` if empty.
+    pub fn load(&self, _guard: &Guard) -> Option<Arc<T>> {
+        let p = self.ptr.load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: `p` was produced by `Arc::into_raw` and the reference the
+        // cell held at the moment of the load is released only through an
+        // epoch-deferred drop, which cannot run while `_guard` pins us. The
+        // strong count is therefore >= 1 here.
+        unsafe {
+            Arc::increment_strong_count(p);
+            Some(Arc::from_raw(p))
+        }
+    }
+
+    /// Replaces the stored reference with `value`, releasing the previous
+    /// reference after a grace period.
+    pub fn store(&self, value: Option<Arc<T>>, guard: &Guard) {
+        let old = self.ptr.swap(into_ptr(value), Ordering::AcqRel);
+        defer_release(old, guard);
+    }
+
+    /// Replaces the stored reference with `value` and returns the previous
+    /// one.
+    pub fn swap(&self, value: Option<Arc<T>>, guard: &Guard) -> Option<Arc<T>> {
+        let old = self.ptr.swap(into_ptr(value), Ordering::AcqRel);
+        if old.is_null() {
+            return None;
+        }
+        // SAFETY: same argument as in `load`; we return a *new* reference to
+        // the caller and defer the release of the cell's original one, so
+        // concurrent in-flight loads of `old` stay sound.
+        let result = unsafe {
+            Arc::increment_strong_count(old);
+            Arc::from_raw(old)
+        };
+        defer_release(old, guard);
+        Some(result)
+    }
+
+    /// Stores `new` if the current pointer equals `current` (pointer
+    /// identity). On failure returns `new` back along with the actual
+    /// current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the rejected `new` value if the cell did not
+    /// contain `current`.
+    pub fn compare_exchange(
+        &self,
+        current: *const T,
+        new: Option<Arc<T>>,
+        guard: &Guard,
+    ) -> Result<(), Option<Arc<T>>> {
+        let new_ptr = into_ptr(new);
+        match self.ptr.compare_exchange(
+            current as *mut T,
+            new_ptr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(old) => {
+                defer_release(old, guard);
+                Ok(())
+            }
+            Err(_) => {
+                // SAFETY: `new_ptr` came from `into_ptr(new)` above and was
+                // never published.
+                Err(unsafe { from_ptr(new_ptr) })
+            }
+        }
+    }
+
+    /// Stores `new` only if the cell is currently empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the rejected value if the cell was non-empty.
+    pub fn compare_exchange_null(&self, new: Arc<T>, guard: &Guard) -> Result<(), Arc<T>> {
+        self.compare_exchange(ptr::null(), Some(new), guard)
+            .map_err(|v| v.expect("non-null value was passed in"))
+    }
+
+    /// Takes the stored reference out, leaving the cell empty.
+    pub fn take(&self, guard: &Guard) -> Option<Arc<T>> {
+        self.swap(None, guard)
+    }
+}
+
+fn defer_release<T: Send + Sync + 'static>(old: *mut T, guard: &Guard) {
+    if old.is_null() {
+        return;
+    }
+    let old = old as usize;
+    guard.defer(move || {
+        // SAFETY: this reference was owned by the cell and displaced by the
+        // operation that deferred us; nothing else releases it.
+        unsafe { drop(Arc::from_raw(old as *const T)) }
+    });
+}
+
+impl<T> Drop for AtomicArc<T> {
+    fn drop(&mut self) {
+        let p = *self.ptr.get_mut();
+        if !p.is_null() {
+            // SAFETY: we have exclusive access; the cell owns this reference.
+            unsafe { drop(Arc::from_raw(p)) }
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Default for AtomicArc<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicArc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.ptr.load(Ordering::Relaxed);
+        f.debug_struct("AtomicArc").field("ptr", &p).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pin, Collector};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Tracked {
+        value: usize,
+        drops: Arc<AtomicUsize>,
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_of_empty_cell_is_none() {
+        let cell: AtomicArc<u32> = AtomicArc::null();
+        assert!(cell.load(&pin()).is_none());
+        assert!(cell.load_ptr(&pin()).is_null());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let cell = AtomicArc::new(Some(Arc::new(7)));
+        let guard = pin();
+        assert_eq!(*cell.load(&guard).unwrap(), 7);
+        cell.store(Some(Arc::new(8)), &guard);
+        assert_eq!(*cell.load(&guard).unwrap(), 8);
+        cell.store(None, &guard);
+        assert!(cell.load(&guard).is_none());
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = AtomicArc::new(Some(Arc::new(1)));
+        let guard = pin();
+        let old = cell.swap(Some(Arc::new(2)), &guard).unwrap();
+        assert_eq!(*old, 1);
+        let old = cell.take(&guard).unwrap();
+        assert_eq!(*old, 2);
+        assert!(cell.take(&guard).is_none());
+    }
+
+    #[test]
+    fn compare_exchange_by_pointer_identity() {
+        let first = Arc::new(10);
+        let cell = AtomicArc::new(Some(Arc::clone(&first)));
+        let guard = pin();
+        let p = cell.load_ptr(&guard);
+        assert_eq!(p, Arc::as_ptr(&first));
+
+        // Wrong expected pointer: rejected, value handed back.
+        let rejected = cell
+            .compare_exchange(ptr::null(), Some(Arc::new(11)), &guard)
+            .unwrap_err()
+            .unwrap();
+        assert_eq!(*rejected, 11);
+
+        // Correct expected pointer: accepted.
+        cell.compare_exchange(p, Some(Arc::new(12)), &guard)
+            .unwrap();
+        assert_eq!(*cell.load(&guard).unwrap(), 12);
+    }
+
+    #[test]
+    fn compare_exchange_null_installs_once() {
+        let cell: AtomicArc<u32> = AtomicArc::null();
+        let guard = pin();
+        cell.compare_exchange_null(Arc::new(5), &guard).unwrap();
+        let err = cell.compare_exchange_null(Arc::new(6), &guard).unwrap_err();
+        assert_eq!(*err, 6);
+        assert_eq!(*cell.load(&guard).unwrap(), 5);
+    }
+
+    #[test]
+    fn every_reference_is_eventually_dropped() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::new();
+        let handle = collector.register();
+        {
+            let cell = AtomicArc::new(Some(Arc::new(Tracked {
+                value: 0,
+                drops: Arc::clone(&drops),
+            })));
+            for i in 1..100usize {
+                let guard = handle.pin();
+                let loaded = cell.load(&guard).unwrap();
+                assert_eq!(loaded.value, i - 1);
+                cell.store(
+                    Some(Arc::new(Tracked {
+                        value: i,
+                        drops: Arc::clone(&drops),
+                    })),
+                    &guard,
+                );
+            }
+            drop(cell);
+        }
+        collector.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrent_load_swap_stress() {
+        const THREADS: usize = 8;
+        const OPS: usize = 5_000;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let created = Arc::new(AtomicUsize::new(0));
+        let collector = Arc::new(Collector::new());
+        let cell = Arc::new(AtomicArc::new(Some(Arc::new(Tracked {
+            value: usize::MAX,
+            drops: Arc::clone(&drops),
+        }))));
+        created.fetch_add(1, Ordering::SeqCst);
+
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let cell = Arc::clone(&cell);
+            let drops = Arc::clone(&drops);
+            let created = Arc::clone(&created);
+            let collector = Arc::clone(&collector);
+            joins.push(std::thread::spawn(move || {
+                let handle = collector.register();
+                for i in 0..OPS {
+                    let guard = handle.pin();
+                    if (i + t) % 3 == 0 {
+                        created.fetch_add(1, Ordering::SeqCst);
+                        cell.swap(
+                            Some(Arc::new(Tracked {
+                                value: i,
+                                drops: Arc::clone(&drops),
+                            })),
+                            &guard,
+                        );
+                    } else {
+                        // Loads must always observe a live value.
+                        let v = cell.load(&guard).expect("cell never empty");
+                        assert!(v.value == usize::MAX || v.value < OPS);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        drop(cell);
+        // `cell` was shared via Arc; the inner AtomicArc has been dropped by
+        // the last owner above. Flush deferred releases.
+        collector.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            created.load(Ordering::SeqCst),
+            "leaked or double-dropped references"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! A barrier on top of CQS (paper, §4.1, Listing 6).
+//!
+//! All parties call [`Barrier::arrive`]; the last arrival resumes everyone.
+//! Like the paper's (and Java's) implementation, the barrier does not
+//! support cancellation: resuming a set of waiters atomically is impossible
+//! with real primitives, so an arrived party counts toward the barrier even
+//! if its caller lost interest. The returned [`BarrierFuture`] therefore
+//! exposes no `cancel`.
+//!
+//! For phased workloads, [`CyclicBarrier`] layers generation counting on top
+//! so the same object can be reused round after round (an extension beyond
+//! the paper's single-shot listing, matching the Java baseline's
+//! reusability).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use cqs_core::{Cqs, CqsConfig, CqsFuture, SimpleCancellation};
+
+/// A single-use barrier for a fixed number of parties.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs_sync::Barrier;
+///
+/// let barrier = Arc::new(Barrier::new(4));
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let barrier = Arc::clone(&barrier);
+///         std::thread::spawn(move || barrier.arrive().wait())
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Barrier {
+    parties: usize,
+    remaining: AtomicI64,
+    cqs: Cqs<(), SimpleCancellation>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        Barrier {
+            parties,
+            remaining: AtomicI64::new(parties as i64),
+            cqs: Cqs::new(CqsConfig::new(), SimpleCancellation),
+        }
+    }
+
+    /// The number of parties this barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Registers the caller's arrival. The future completes once all
+    /// `parties` have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `parties` times.
+    pub fn arrive(&self) -> BarrierFuture {
+        let r = self.remaining.fetch_sub(1, Ordering::SeqCst);
+        assert!(r > 0, "barrier arrive() called more times than parties");
+        if r > 1 {
+            return BarrierFuture {
+                inner: self.cqs.suspend().expect_future(),
+            };
+        }
+        // Last arrival: wake everyone who suspended before us.
+        for _ in 0..self.parties - 1 {
+            self.cqs
+                .resume(())
+                .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+        }
+        BarrierFuture {
+            inner: CqsFuture::immediate(()),
+        }
+    }
+}
+
+/// The pending side of a [`Barrier::arrive`]; completes when all parties
+/// have arrived. Deliberately not cancellable (see module docs).
+#[derive(Debug)]
+pub struct BarrierFuture {
+    inner: CqsFuture<()>,
+}
+
+impl BarrierFuture {
+    /// Blocks until all parties have arrived.
+    pub fn wait(self) {
+        self.inner
+            .wait()
+            .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+    }
+
+    /// Whether the caller was the last to arrive (no suspension happened).
+    pub fn is_immediate(&self) -> bool {
+        self.inner.is_immediate()
+    }
+}
+
+impl std::future::Future for BarrierFuture {
+    type Output = ();
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        std::pin::Pin::new(&mut self.inner)
+            .poll(cx)
+            .map(|r| r.unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled")))
+    }
+}
+
+/// A reusable barrier: after all parties pass, the next round begins
+/// automatically.
+///
+/// Rounds alternate between two CQS queues (`queues[round % 2]`). This is
+/// what makes reuse sound: the barrier's arrival counter and the queue's
+/// suspension counter cannot be incremented atomically together, so with a
+/// single queue a fast thread entering round `r + 1` could suspend *before*
+/// a slow thread of round `r` and steal its wake-up — and since the fast
+/// thread may finish all its rounds early, the stolen wake-up is never
+/// repaid. With alternating queues the thief would have to come from round
+/// `r + 2`, which cannot start before every round-`r` waiter was resumed
+/// (passing round `r + 1` requires all parties to have passed round `r`),
+/// at which point the queue is drained and balanced again.
+#[derive(Debug)]
+pub struct CyclicBarrier {
+    parties: usize,
+    /// Arrivals counted across all generations; generation = count / parties.
+    arrivals: AtomicI64,
+    queues: [Cqs<(), SimpleCancellation>; 2],
+}
+
+impl CyclicBarrier {
+    /// Creates a reusable barrier for `parties` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        CyclicBarrier {
+            parties,
+            arrivals: AtomicI64::new(0),
+            queues: [
+                Cqs::new(CqsConfig::new(), SimpleCancellation),
+                Cqs::new(CqsConfig::new(), SimpleCancellation),
+            ],
+        }
+    }
+
+    /// The number of parties per round.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Arrives at the current round's synchronization point; the future
+    /// completes when all parties of this round have arrived.
+    pub fn arrive(&self) -> BarrierFuture {
+        let a = self.arrivals.fetch_add(1, Ordering::SeqCst);
+        let position = (a as usize) % self.parties;
+        let round = (a as usize) / self.parties;
+        let cqs = &self.queues[round % 2];
+        if position + 1 < self.parties {
+            return BarrierFuture {
+                inner: cqs.suspend().expect_future(),
+            };
+        }
+        for _ in 0..self.parties - 1 {
+            cqs.resume(())
+                .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+        }
+        BarrierFuture {
+            inner: CqsFuture::immediate(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_waits() {
+        let b = Barrier::new(1);
+        assert!(b.arrive().is_immediate());
+    }
+
+    #[test]
+    #[should_panic(expected = "more times than parties")]
+    fn over_arrival_panics() {
+        let b = Barrier::new(1);
+        b.arrive().wait();
+        let _over = b.arrive();
+    }
+
+    #[test]
+    fn all_parties_meet() {
+        const PARTIES: usize = 8;
+        let b = Arc::new(Barrier::new(PARTIES));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..PARTIES {
+            let b = Arc::clone(&b);
+            let arrived = Arc::clone(&arrived);
+            joins.push(std::thread::spawn(move || {
+                arrived.fetch_add(1, Ordering::SeqCst);
+                b.arrive().wait();
+                // Everybody must have arrived by the time anyone passes.
+                assert_eq!(arrived.load(Ordering::SeqCst), PARTIES);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cyclic_barrier_runs_many_rounds() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 200;
+        let b = Arc::new(CyclicBarrier::new(PARTIES));
+        let in_round = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..PARTIES {
+            let b = Arc::clone(&b);
+            let in_round = Arc::clone(&in_round);
+            joins.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    in_round.fetch_add(1, Ordering::SeqCst);
+                    b.arrive().wait();
+                    // No thread can be more than one round ahead.
+                    let seen = in_round.load(Ordering::SeqCst);
+                    assert!(
+                        seen >= (round + 1) * PARTIES,
+                        "passed the barrier before all parties arrived"
+                    );
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(in_round.load(Ordering::SeqCst), PARTIES * ROUNDS);
+    }
+
+    /// Regression test for the round-stealing race: two parties, no work
+    /// between rounds, tens of thousands of rounds. With a single shared
+    /// queue this deadlocks within seconds (a fast thread's next-round
+    /// suspend steals the slow thread's wake-up); the alternating-queue
+    /// design must survive indefinitely. A watchdog fails fast instead of
+    /// hanging the suite.
+    #[test]
+    fn tight_reentry_two_parties_never_deadlocks() {
+        const ROUNDS: usize = 30_000;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let runner = std::thread::spawn(move || {
+            let b = Arc::new(CyclicBarrier::new(2));
+            let mut joins = Vec::new();
+            for _ in 0..2 {
+                let b = Arc::clone(&b);
+                joins.push(std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        b.arrive().wait();
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("cyclic barrier deadlocked in the tight re-entry loop");
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn async_await_integration() {
+        let b = Barrier::new(2);
+        let f1 = b.arrive();
+        let f2 = b.arrive();
+        assert!(f2.is_immediate());
+        f1.wait();
+        f2.wait();
+    }
+}

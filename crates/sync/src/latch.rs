@@ -1,0 +1,333 @@
+//! A count-down latch on top of CQS with smart cancellation (paper, §4.2,
+//! Listing 7).
+//!
+//! The latch is initialized with a count; [`CountDownLatch::count_down`]
+//! decrements it and the decrement that reaches zero resumes every waiter.
+//! [`CountDownLatch::wait`]/[`CountDownLatch::await_ready`] suspend until
+//! then. Thanks to smart cancellation, the final wake-up pass costs time
+//! proportional to the number of *live* waiters, not to every `await` ever
+//! made.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cqs_core::{
+    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, SimpleCancellation,
+};
+
+const DONE_BIT: u64 = 1 << 63;
+
+#[derive(Debug)]
+struct LatchCallbacks {
+    waiters: Arc<AtomicU64>,
+}
+
+impl CqsCallbacks<()> for LatchCallbacks {
+    fn on_cancellation(&self) -> bool {
+        // Deregister the waiter; if the DONE_BIT is already set, a
+        // concurrent resumeWaiters() is going to resume this cell, so the
+        // corresponding resume must be refused instead.
+        let w = self.waiters.fetch_sub(1, Ordering::SeqCst);
+        w & DONE_BIT == 0
+    }
+
+    fn complete_refused_resume(&self, _token: ()) {
+        // Nothing to do: the refused token carried no resource.
+    }
+}
+
+/// A synchronization aid allowing threads to wait until a set of operations
+/// completes.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs_sync::CountDownLatch;
+///
+/// let latch = Arc::new(CountDownLatch::new(3));
+/// let workers: Vec<_> = (0..3)
+///     .map(|_| {
+///         let latch = Arc::clone(&latch);
+///         std::thread::spawn(move || latch.count_down())
+///     })
+///     .collect();
+/// latch.wait().unwrap();
+/// assert_eq!(latch.count(), 0);
+/// for w in workers {
+///     w.join().unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CountDownLatch {
+    count: AtomicI64,
+    waiters: Arc<AtomicU64>,
+    cqs: Cqs<(), LatchCallbacks>,
+}
+
+impl CountDownLatch {
+    /// Creates a latch that opens after `count` calls to
+    /// [`count_down`](Self::count_down).
+    pub fn new(count: usize) -> Self {
+        let waiters = Arc::new(AtomicU64::new(0));
+        let cqs = Cqs::new(
+            CqsConfig::new().cancellation_mode(CancellationMode::Smart),
+            LatchCallbacks {
+                waiters: Arc::clone(&waiters),
+            },
+        );
+        CountDownLatch {
+            count: AtomicI64::new(count as i64),
+            waiters,
+            cqs,
+        }
+    }
+
+    /// The number of operations still to be completed (zero once open).
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// Records one completed operation; the call that brings the count to
+    /// zero resumes all waiters. Like the paper's version, extra calls
+    /// beyond the initial count are permitted and have no effect.
+    pub fn count_down(&self) {
+        let r = self.count.fetch_sub(1, Ordering::SeqCst);
+        if r <= 1 {
+            self.resume_waiters();
+        }
+    }
+
+    /// Returns a future that completes once the count reaches zero. Cancel
+    /// it to abort waiting.
+    pub fn await_ready(&self) -> CqsFuture<()> {
+        if self.count.load(Ordering::SeqCst) <= 0 {
+            return CqsFuture::immediate(());
+        }
+        let w = self.waiters.fetch_add(1, Ordering::SeqCst);
+        if w & DONE_BIT != 0 {
+            return CqsFuture::immediate(());
+        }
+        self.cqs.suspend().expect_future()
+    }
+
+    /// Blocks until the count reaches zero.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`CqsFuture::wait`].
+    pub fn wait(&self) -> Result<(), Cancelled> {
+        self.await_ready().wait()
+    }
+
+    /// Blocks until the count reaches zero or `timeout` elapses (the queued
+    /// wait is aborted on timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed first.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<(), Cancelled> {
+        self.await_ready().wait_timeout(timeout)
+    }
+
+    fn resume_waiters(&self) {
+        loop {
+            let w = self.waiters.load(Ordering::SeqCst);
+            if w & DONE_BIT != 0 {
+                return; // someone else is resuming
+            }
+            if self
+                .waiters
+                .compare_exchange(w, w | DONE_BIT, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                for _ in 0..w {
+                    self.cqs
+                        .resume(())
+                        .unwrap_or_else(|_| unreachable!("smart resume cannot fail"));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A simpler latch variant using *simple* cancellation, retained for the
+/// cancellation-mode ablation benchmark: functionally identical, but the
+/// final wake-up pass pays for every cancelled waiter (paper, §4.2
+/// "the simplest way to support cancellation is to do nothing").
+#[derive(Debug)]
+pub struct SimpleCancelLatch {
+    count: AtomicI64,
+    waiters: Arc<AtomicU64>,
+    cqs: Cqs<(), SimpleCancellation>,
+}
+
+impl SimpleCancelLatch {
+    /// Creates a latch that opens after `count` calls to
+    /// [`count_down`](Self::count_down).
+    pub fn new(count: usize) -> Self {
+        SimpleCancelLatch {
+            count: AtomicI64::new(count as i64),
+            waiters: Arc::new(AtomicU64::new(0)),
+            cqs: Cqs::new(CqsConfig::new(), SimpleCancellation),
+        }
+    }
+
+    /// Records one completed operation.
+    pub fn count_down(&self) {
+        let r = self.count.fetch_sub(1, Ordering::SeqCst);
+        if r <= 1 {
+            loop {
+                let w = self.waiters.load(Ordering::SeqCst);
+                if w & DONE_BIT != 0 {
+                    return;
+                }
+                if self
+                    .waiters
+                    .compare_exchange(w, w | DONE_BIT, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    for _ in 0..w {
+                        // Simple cancellation: resumes targeting cancelled
+                        // waiters fail; that is fine, the token is void.
+                        let _ = self.cqs.resume(());
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Returns a future that completes once the count reaches zero.
+    pub fn await_ready(&self) -> CqsFuture<()> {
+        if self.count.load(Ordering::SeqCst) <= 0 {
+            return CqsFuture::immediate(());
+        }
+        let w = self.waiters.fetch_add(1, Ordering::SeqCst);
+        if w & DONE_BIT != 0 {
+            return CqsFuture::immediate(());
+        }
+        self.cqs.suspend().expect_future()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn opens_at_zero() {
+        let latch = CountDownLatch::new(2);
+        assert_eq!(latch.count(), 2);
+        latch.count_down();
+        assert_eq!(latch.count(), 1);
+        latch.count_down();
+        assert_eq!(latch.count(), 0);
+        latch.wait().unwrap();
+    }
+
+    #[test]
+    fn zero_count_is_open_immediately() {
+        let latch = CountDownLatch::new(0);
+        assert!(latch.await_ready().is_immediate());
+    }
+
+    #[test]
+    fn extra_count_downs_are_harmless() {
+        let latch = CountDownLatch::new(1);
+        latch.count_down();
+        latch.count_down();
+        latch.wait().unwrap();
+    }
+
+    #[test]
+    fn waiters_resume_after_open() {
+        const WAITERS: usize = 6;
+        let latch = Arc::new(CountDownLatch::new(3));
+        let released = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..WAITERS {
+            let latch = Arc::clone(&latch);
+            let released = Arc::clone(&released);
+            joins.push(std::thread::spawn(move || {
+                latch.wait().unwrap();
+                released.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(latch.count(), 0, "released before the count hit zero");
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        latch.count_down();
+        latch.count_down();
+        latch.count_down();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), WAITERS);
+    }
+
+    #[test]
+    fn cancelled_waiters_are_skipped() {
+        let latch = Arc::new(CountDownLatch::new(1));
+        let f1 = latch.await_ready();
+        let f2 = latch.await_ready();
+        assert!(f1.cancel());
+        latch.count_down();
+        assert_eq!(f2.wait(), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_racing_the_open_is_safe() {
+        for _ in 0..100 {
+            let latch = Arc::new(CountDownLatch::new(1));
+            let f = latch.await_ready();
+            let l2 = Arc::clone(&latch);
+            let opener = std::thread::spawn(move || l2.count_down());
+            let _ = f.cancel();
+            opener.join().unwrap();
+            // A fresh waiter must always complete.
+            latch.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn simple_latch_variant_works() {
+        let latch = Arc::new(SimpleCancelLatch::new(1));
+        let f1 = latch.await_ready();
+        let f2 = latch.await_ready();
+        assert!(f1.cancel());
+        latch.count_down();
+        // f2 still completes: the resume aimed at the cancelled f1 fails
+        // silently, and a second resume targets f2.
+        assert_eq!(f2.wait(), Ok(()));
+    }
+
+    #[test]
+    fn mass_cancel_then_open() {
+        const WAITERS: usize = 500;
+        let latch = Arc::new(CountDownLatch::new(1));
+        let futures: Vec<_> = (0..WAITERS).map(|_| latch.await_ready()).collect();
+        for f in &futures[..WAITERS - 1] {
+            assert!(f.cancel());
+        }
+        latch.count_down();
+        assert_eq!(futures.into_iter().next_back().unwrap().wait(), Ok(()));
+    }
+}
+
+#[cfg(test)]
+mod timeout_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_timeout_expires_then_opens() {
+        let latch = CountDownLatch::new(1);
+        assert!(latch.wait_timeout(Duration::from_millis(10)).is_err());
+        latch.count_down();
+        latch.wait_timeout(Duration::from_millis(100)).unwrap();
+    }
+}

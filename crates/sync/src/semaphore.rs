@@ -1,0 +1,430 @@
+//! A fair, abortable counting semaphore on top of CQS (paper, §4.3 and
+//! Appendix D, Listing 16).
+//!
+//! The entire algorithm is the `state` counter plus three-line
+//! `acquire`/`release` bodies — everything difficult lives in the CQS.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use cqs_core::{
+    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
+};
+
+/// Semaphore state shared with the smart-cancellation callbacks:
+/// `state >= 0` is the number of available permits, `state < 0` the negated
+/// number of waiters.
+#[derive(Debug)]
+struct SemaphoreCallbacks {
+    state: Arc<AtomicI64>,
+}
+
+impl CqsCallbacks<()> for SemaphoreCallbacks {
+    fn on_cancellation(&self) -> bool {
+        // Either increment the number of available permits or decrement the
+        // number of waiters. If a waiter was deregistered (s < 0) the
+        // cancellation completes; otherwise a concurrent release() is bound
+        // to resume this waiter and must be refused — the permit is already
+        // back in `state`.
+        let s = self.state.fetch_add(1, Ordering::SeqCst);
+        s < 0
+    }
+
+    fn complete_refused_resume(&self, _permit: ()) {
+        // The permit was returned to `state` by on_cancellation already.
+    }
+}
+
+/// A fair counting semaphore: at most `permits` holders at a time, waiters
+/// served in FIFO order, waiting abortable at any time.
+///
+/// Create it with [`Semaphore::new`] (asynchronous resumption — fastest) or
+/// [`Semaphore::new_sync`] (synchronous resumption — enables
+/// [`try_acquire`](Semaphore::try_acquire), see the paper's Appendix B for
+/// why non-blocking acquisition requires the synchronous mode).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs_sync::Semaphore;
+///
+/// let semaphore = Arc::new(Semaphore::new(2));
+/// semaphore.acquire().wait().unwrap();
+/// semaphore.acquire().wait().unwrap();
+/// // Third acquirer would wait; release first.
+/// semaphore.release();
+/// semaphore.acquire().wait().unwrap();
+/// # semaphore.release(); semaphore.release();
+/// ```
+#[derive(Debug)]
+pub struct Semaphore {
+    state: Arc<AtomicI64>,
+    cqs: Cqs<(), SemaphoreCallbacks>,
+    permits: usize,
+    sync_mode: bool,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` permits using asynchronous
+    /// resumption (the default, fastest mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new(permits: usize) -> Self {
+        Self::with_mode(permits, ResumeMode::Asynchronous)
+    }
+
+    /// Creates a semaphore using synchronous resumption, which additionally
+    /// supports [`try_acquire`](Semaphore::try_acquire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new_sync(permits: usize) -> Self {
+        Self::with_mode(permits, ResumeMode::Synchronous)
+    }
+
+    fn with_mode(permits: usize, mode: ResumeMode) -> Self {
+        assert!(permits > 0, "a semaphore needs at least one permit");
+        let state = Arc::new(AtomicI64::new(permits as i64));
+        let cqs = Cqs::new(
+            CqsConfig::new()
+                .resume_mode(mode)
+                .cancellation_mode(CancellationMode::Smart),
+            SemaphoreCallbacks {
+                state: Arc::clone(&state),
+            },
+        );
+        Semaphore {
+            state,
+            cqs,
+            permits,
+            sync_mode: mode == ResumeMode::Synchronous,
+        }
+    }
+
+    /// The number of permits this semaphore was created with.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// A snapshot of the number of currently available permits (zero if
+    /// there are waiters).
+    pub fn available_permits(&self) -> usize {
+        self.state.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// Acquires a permit: completes immediately if one is available,
+    /// otherwise returns a future completed by a future
+    /// [`release`](Semaphore::release) in FIFO order. Cancel the future to
+    /// abort waiting.
+    pub fn acquire(&self) -> CqsFuture<()> {
+        loop {
+            let s = self.state.fetch_sub(1, Ordering::SeqCst);
+            if s > 0 {
+                return CqsFuture::immediate(());
+            }
+            match self.cqs.suspend() {
+                Suspend::Future(f) => return f,
+                // Synchronous mode: the rendezvous failed; restart.
+                Suspend::Broken => {
+                    std::thread::yield_now();
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Blocking convenience: acquires a permit and returns a guard that
+    /// releases it on drop.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (acquisition is only aborted through a
+    /// cancelled future, which this method does not expose); the `Result`
+    /// mirrors [`CqsFuture::wait`].
+    pub fn acquire_blocking(&self) -> Result<SemaphoreGuard<'_>, Cancelled> {
+        self.acquire().wait()?;
+        Ok(SemaphoreGuard { semaphore: self })
+    }
+
+    /// Blocking convenience with a deadline: acquires a permit or aborts
+    /// the queued request after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed first.
+    pub fn acquire_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<SemaphoreGuard<'_>, Cancelled> {
+        self.acquire().wait_timeout(timeout)?;
+        Ok(SemaphoreGuard { semaphore: self })
+    }
+
+    /// Attempts to take a permit without waiting.
+    ///
+    /// Returns `true` if a permit was acquired. Only available on
+    /// semaphores created with [`Semaphore::new_sync`]: with asynchronous
+    /// resumption a released permit may transiently live inside the CQS
+    /// where `try_acquire` cannot see it, making the operation incorrect
+    /// (paper, Appendix B, Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the semaphore uses asynchronous resumption.
+    pub fn try_acquire(&self) -> bool {
+        assert!(
+            self.sync_mode,
+            "try_acquire requires a semaphore created with Semaphore::new_sync"
+        );
+        let mut s = self.state.load(Ordering::SeqCst);
+        while s > 0 {
+            match self
+                .state
+                .compare_exchange(s, s - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(actual) => s = actual,
+            }
+        }
+        false
+    }
+
+    /// Returns a permit, resuming the first waiter if there is one.
+    pub fn release(&self) {
+        loop {
+            let s = self.state.fetch_add(1, Ordering::SeqCst);
+            debug_assert!(
+                s < self.permits as i64,
+                "released more permits than were acquired"
+            );
+            if s >= 0 {
+                return;
+            }
+            // There is a waiter; try to resume it. With smart cancellation
+            // and asynchronous resumption this never fails; in synchronous
+            // mode a broken rendezvous makes us restart.
+            if self.cqs.resume(()).is_ok() {
+                return;
+            }
+            // Synchronous mode: the rendezvous broke; give the lagging
+            // suspender a chance to run before retrying.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// RAII guard returned by [`Semaphore::acquire_blocking`]; releases the
+/// permit when dropped.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.semaphore.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_are_counted() {
+        let s = Semaphore::new(3);
+        assert_eq!(s.permits(), 3);
+        assert_eq!(s.available_permits(), 3);
+        s.acquire().wait().unwrap();
+        assert_eq!(s.available_permits(), 2);
+        s.release();
+        assert_eq!(s.available_permits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permit")]
+    fn zero_permits_rejected() {
+        let _ = Semaphore::new(0);
+    }
+
+    #[test]
+    fn acquire_suspends_when_exhausted() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let mut f = s.acquire();
+        assert!(!f.is_immediate());
+        assert_eq!(f.try_get(), cqs_core::FutureState::Pending);
+        s.release();
+        assert_eq!(f.wait(), Ok(()));
+    }
+
+    #[test]
+    fn fifo_handoff() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let waiters: Vec<_> = (0..4).map(|_| s.acquire()).collect();
+        let order = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for (i, f) in waiters.into_iter().enumerate() {
+            let order = Arc::clone(&order);
+            let s = Arc::clone(&s);
+            joins.push(std::thread::spawn(move || {
+                f.wait().unwrap();
+                let at = order.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(at, i, "FIFO violated: waiter {i} resumed {at}th");
+                s.release();
+            }));
+        }
+        s.release();
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_waiter_slot() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let f1 = s.acquire();
+        let f2 = s.acquire();
+        assert!(f1.cancel());
+        // f2 is now first in line.
+        s.release();
+        assert_eq!(f2.wait(), Ok(()));
+        s.release();
+        assert_eq!(s.available_permits(), 1);
+    }
+
+    #[test]
+    fn cancel_last_waiter_refuses_release() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let f = s.acquire();
+        // Race-free sequential version: release first (permit destined for
+        // f), then cancel. The cancellation must refuse the resume and keep
+        // the permit.
+        let s2 = Arc::clone(&s);
+        let releaser = std::thread::spawn(move || s2.release());
+        if !f.cancel() {
+            // The release resumed the waiter before the cancellation landed;
+            // the future owns the permit, so give it back.
+            f.wait().unwrap();
+            s.release();
+        }
+        releaser.join().unwrap();
+        // However the race resolves, exactly one permit must exist.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(s.available_permits(), 1);
+    }
+
+    #[test]
+    fn try_acquire_requires_sync_mode() {
+        let s = Semaphore::new_sync(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    #[should_panic(expected = "try_acquire requires")]
+    fn try_acquire_panics_in_async_mode() {
+        let s = Semaphore::new(1);
+        let _ = s.try_acquire();
+    }
+
+    #[test]
+    fn sync_mode_acquire_release_roundtrip() {
+        let s = Arc::new(Semaphore::new_sync(2));
+        let mut joins = Vec::new();
+        let inside = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    s.acquire().wait().unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= 2, "semaphore admitted {now} > 2 holders");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    s.release();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(s.available_permits(), 2);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let s = Semaphore::new(1);
+        {
+            let _g = s.acquire_blocking().unwrap();
+            assert_eq!(s.available_permits(), 0);
+        }
+        assert_eq!(s.available_permits(), 1);
+    }
+
+    /// The paper's key invariant: never more than K holders, even under a
+    /// storm of cancellations racing with releases.
+    #[test]
+    fn mutual_exclusion_under_cancellation_storm() {
+        const K: usize = 2;
+        const THREADS: usize = 8;
+        const OPS: usize = 1_000;
+        let s = Arc::new(Semaphore::new(K));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let s = Arc::clone(&s);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let f = s.acquire();
+                    // Occasionally try to abort the acquisition.
+                    if (i + t) % 5 == 0 && f.cancel() {
+                        continue;
+                    }
+                    f.wait().unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= K, "semaphore admitted {now} > {K} holders");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    s.release();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // All permits must be back.
+        for _ in 0..K {
+            assert!(s.acquire().wait().is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod timeout_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn acquire_timeout_expires_and_recovers() {
+        let s = Semaphore::new(1);
+        let held = s.acquire_blocking().unwrap();
+        assert!(s.acquire_timeout(Duration::from_millis(10)).is_err());
+        drop(held);
+        let g = s.acquire_timeout(Duration::from_millis(100)).unwrap();
+        drop(g);
+        assert_eq!(s.available_permits(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! A database-connection pool: the paper's motivating scenario for blocking
+//! pools (§4.4) — expensive resources shared among many workers, with
+//! timeouts implemented as cancellation.
+//!
+//! Run with: `cargo run --example connection_pool`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cqs::QueuePool;
+
+/// A stand-in for an expensive resource (socket, DB connection, ...).
+#[derive(Debug)]
+struct Connection {
+    id: u32,
+    queries_served: u64,
+}
+
+impl Connection {
+    fn connect(id: u32) -> Self {
+        // Imagine a TCP handshake here.
+        Connection {
+            id,
+            queries_served: 0,
+        }
+    }
+
+    fn query(&mut self, q: &str) -> String {
+        self.queries_served += 1;
+        format!("conn-{}: result of '{q}'", self.id)
+    }
+}
+
+fn main() {
+    const CONNECTIONS: u32 = 3;
+    const WORKERS: usize = 8;
+    const QUERIES_PER_WORKER: usize = 200;
+
+    let pool: Arc<QueuePool<Connection>> = Arc::new(QueuePool::new());
+    for id in 0..CONNECTIONS {
+        pool.put(Connection::connect(id));
+    }
+
+    let served = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let pool = Arc::clone(&pool);
+            let served = Arc::clone(&served);
+            let timed_out = Arc::clone(&timed_out);
+            std::thread::spawn(move || {
+                for i in 0..QUERIES_PER_WORKER {
+                    // Takers queue in FIFO order; a timeout aborts the wait
+                    // without disturbing the queue (smart cancellation).
+                    match pool.take().wait_timeout(Duration::from_millis(200)) {
+                        Ok(mut conn) => {
+                            let _result = conn.query(&format!("SELECT {w}.{i}"));
+                            served.fetch_add(1, Ordering::Relaxed);
+                            pool.put(conn);
+                        }
+                        Err(_) => {
+                            timed_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    println!(
+        "served {} queries over {CONNECTIONS} connections ({} waits timed out)",
+        served.load(Ordering::Relaxed),
+        timed_out.load(Ordering::Relaxed),
+    );
+
+    // Every connection must be back in the pool, none lost or duplicated.
+    let mut total_queries = 0;
+    for _ in 0..CONNECTIONS {
+        let conn = pool.take().wait().unwrap();
+        println!("conn-{} served {} queries", conn.id, conn.queries_served);
+        total_queries += conn.queries_served;
+    }
+    assert!(pool.is_empty(), "no extra connections may appear");
+    assert_eq!(total_queries, served.load(Ordering::Relaxed));
+}

@@ -1,0 +1,84 @@
+//! Quickstart: a guided tour of every CQS-based primitive.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cqs::{Barrier, CountDownLatch, Mutex, QueuePool, Semaphore};
+
+fn main() {
+    // --- Mutex: fair FIFO handoff, RAII guards -------------------------
+    let counter = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *counter.lock().unwrap() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!("mutex: counted to {}", *counter.lock().unwrap());
+    assert_eq!(*counter.lock().unwrap(), 40_000);
+
+    // --- Semaphore: bounded parallelism with abortable waiting ---------
+    let semaphore = Arc::new(Semaphore::new(2));
+    let _a = semaphore.acquire_blocking().unwrap();
+    let _b = semaphore.acquire_blocking().unwrap();
+    // A third acquire would wait; abort it instead (e.g. on timeout).
+    let waiting = semaphore.acquire();
+    assert!(waiting.cancel());
+    println!("semaphore: third acquire aborted in O(1), permits intact");
+
+    // --- Timeouts are just cancellation --------------------------------
+    let m = Mutex::new("resource");
+    let guard = m.lock().unwrap();
+    match m.lock_timeout(Duration::from_millis(50)) {
+        Err(_) => println!("mutex: lock_timeout gave up cleanly"),
+        Ok(_) => unreachable!("the lock is held"),
+    }
+    drop(guard);
+
+    // --- Barrier: everyone waits for everyone ---------------------------
+    let barrier = Arc::new(Barrier::new(3));
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // ... per-thread phase-1 work ...
+                barrier.arrive().wait();
+                // Phase 2 starts only after all three arrived.
+                i
+            })
+        })
+        .collect();
+    let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("barrier: all {sum}+ parties met");
+
+    // --- CountDownLatch: wait for N completions -------------------------
+    let latch = Arc::new(CountDownLatch::new(3));
+    for _ in 0..3 {
+        let latch = Arc::clone(&latch);
+        std::thread::spawn(move || {
+            // ... do a startup task ...
+            latch.count_down();
+        });
+    }
+    latch.wait().unwrap();
+    println!("latch: all startup tasks finished");
+
+    // --- Blocking pool: reusable resources ------------------------------
+    let pool: Arc<QueuePool<String>> = Arc::new(QueuePool::new());
+    pool.put("connection-1".to_string());
+    pool.put("connection-2".to_string());
+    let conn = pool.take().wait().unwrap();
+    println!("pool: took {conn}, {} left", pool.len());
+    pool.put(conn);
+
+    println!("quickstart finished");
+}

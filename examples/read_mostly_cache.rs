@@ -1,0 +1,110 @@
+//! A read-mostly in-memory cache guarded by the fair readers–writer lock:
+//! many concurrent readers, periodic refresh writers, and — because the
+//! lock is phase-fair — neither side starves even under constant pressure.
+//!
+//! Run with: `cargo run --release --example read_mostly_cache`
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cqs::RawRwLock;
+
+struct Cache {
+    lock: RawRwLock,
+    // Guarded by `lock`; interior mutability because the lock is external.
+    map: std::cell::UnsafeCell<HashMap<u64, u64>>,
+}
+
+// SAFETY: `map` is read only under a read lock and mutated only under the
+// write lock.
+unsafe impl Send for Cache {}
+unsafe impl Sync for Cache {}
+
+impl Cache {
+    fn new() -> Self {
+        Cache {
+            lock: RawRwLock::new(),
+            map: std::cell::UnsafeCell::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.lock.read().wait();
+        // SAFETY: shared access under the read lock.
+        let value = unsafe { (*self.map.get()).get(&key).copied() };
+        self.lock.read_unlock();
+        value
+    }
+
+    fn refresh(&self, generation: u64) {
+        self.lock.write().wait();
+        // SAFETY: exclusive access under the write lock.
+        unsafe {
+            let map = &mut *self.map.get();
+            for key in 0..64 {
+                map.insert(key, generation * 1_000 + key);
+            }
+        }
+        self.lock.write_unlock();
+    }
+}
+
+fn main() {
+    const READERS: usize = 6;
+    const LOOKUPS: usize = 20_000;
+    const REFRESHES: u64 = 40;
+
+    let cache = Arc::new(Cache::new());
+    cache.refresh(0);
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let stale_reads = Arc::new(AtomicU64::new(0));
+    let current_generation = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let cache = Arc::clone(&cache);
+            let hits = Arc::clone(&hits);
+            let stale = Arc::clone(&stale_reads);
+            let generation = Arc::clone(&current_generation);
+            std::thread::spawn(move || {
+                for i in 0..LOOKUPS {
+                    let key = ((r * 31 + i) % 64) as u64;
+                    let before = generation.load(Ordering::SeqCst);
+                    if let Some(v) = cache.get(key) {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        let seen_generation = v / 1_000;
+                        if seen_generation < before {
+                            stale.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writer = {
+        let cache = Arc::clone(&cache);
+        let generation = Arc::clone(&current_generation);
+        std::thread::spawn(move || {
+            for g in 1..=REFRESHES {
+                cache.refresh(g);
+                generation.store(g, Ordering::SeqCst);
+            }
+        })
+    };
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    println!(
+        "{} lookups hit the cache across {REFRESHES} refreshes ({} observed a pre-refresh value, which is expected)",
+        hits.load(Ordering::Relaxed),
+        stale_reads.load(Ordering::Relaxed),
+    );
+    assert_eq!(hits.load(Ordering::Relaxed), READERS * LOOKUPS);
+    assert_eq!(cache.get(0), Some(REFRESHES * 1_000));
+}

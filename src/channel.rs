@@ -1,0 +1,268 @@
+//! A bounded FIFO channel composed from CQS primitives — the "channels on
+//! segments" design family the paper cites (Koval et al., Euro-Par 2019)
+//! and names among CQS's natural extensions.
+//!
+//! The composition is deliberately small: a fair [`Semaphore`] bounds the
+//! number of in-flight elements (senders queue FIFO and abortably when the
+//! buffer is full) and a [`QueuePool`] carries the elements to receivers
+//! (receivers queue FIFO and abortably when the buffer is empty).
+
+use std::sync::Arc;
+
+use cqs_future::{Cancelled, CqsFuture};
+use cqs_pool::QueuePool;
+use cqs_sync::Semaphore;
+
+/// A bounded multi-producer multi-consumer FIFO channel with fair,
+/// abortable blocking on both ends.
+///
+/// # Example
+///
+/// ```
+/// use cqs::Channel;
+///
+/// let channel = Channel::new(2);
+/// channel.send("a").wait().unwrap();
+/// channel.send("b").wait().unwrap();
+/// assert_eq!(channel.receive().wait(), Ok("a"));
+/// assert_eq!(channel.receive().wait(), Ok("b"));
+/// ```
+#[derive(Debug)]
+pub struct Channel<T: Send + 'static> {
+    capacity_permits: Semaphore,
+    buffer: QueuePool<T>,
+}
+
+impl<T: Send + 'static> Channel<T> {
+    /// Creates a channel buffering at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (rendezvous channels need the
+    /// synchronous resumption mode end to end and are not provided).
+    pub fn new(capacity: usize) -> Self {
+        Channel {
+            capacity_permits: Semaphore::new(capacity),
+            buffer: QueuePool::new(),
+        }
+    }
+
+    /// Sends `value`: immediately while the buffer has room, otherwise the
+    /// send completes when a receiver frees a slot (FIFO among blocked
+    /// senders). The returned future resolves once the element is in the
+    /// channel; aborting a blocked send is not supported (cancel the
+    /// receive side instead).
+    pub fn send(&self, value: T) -> SendFuture {
+        let permit = self.capacity_permits.acquire();
+        if permit.is_immediate() {
+            self.buffer.put(value);
+            return SendFuture {
+                inner: CqsFuture::immediate(()),
+            };
+        }
+        // Slow path: forward the element once the permit arrives. The
+        // buffer handoff runs on the releasing thread via the future's
+        // callback, preserving the sender's FIFO position.
+        let (fut, request) = deferred_future();
+        let buffer = self.buffer.clone();
+        let mut slot = Some(value);
+        permit.on_ready(move || {
+            if let Some(v) = slot.take() {
+                buffer.put(v);
+            }
+            let _ = request.complete(());
+        });
+        SendFuture { inner: fut }
+    }
+
+    /// Receives the oldest element: immediately if the buffer is non-empty,
+    /// otherwise when a sender delivers one (FIFO among blocked receivers).
+    pub fn receive(&self) -> Receive<'_, T> {
+        Receive {
+            channel: self,
+            inner: self.buffer.take(),
+        }
+    }
+
+    /// A racy snapshot of the number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+}
+
+/// The pending side of [`Channel::send`]: resolves once the element is in
+/// the channel.
+#[derive(Debug)]
+pub struct SendFuture {
+    inner: CqsFuture<()>,
+}
+
+impl SendFuture {
+    /// Blocks until the element is accepted by the channel.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`CqsFuture::wait`].
+    pub fn wait(self) -> Result<(), Cancelled> {
+        self.inner.wait()
+    }
+
+    /// Whether the element was accepted without waiting.
+    pub fn is_immediate(&self) -> bool {
+        self.inner.is_immediate()
+    }
+}
+
+impl std::future::Future for SendFuture {
+    type Output = Result<(), Cancelled>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.inner).poll(cx)
+    }
+}
+
+/// The pending side of [`Channel::receive`]: completes with the element;
+/// releases the sender-side slot on success.
+#[derive(Debug)]
+pub struct Receive<'a, T: Send + 'static> {
+    channel: &'a Channel<T>,
+    inner: CqsFuture<T>,
+}
+
+impl<T: Send + 'static> Receive<'_, T> {
+    /// Blocks until an element arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if [`cancel`](Self::cancel) won first.
+    pub fn wait(self) -> Result<T, Cancelled> {
+        let v = self.inner.wait()?;
+        self.channel.capacity_permits.release();
+        Ok(v)
+    }
+
+    /// Like [`wait`](Self::wait) with a deadline; on timeout the waiting
+    /// receive is aborted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] on timeout.
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<T, Cancelled> {
+        let v = self.inner.wait_timeout(timeout)?;
+        self.channel.capacity_permits.release();
+        Ok(v)
+    }
+
+    /// Aborts the waiting receive. Returns `true` if this call aborted it.
+    pub fn cancel(&self) -> bool {
+        self.inner.cancel()
+    }
+}
+
+/// Creates a (future, request) pair completed manually.
+fn deferred_future() -> (CqsFuture<()>, Arc<cqs_future::Request<()>>) {
+    let request = Arc::new(cqs_future::Request::new());
+    (CqsFuture::suspended(Arc::clone(&request)), request)
+}
+
+impl<T: Send + 'static> Default for Channel<T> {
+    /// A channel with a small default capacity of 16.
+    fn default() -> Self {
+        Channel::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ch = Channel::new(4);
+        for v in 0..4 {
+            ch.send(v).wait().unwrap();
+        }
+        for v in 0..4 {
+            assert_eq!(ch.receive().wait(), Ok(v));
+        }
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn send_blocks_at_capacity() {
+        let ch = Arc::new(Channel::new(1));
+        ch.send(1).wait().unwrap();
+        let pending = ch.send(2);
+        assert!(!pending.is_immediate());
+        assert_eq!(ch.receive().wait(), Ok(1));
+        pending.wait().unwrap();
+        assert_eq!(ch.receive().wait(), Ok(2));
+    }
+
+    #[test]
+    fn receive_blocks_until_send() {
+        let ch = Arc::new(Channel::new(2));
+        let c2 = Arc::clone(&ch);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c2.send(9).wait().unwrap();
+        });
+        assert_eq!(ch.receive().wait(), Ok(9));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn receive_timeout_aborts() {
+        let ch: Channel<u32> = Channel::new(1);
+        let r = ch.receive();
+        assert!(r
+            .wait_timeout(std::time::Duration::from_millis(20))
+            .is_err());
+        // The channel still works.
+        ch.send(3).wait().unwrap();
+        assert_eq!(ch.receive().wait(), Ok(3));
+    }
+
+    #[test]
+    fn mpmc_conservation() {
+        const SENDERS: usize = 4;
+        const RECEIVERS: usize = 4;
+        const PER_SENDER: usize = 1_000;
+        let ch = Arc::new(Channel::new(8));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for s in 0..SENDERS {
+            let ch = Arc::clone(&ch);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..PER_SENDER {
+                    ch.send(s * PER_SENDER + i).wait().unwrap();
+                }
+            }));
+        }
+        for _ in 0..RECEIVERS {
+            let ch = Arc::clone(&ch);
+            let sum = Arc::clone(&sum);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..SENDERS * PER_SENDER / RECEIVERS {
+                    let v = ch.receive().wait().unwrap();
+                    sum.fetch_add(v, Ordering::SeqCst);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let n = SENDERS * PER_SENDER;
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+        assert!(ch.is_empty());
+    }
+}

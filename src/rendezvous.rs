@@ -1,0 +1,240 @@
+//! A rendezvous (synchronous) channel on top of CQS — the "synchronous
+//! queues" the paper lists next to readers–writer locks as natural CQS
+//! extensions (§7), in the tradition of Scherer–Lea–Scott's dual
+//! synchronous queues (the paper's dual-data-structures citation).
+//!
+//! No buffer exists: every `send` pairs with exactly one `receive`. The
+//! pairing uses two CQS queues and one balance counter:
+//!
+//! * a receiver that arrives first suspends on the *receiver queue*; the
+//!   pairing sender resumes it directly with the value;
+//! * a sender that arrives first suspends on the *sender queue*; the
+//!   pairing receiver resumes it with a one-shot reply slot
+//!   ([`cqs_future::Request`]), which the sender then completes with its
+//!   value.
+//!
+//! Both sides exploit the CQS licence to `resume(..)` before the matching
+//! `suspend()` lands, so the balance counter alone decides pairings and no
+//! two-sided rendezvous race remains.
+//!
+//! Like the barrier, rendezvous waiting is not cancellable here: aborting
+//! one side after the counter committed a pairing would strand the other —
+//! resolving that needs the synchronous-resumption machinery end to end,
+//! which this extension keeps out of scope.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
+use cqs_future::{CqsFuture, Request};
+
+/// A zero-capacity channel: `send` and `receive` meet in pairs, FIFO on
+/// both sides.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cqs::RendezvousChannel;
+///
+/// let ch = Arc::new(RendezvousChannel::new());
+/// let c2 = Arc::clone(&ch);
+/// let sender = std::thread::spawn(move || c2.send(5));
+/// assert_eq!(ch.receive().wait(), 5);
+/// sender.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct RendezvousChannel<T: Send + 'static> {
+    /// > 0: waiting senders; < 0: waiting receivers (negated).
+    balance: AtomicI64,
+    /// Receivers suspend here; senders resume them with the value.
+    receivers: Cqs<T, SimpleCancellation>,
+    /// Senders suspend here; receivers resume them with a reply slot.
+    senders: Cqs<Arc<Request<T>>, SimpleCancellation>,
+}
+
+impl<T: Send + 'static> RendezvousChannel<T> {
+    /// Creates a rendezvous channel.
+    pub fn new() -> Self {
+        RendezvousChannel {
+            balance: AtomicI64::new(0),
+            receivers: Cqs::new(CqsConfig::new(), SimpleCancellation),
+            senders: Cqs::new(CqsConfig::new(), SimpleCancellation),
+        }
+    }
+
+    /// Hands `value` to a receiver, blocking until one takes it.
+    pub fn send(&self, value: T) {
+        let balance = self.balance.fetch_add(1, Ordering::SeqCst);
+        if balance < 0 {
+            // A receiver committed to this pairing; deliver directly.
+            self.receivers
+                .resume(value)
+                .unwrap_or_else(|_| unreachable!("rendezvous waiters are never cancelled"));
+            return;
+        }
+        // Suspend until a receiver hands us its reply slot.
+        let slot = self
+            .senders
+            .suspend()
+            .expect_future()
+            .wait()
+            .unwrap_or_else(|_| unreachable!("rendezvous waiters are never cancelled"));
+        slot.complete(value)
+            .unwrap_or_else(|_| unreachable!("reply slots are completed exactly once"));
+    }
+
+    /// Meets the next sender; the returned future completes with its value.
+    pub fn receive(&self) -> ReceiveRendezvous<T> {
+        let balance = self.balance.fetch_sub(1, Ordering::SeqCst);
+        if balance > 0 {
+            // A sender committed to this pairing; hand it our reply slot.
+            let slot: Arc<Request<T>> = Arc::new(Request::new());
+            self.senders
+                .resume(Arc::clone(&slot))
+                .unwrap_or_else(|_| unreachable!("rendezvous waiters are never cancelled"));
+            return ReceiveRendezvous {
+                inner: CqsFuture::suspended(slot),
+            };
+        }
+        ReceiveRendezvous {
+            inner: self.receivers.suspend().expect_future(),
+        }
+    }
+
+    /// A racy snapshot: positive = senders waiting, negative = receivers
+    /// waiting (negated).
+    pub fn balance(&self) -> i64 {
+        self.balance.load(Ordering::SeqCst)
+    }
+}
+
+impl<T: Send + 'static> Default for RendezvousChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pending side of [`RendezvousChannel::receive`]. Not cancellable
+/// (see module docs).
+#[derive(Debug)]
+pub struct ReceiveRendezvous<T: Send + 'static> {
+    inner: CqsFuture<T>,
+}
+
+impl<T: Send + 'static> ReceiveRendezvous<T> {
+    /// Blocks until a sender delivers a value.
+    pub fn wait(self) -> T {
+        self.inner
+            .wait()
+            .unwrap_or_else(|_| unreachable!("rendezvous waiters are never cancelled"))
+    }
+
+    /// Whether a waiting sender was paired immediately. Note the value may
+    /// still be in flight (the sender completes the reply slot on its own
+    /// thread).
+    pub fn is_paired_immediately(&self) -> bool {
+        self.inner.is_immediate()
+    }
+}
+
+impl<T: Send + 'static> std::future::Future for ReceiveRendezvous<T> {
+    type Output = T;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<T> {
+        std::pin::Pin::new(&mut self.inner)
+            .poll(cx)
+            .map(|r| r.unwrap_or_else(|_| unreachable!("rendezvous waiters are never cancelled")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    #[test]
+    fn receiver_first_rendezvous() {
+        let ch = Arc::new(RendezvousChannel::new());
+        let c2 = Arc::clone(&ch);
+        let receiver = std::thread::spawn(move || c2.receive().wait());
+        std::thread::sleep(Duration::from_millis(20));
+        ch.send(7u32);
+        assert_eq!(receiver.join().unwrap(), 7);
+        assert_eq!(ch.balance(), 0);
+    }
+
+    #[test]
+    fn sender_first_rendezvous() {
+        let ch = Arc::new(RendezvousChannel::new());
+        let c2 = Arc::clone(&ch);
+        let sender = std::thread::spawn(move || c2.send(8u32));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ch.balance(), 1, "sender must be registered");
+        assert_eq!(ch.receive().wait(), 8);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_pairing_both_sides() {
+        let ch = Arc::new(RendezvousChannel::new());
+        // Three receivers queue up in order.
+        let receivers: Vec<_> = (0..3).map(|_| ch.receive()).collect();
+        assert_eq!(ch.balance(), -3);
+        for v in 0..3u32 {
+            ch.send(v);
+        }
+        for (i, r) in receivers.into_iter().enumerate() {
+            assert_eq!(r.wait(), i as u32, "receivers must pair FIFO");
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_conserves_values() {
+        const SIDES: usize = 4;
+        const PER_THREAD: usize = 1_500;
+        let ch: Arc<RendezvousChannel<u64>> = Arc::new(RendezvousChannel::new());
+        let mut joins = Vec::new();
+        for s in 0..SIDES {
+            let ch = Arc::clone(&ch);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    ch.send((s * PER_THREAD + i) as u64);
+                }
+                0u64
+            }));
+        }
+        for _ in 0..SIDES {
+            let ch = Arc::clone(&ch);
+            joins.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for _ in 0..PER_THREAD {
+                    sum += ch.receive().wait();
+                }
+                sum
+            }));
+        }
+        let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let n = (SIDES * PER_THREAD) as u64;
+        assert_eq!(total, n * (n - 1) / 2, "values lost or duplicated");
+        assert_eq!(ch.balance(), 0);
+    }
+
+    #[test]
+    fn distinct_values_arrive_once() {
+        let ch: Arc<RendezvousChannel<u64>> = Arc::new(RendezvousChannel::new());
+        let c2 = Arc::clone(&ch);
+        let producer = std::thread::spawn(move || {
+            for v in 0..100 {
+                c2.send(v);
+            }
+        });
+        let got: HashSet<u64> = (0..100).map(|_| ch.receive().wait()).collect();
+        producer.join().unwrap();
+        assert_eq!(got.len(), 100);
+    }
+}

@@ -1,0 +1,138 @@
+//! `CqsFuture` as a standard Rust `Future`: primitives awaited from async
+//! code with a hand-rolled `block_on` (no external runtime needed).
+
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake};
+use std::thread::Thread;
+
+use cqs::{CountDownLatch, QueuePool, RawMutex, Semaphore};
+
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+fn block_on<F: std::future::Future>(mut future: F) -> F::Output {
+    let waker = Arc::new(ThreadWaker(std::thread::current())).into();
+    let mut cx = Context::from_waker(&waker);
+    // SAFETY: `future` is stack-pinned and never moved afterwards.
+    let mut future = unsafe { Pin::new_unchecked(&mut future) };
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[test]
+fn await_semaphore_acquire() {
+    let s = Arc::new(Semaphore::new(1));
+    s.acquire().wait().unwrap();
+    let s2 = Arc::clone(&s);
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s2.release();
+    });
+    block_on(async {
+        s.acquire().await.unwrap();
+    });
+    releaser.join().unwrap();
+    s.release();
+}
+
+#[test]
+fn await_mutex_lock() {
+    let m = Arc::new(RawMutex::new());
+    m.lock().wait().unwrap();
+    let m2 = Arc::clone(&m);
+    let unlocker = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m2.unlock();
+    });
+    block_on(async {
+        m.lock().await.unwrap();
+    });
+    unlocker.join().unwrap();
+    m.unlock();
+}
+
+#[test]
+fn await_pool_take() {
+    let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+    let p2 = Arc::clone(&pool);
+    let putter = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        p2.put(5);
+    });
+    let got = block_on(async { pool.take().await.unwrap() });
+    assert_eq!(got, 5);
+    putter.join().unwrap();
+}
+
+#[test]
+fn await_latch() {
+    let latch = Arc::new(CountDownLatch::new(2));
+    let l2 = Arc::clone(&latch);
+    let counter = std::thread::spawn(move || {
+        l2.count_down();
+        l2.count_down();
+    });
+    block_on(async {
+        latch.await_ready().await.unwrap();
+    });
+    counter.join().unwrap();
+}
+
+#[test]
+fn await_already_ready_future() {
+    let s = Semaphore::new(1);
+    block_on(async {
+        s.acquire().await.unwrap();
+    });
+    s.release();
+}
+
+#[test]
+fn awaited_future_can_be_cancelled_first() {
+    let s = Semaphore::new(1);
+    s.acquire().wait().unwrap();
+    let f = s.acquire();
+    assert!(f.cancel());
+    let result = block_on(f);
+    assert!(result.is_err());
+}
+
+/// Chained awaits: a small async "program" over several primitives.
+#[test]
+fn async_pipeline() {
+    let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+    let sem = Arc::new(Semaphore::new(1));
+    let done = Arc::new(CountDownLatch::new(1));
+
+    let p2 = Arc::clone(&pool);
+    let d2 = Arc::clone(&done);
+    let producer = std::thread::spawn(move || {
+        for v in 0..10 {
+            p2.put(v);
+        }
+        d2.count_down();
+    });
+
+    let total = block_on(async {
+        done.await_ready().await.unwrap();
+        let mut total = 0u64;
+        for _ in 0..10 {
+            sem.acquire().await.unwrap();
+            total += pool.take().await.unwrap();
+            sem.release();
+        }
+        total
+    });
+    assert_eq!(total, 45);
+    producer.join().unwrap();
+}

@@ -1,0 +1,197 @@
+//! Cancellation semantics across all primitives — the paper's central
+//! feature. Covers simple/smart modes, refusal, timeout-driven aborts and
+//! concurrent cancellation storms.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cqs::{CountDownLatch, Mutex, QueuePool, RawMutex, Semaphore, StackPool};
+
+/// Cancelling a queued lock request leaves the mutex fully functional.
+#[test]
+fn mutex_timeout_storm() {
+    let mutex = Arc::new(Mutex::new(0u64));
+    let guard = mutex.lock().unwrap();
+    let timeouts = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let mutex = Arc::clone(&mutex);
+            let timeouts = Arc::clone(&timeouts);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    if mutex.lock_timeout(Duration::from_millis(1)).is_err() {
+                        timeouts.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(timeouts.load(Ordering::SeqCst), 120);
+    drop(guard);
+    // The mutex still works and is free.
+    *mutex.lock().unwrap() += 1;
+    assert_eq!(*mutex.lock().unwrap(), 1);
+}
+
+/// Semaphore permits are conserved across any cancel/release interleaving.
+#[test]
+fn semaphore_permit_conservation_race() {
+    const ROUNDS: usize = 300;
+    for _ in 0..ROUNDS {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let waiter = s.acquire();
+
+        let s2 = Arc::clone(&s);
+        let releaser = std::thread::spawn(move || s2.release());
+        let cancelled = waiter.cancel();
+        releaser.join().unwrap();
+
+        if !cancelled {
+            // The waiter won the permit; hand it back.
+            waiter.wait().unwrap();
+            s.release();
+        }
+        assert_eq!(s.available_permits(), 1, "permit lost or duplicated");
+    }
+}
+
+/// Cancelling *all* waiters then releasing does not wake anybody and does
+/// not lose the permit.
+#[test]
+fn semaphore_cancel_all_waiters() {
+    let s = Arc::new(Semaphore::new(1));
+    s.acquire().wait().unwrap();
+    let futures: Vec<_> = (0..16).map(|_| s.acquire()).collect();
+    for f in &futures {
+        assert!(f.cancel());
+    }
+    s.release();
+    assert_eq!(s.available_permits(), 1);
+    // A fresh acquire succeeds immediately.
+    assert!(s.acquire().is_immediate());
+}
+
+/// Latch: cancellations racing the final count_down never lose the opening.
+#[test]
+fn latch_cancel_vs_open_race() {
+    for _ in 0..200 {
+        let latch = Arc::new(CountDownLatch::new(1));
+        let f1 = latch.await_ready();
+        let f2 = latch.await_ready();
+        let l2 = Arc::clone(&latch);
+        let opener = std::thread::spawn(move || l2.count_down());
+        let c1 = f1.cancel();
+        opener.join().unwrap();
+        // f2 must always complete; f1 either cancelled or completed.
+        assert_eq!(f2.wait(), Ok(()));
+        if !c1 {
+            assert_eq!(f1.wait(), Ok(()));
+        }
+    }
+}
+
+/// Pool elements survive cancellation storms (smart-cancel REFUSE path
+/// exercises `complete_refused_resume` returning the element).
+#[test]
+fn pool_elements_survive_cancel_storm() {
+    const ELEMENTS: u64 = 3;
+    const THREADS: usize = 6;
+    const OPS: usize = 500;
+    let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+    for e in 0..ELEMENTS {
+        pool.put(e);
+    }
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let f = pool.take();
+                    if (t + i) % 2 == 0 && f.cancel() {
+                        continue;
+                    }
+                    let e = f.wait().unwrap();
+                    pool.put(e);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut recovered: Vec<_> = (0..ELEMENTS).map(|_| pool.take().wait().unwrap()).collect();
+    recovered.sort_unstable();
+    assert_eq!(recovered, (0..ELEMENTS).collect::<Vec<_>>());
+}
+
+/// Same for the stack pool, whose refused elements go through `put` again.
+#[test]
+fn stack_pool_refusal_roundtrip() {
+    for _ in 0..200 {
+        let pool: Arc<StackPool<u64>> = Arc::new(StackPool::new());
+        let taker = pool.take();
+        let p2 = Arc::clone(&pool);
+        let putter = std::thread::spawn(move || p2.put(77));
+        if !taker.cancel() {
+            pool.put(taker.wait().unwrap());
+        }
+        putter.join().unwrap();
+        assert_eq!(pool.take().wait(), Ok(77));
+    }
+}
+
+/// Double cancellation and cancel-after-completion are no-ops.
+#[test]
+fn cancel_idempotency() {
+    let s = Semaphore::new(1);
+    s.acquire().wait().unwrap();
+    let f = s.acquire();
+    assert!(f.cancel());
+    assert!(!f.cancel());
+
+    let f2 = s.acquire();
+    s.release();
+    // f2 is completed now (it was the only live waiter).
+    assert!(!f2.cancel());
+    assert_eq!(f2.wait(), Ok(()));
+}
+
+/// Cancelled RawMutex waiters never receive the lock.
+#[test]
+fn cancelled_lock_request_is_never_woken() {
+    let mutex = Arc::new(RawMutex::new());
+    mutex.lock().wait().unwrap();
+    let doomed = mutex.lock();
+    let lucky = mutex.lock();
+    assert!(doomed.cancel());
+    mutex.unlock();
+    assert_eq!(lucky.wait(), Ok(()));
+    // `doomed` stays cancelled.
+    assert_eq!(doomed.wait(), Err(cqs::Cancelled));
+    mutex.unlock();
+}
+
+/// Mass cancellation reclaims whole segments; the queue keeps functioning
+/// at any scale afterwards.
+#[test]
+fn mass_cancellation_then_reuse() {
+    let s = Arc::new(Semaphore::new(1));
+    s.acquire().wait().unwrap();
+    for _round in 0..4 {
+        let futures: Vec<_> = (0..2_000).map(|_| s.acquire()).collect();
+        for f in &futures {
+            assert!(f.cancel());
+        }
+    }
+    // The semaphore still hands the permit over correctly.
+    let f = s.acquire();
+    s.release();
+    assert_eq!(f.wait(), Ok(()));
+    s.release();
+    assert_eq!(s.available_permits(), 1);
+}

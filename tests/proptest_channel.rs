@@ -1,0 +1,105 @@
+//! Property-based test for the bounded channel: random single-threaded
+//! send/receive/cancel sequences against a FIFO reference model with
+//! capacity-based backpressure.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use cqs::{Channel, Receive, SendFuture};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Send(u64),
+    Receive,
+    CancelReceive(usize),
+}
+
+fn ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (1usize..5).prop_flat_map(|capacity| {
+        (
+            Just(capacity),
+            prop::collection::vec(
+                prop_oneof![
+                    3 => (0u64..1_000).prop_map(Op::Send),
+                    3 => Just(Op::Receive),
+                    1 => (0usize..16).prop_map(Op::CancelReceive),
+                ],
+                0..80,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn channel_matches_fifo_model((capacity, ops) in ops()) {
+        let channel: Channel<u64> = Channel::new(capacity);
+        // Model: elements in flight (buffered or owned by a blocked send),
+        // FIFO; receivers waiting, FIFO; blocked sends, FIFO.
+        let mut in_flight: VecDeque<u64> = VecDeque::new();
+        let mut waiting_receivers: VecDeque<usize> = VecDeque::new();
+        let mut pending_receives: Vec<(usize, Receive<u64>)> = Vec::new();
+        let mut blocked_sends: Vec<SendFuture> = Vec::new();
+        let mut next_receiver = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Send(v) => {
+                    let f = channel.send(v);
+                    if let Some(id) = waiting_receivers.pop_front() {
+                        // Hand-off to the first waiting receiver.
+                        prop_assert!(f.is_immediate());
+                        let idx = pending_receives
+                            .iter()
+                            .position(|(i, _)| *i == id)
+                            .expect("waiting receiver must be tracked");
+                        let (_, r) = pending_receives.remove(idx);
+                        prop_assert_eq!(r.wait(), Ok(v));
+                    } else if in_flight.len() < capacity {
+                        prop_assert!(f.is_immediate());
+                        in_flight.push_back(v);
+                    } else {
+                        prop_assert!(!f.is_immediate(), "capacity must block");
+                        in_flight.push_back(v);
+                        blocked_sends.push(f);
+                    }
+                }
+                Op::Receive => {
+                    let r = channel.receive();
+                    if let Some(v) = in_flight.pop_front() {
+                        prop_assert_eq!(r.wait(), Ok(v));
+                        // Removing an element may unblock the oldest send.
+                        if in_flight.len() >= capacity && !blocked_sends.is_empty() {
+                            let f = blocked_sends.remove(0);
+                            prop_assert!(f.wait().is_ok());
+                        }
+                    } else {
+                        waiting_receivers.push_back(next_receiver);
+                        pending_receives.push((next_receiver, r));
+                        next_receiver += 1;
+                    }
+                }
+                Op::CancelReceive(k) => {
+                    if pending_receives.is_empty() {
+                        continue;
+                    }
+                    let (id, r) = pending_receives.remove(k % pending_receives.len());
+                    prop_assert!(r.cancel());
+                    waiting_receivers.retain(|w| *w != id);
+                }
+            }
+        }
+
+        // Drain: every in-flight element arrives in order.
+        for v in in_flight {
+            prop_assert_eq!(channel.receive().wait(), Ok(v));
+        }
+        // All blocked sends are now unblocked.
+        for f in blocked_sends {
+            prop_assert!(f.wait().is_ok());
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Property-based tests: random operation sequences executed against both
+//! the real primitives and simple sequential reference models.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, QueuePool, Semaphore, SimpleCancellation};
+
+// ---------------------------------------------------------------------
+// CQS (simple cancellation mode) vs a sequential reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CqsOp {
+    Suspend,
+    Resume(u64),
+    /// Cancel the pending future with this (wrapped) index.
+    Cancel(usize),
+}
+
+fn cqs_ops() -> impl Strategy<Value = Vec<CqsOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(CqsOp::Suspend),
+            3 => (0u64..1000).prop_map(CqsOp::Resume),
+            1 => (0usize..64).prop_map(CqsOp::Cancel),
+        ],
+        0..120,
+    )
+}
+
+/// Reference model of the simple-cancellation CQS, single-threaded: an
+/// infinite array of cells visited in order by two counters.
+#[derive(Debug, Default)]
+struct CqsModel {
+    cells: Vec<ModelCell>,
+    suspend_idx: usize,
+    resume_idx: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ModelCell {
+    Empty,
+    Value(u64),
+    Waiter,
+    Cancelled,
+    Done,
+}
+
+impl CqsModel {
+    fn cell(&mut self, i: usize) -> &mut ModelCell {
+        if self.cells.len() <= i {
+            self.cells.resize(i + 1, ModelCell::Empty);
+        }
+        &mut self.cells[i]
+    }
+
+    /// Returns `Some(value)` for an immediate result, `None` for a
+    /// suspension.
+    fn suspend(&mut self) -> Option<u64> {
+        let i = self.suspend_idx;
+        self.suspend_idx += 1;
+        match self.cell(i).clone() {
+            ModelCell::Empty => {
+                *self.cell(i) = ModelCell::Waiter;
+                None
+            }
+            ModelCell::Value(v) => {
+                *self.cell(i) = ModelCell::Done;
+                Some(v)
+            }
+            other => unreachable!("suspend hit {other:?}"),
+        }
+    }
+
+    /// Returns `Ok(Some(waiter_cell))` if a waiter was completed,
+    /// `Ok(None)` if the value was parked, `Err(())` on a cancelled cell.
+    fn resume(&mut self, v: u64) -> Result<Option<usize>, ()> {
+        let i = self.resume_idx;
+        self.resume_idx += 1;
+        match self.cell(i).clone() {
+            ModelCell::Empty => {
+                *self.cell(i) = ModelCell::Value(v);
+                Ok(None)
+            }
+            ModelCell::Waiter => {
+                *self.cell(i) = ModelCell::Done;
+                Ok(Some(i))
+            }
+            ModelCell::Cancelled => Err(()),
+            other => unreachable!("resume hit {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The real CQS agrees with the model on every operation outcome.
+    #[test]
+    fn cqs_simple_mode_matches_model(ops in cqs_ops()) {
+        let cqs: Cqs<u64> = Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        );
+        let mut model = CqsModel::default();
+        // Pending real futures by cell index.
+        let mut pending: Vec<(usize, CqsFuture<u64>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                CqsOp::Suspend => {
+                    let cell = model.suspend_idx;
+                    let expected = model.suspend();
+                    let mut f = cqs.suspend().expect_future();
+                    match expected {
+                        Some(v) => {
+                            prop_assert!(f.is_immediate());
+                            prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                        }
+                        None => {
+                            prop_assert!(!f.is_immediate());
+                            pending.push((cell, f));
+                        }
+                    }
+                }
+                CqsOp::Resume(v) => {
+                    let expected = model.resume(v);
+                    let real = cqs.resume(v);
+                    match expected {
+                        Ok(Some(cell)) => {
+                            prop_assert!(real.is_ok());
+                            // The completed future must be observable now.
+                            let (_, mut f) = pending
+                                .iter()
+                                .position(|(c, _)| *c == cell)
+                                .map(|i| pending.remove(i))
+                                .expect("completed waiter must be tracked");
+                            prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                        }
+                        Ok(None) => prop_assert!(real.is_ok()),
+                        Err(()) => prop_assert_eq!(real, Err(v)),
+                    }
+                }
+                CqsOp::Cancel(k) => {
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let (cell, f) = pending.remove(k % pending.len());
+                    prop_assert!(f.cancel());
+                    *model.cell(cell) = ModelCell::Cancelled;
+                }
+            }
+        }
+
+        // Whatever remains is still pending.
+        for (_, mut f) in pending {
+            prop_assert_eq!(f.try_get(), FutureState::Pending);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semaphore vs a FIFO permit model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SemOp {
+    Acquire,
+    Release,
+    Cancel(usize),
+}
+
+fn sem_ops() -> impl Strategy<Value = (usize, Vec<SemOp>)> {
+    (1usize..4).prop_flat_map(|permits| {
+        (
+            Just(permits),
+            prop::collection::vec(
+                prop_oneof![
+                    3 => Just(SemOp::Acquire),
+                    3 => Just(SemOp::Release),
+                    1 => (0usize..32).prop_map(SemOp::Cancel),
+                ],
+                0..100,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-threaded semaphore behaviour matches a FIFO reference model:
+    /// immediate acquisitions, waiter order and cancellation bookkeeping.
+    #[test]
+    fn semaphore_matches_fifo_model((permits, ops) in sem_ops()) {
+        let semaphore = Semaphore::new(permits);
+        // Model state.
+        let mut available = permits;
+        let mut held = 0usize;
+        let mut model_waiters: VecDeque<usize> = VecDeque::new(); // ids
+        let mut next_id = 0usize;
+        // Real pending futures by id.
+        let mut real_waiters: Vec<(usize, CqsFuture<()>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                SemOp::Acquire => {
+                    let mut f = semaphore.acquire();
+                    if available > 0 {
+                        available -= 1;
+                        held += 1;
+                        prop_assert!(f.is_immediate());
+                        prop_assert_eq!(f.try_get(), FutureState::Ready(()));
+                    } else {
+                        prop_assert!(!f.is_immediate());
+                        model_waiters.push_back(next_id);
+                        real_waiters.push((next_id, f));
+                        next_id += 1;
+                    }
+                }
+                SemOp::Release => {
+                    if held == 0 {
+                        continue; // never release what we do not hold
+                    }
+                    held -= 1;
+                    semaphore.release();
+                    if let Some(id) = model_waiters.pop_front() {
+                        // That waiter now holds a permit.
+                        held += 1;
+                        let (_, mut f) = real_waiters
+                            .iter()
+                            .position(|(i, _)| *i == id)
+                            .map(|i| real_waiters.remove(i))
+                            .expect("model waiter must exist");
+                        prop_assert_eq!(f.try_get(), FutureState::Ready(()));
+                    } else {
+                        available += 1;
+                    }
+                }
+                SemOp::Cancel(k) => {
+                    if real_waiters.is_empty() {
+                        continue;
+                    }
+                    let (id, f) = real_waiters.remove(k % real_waiters.len());
+                    prop_assert!(f.cancel());
+                    model_waiters.retain(|w| *w != id);
+                }
+            }
+        }
+
+        // Remaining waiters are still pending; available permits agree.
+        for (_, mut f) in real_waiters {
+            prop_assert_eq!(f.try_get(), FutureState::Pending);
+        }
+        prop_assert_eq!(semaphore.available_permits(), available);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue pool vs a FIFO multiset model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Put(u64),
+    Take,
+    Cancel(usize),
+}
+
+fn pool_ops() -> impl Strategy<Value = Vec<PoolOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..1_000).prop_map(PoolOp::Put),
+            3 => Just(PoolOp::Take),
+            1 => (0usize..32).prop_map(PoolOp::Cancel),
+        ],
+        0..100,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-threaded pool behaviour: FIFO element order, FIFO waiting
+    /// takers, cancellation leaves the pool consistent.
+    #[test]
+    fn queue_pool_matches_model(ops in pool_ops()) {
+        let pool: QueuePool<u64> = QueuePool::new();
+        let mut stored: VecDeque<u64> = VecDeque::new();
+        let mut model_waiters: VecDeque<usize> = VecDeque::new();
+        let mut next_id = 0usize;
+        let mut real_waiters: Vec<(usize, CqsFuture<u64>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                PoolOp::Put(v) => {
+                    pool.put(v);
+                    if let Some(id) = model_waiters.pop_front() {
+                        // The first waiting taker receives the element now.
+                        let (_, mut f) = real_waiters
+                            .iter()
+                            .position(|(i, _)| *i == id)
+                            .map(|i| real_waiters.remove(i))
+                            .expect("resumed taker must be tracked");
+                        prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                    } else {
+                        stored.push_back(v);
+                    }
+                }
+                PoolOp::Take => {
+                    let mut f = pool.take();
+                    if let Some(v) = stored.pop_front() {
+                        prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                    } else {
+                        prop_assert!(!f.is_immediate());
+                        model_waiters.push_back(next_id);
+                        real_waiters.push((next_id, f));
+                        next_id += 1;
+                    }
+                }
+                PoolOp::Cancel(k) => {
+                    if real_waiters.is_empty() {
+                        continue;
+                    }
+                    let (id, f) = real_waiters.remove(k % real_waiters.len());
+                    prop_assert!(f.cancel());
+                    model_waiters.retain(|w| *w != id);
+                }
+            }
+        }
+
+        for (_, mut f) in real_waiters {
+            prop_assert_eq!(f.try_get(), FutureState::Pending);
+        }
+        // Every stored element is retrievable in FIFO order.
+        for v in stored {
+            prop_assert_eq!(pool.take().wait(), Ok(v));
+        }
+    }
+}

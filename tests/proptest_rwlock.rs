@@ -1,0 +1,188 @@
+//! Property-based test for the readers–writer lock: random single-threaded
+//! operation sequences against a reference model of the phase-fair policy.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use cqs::{RawRwLock, RwLockFuture};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read,
+    Write,
+    ReadUnlock,
+    WriteUnlock,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(Op::Read),
+            2 => Just(Op::Write),
+            3 => Just(Op::ReadUnlock),
+            2 => Just(Op::WriteUnlock),
+        ],
+        0..120,
+    )
+}
+
+/// Reference model of the lock's policy, mirroring the documented
+/// transitions (not the implementation's bit packing).
+#[derive(Debug, Default)]
+struct Model {
+    active_readers: usize,
+    writer_active: bool,
+    waiting_readers: usize,
+    /// FIFO ids of waiting writers.
+    waiting_writers: VecDeque<usize>,
+}
+
+#[derive(Debug, PartialEq)]
+enum Granted {
+    Immediate,
+    Queued,
+}
+
+impl Model {
+    fn read(&mut self) -> Granted {
+        if self.writer_active || !self.waiting_writers.is_empty() {
+            self.waiting_readers += 1;
+            Granted::Queued
+        } else {
+            self.active_readers += 1;
+            Granted::Immediate
+        }
+    }
+
+    fn write(&mut self, id: usize) -> Granted {
+        if !self.writer_active && self.active_readers == 0 && self.waiting_writers.is_empty() {
+            self.writer_active = true;
+            Granted::Immediate
+        } else {
+            self.waiting_writers.push_back(id);
+            Granted::Queued
+        }
+    }
+
+    /// Returns the granted parties: `(readers_released, writer_released)`.
+    fn read_unlock(&mut self) -> (usize, Option<usize>) {
+        assert!(self.active_readers > 0);
+        self.active_readers -= 1;
+        if self.active_readers == 0 && !self.waiting_writers.is_empty() {
+            let w = self.waiting_writers.pop_front().unwrap();
+            self.writer_active = true;
+            (0, Some(w))
+        } else {
+            (0, None)
+        }
+    }
+
+    fn write_unlock(&mut self) -> (usize, Option<usize>) {
+        assert!(self.writer_active);
+        self.writer_active = false;
+        if self.waiting_readers > 0 {
+            let batch = self.waiting_readers;
+            self.active_readers = batch;
+            self.waiting_readers = 0;
+            (batch, None)
+        } else if let Some(w) = self.waiting_writers.pop_front() {
+            self.writer_active = true;
+            (0, Some(w))
+        } else {
+            (0, None)
+        }
+    }
+}
+
+fn assert_ready(f: RwLockFuture) {
+    // A granted future must complete without any further event.
+    f.wait();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rwlock_matches_policy_model(ops in ops()) {
+        let lock = RawRwLock::new();
+        let mut model = Model::default();
+        let mut queued_readers: Vec<RwLockFuture> = Vec::new();
+        let mut queued_writers: Vec<(usize, RwLockFuture)> = Vec::new();
+        let mut next_writer_id = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Read => {
+                    let f = lock.read();
+                    match model.read() {
+                        Granted::Immediate => {
+                            prop_assert!(f.is_immediate());
+                            assert_ready(f);
+                        }
+                        Granted::Queued => {
+                            prop_assert!(!f.is_immediate());
+                            queued_readers.push(f);
+                        }
+                    }
+                }
+                Op::Write => {
+                    let f = lock.write();
+                    let id = next_writer_id;
+                    next_writer_id += 1;
+                    match model.write(id) {
+                        Granted::Immediate => {
+                            prop_assert!(f.is_immediate());
+                            assert_ready(f);
+                        }
+                        Granted::Queued => {
+                            prop_assert!(!f.is_immediate());
+                            queued_writers.push((id, f));
+                        }
+                    }
+                }
+                Op::ReadUnlock => {
+                    if model.active_readers == 0 {
+                        continue;
+                    }
+                    let (readers, writer) = model.read_unlock();
+                    lock.read_unlock();
+                    prop_assert_eq!(readers, 0);
+                    if let Some(id) = writer {
+                        let idx = queued_writers
+                            .iter()
+                            .position(|(i, _)| *i == id)
+                            .expect("granted writer must be queued");
+                        let (_, f) = queued_writers.remove(idx);
+                        assert_ready(f);
+                    }
+                }
+                Op::WriteUnlock => {
+                    if !model.writer_active {
+                        continue;
+                    }
+                    let (readers, writer) = model.write_unlock();
+                    lock.write_unlock();
+                    // All batch readers become ready.
+                    prop_assert!(readers <= queued_readers.len());
+                    for f in queued_readers.drain(..readers) {
+                        assert_ready(f);
+                    }
+                    if let Some(id) = writer {
+                        let idx = queued_writers
+                            .iter()
+                            .position(|(i, _)| *i == id)
+                            .expect("granted writer must be queued");
+                        let (_, f) = queued_writers.remove(idx);
+                        assert_ready(f);
+                    }
+                }
+            }
+        }
+
+        // Sanity: the real lock's observable state agrees with the model.
+        let (active, writer) = lock.observed_state();
+        prop_assert_eq!(active, model.active_readers as u64);
+        prop_assert_eq!(writer, model.writer_active);
+    }
+}

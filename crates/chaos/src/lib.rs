@@ -1,0 +1,230 @@
+//! Deterministic fault injection for the CQS stack.
+//!
+//! Concurrency bugs in CQS live in tiny windows: a cancellation handler
+//! installing itself while a resumer publishes a value, a segment being
+//! unlinked while a traversal walks over it, an epoch advancing between a
+//! retire and a collect. Wall-clock stress tests hit those windows by luck;
+//! this crate hits them on purpose.
+//!
+//! Hot paths mark their race windows with [`inject!`]`("label")`. Without
+//! the `chaos` cargo feature the macro expands to **nothing** — zero code,
+//! zero branches, zero cost. With the feature enabled, each call site
+//! consults a thread-local [`rand::rngs::SmallRng`] schedule and may spin,
+//! `yield_now`, or briefly sleep, stretching the window so that a
+//! conflicting thread can land inside it.
+//!
+//! Schedules are seeded: [`set_seed`] fixes the global seed (each thread
+//! derives its own stream from it), so a failing stress run can be replayed
+//! by re-running with the same seed. The `CQS_CHAOS_SEED` environment
+//! variable seeds and enables chaos without code changes.
+//!
+//! ```ignore
+//! cqs_chaos::inject!("cell.try_install_waiter.pre-cas");
+//! ```
+
+/// Marks a labelled race window for fault injection.
+///
+/// Expands to nothing unless the `chaos` feature is enabled, in which case
+/// it forwards to [`fire`] with the given `&'static str` label.
+#[cfg(feature = "chaos")]
+#[macro_export]
+macro_rules! inject {
+    ($label:expr) => {
+        $crate::fire($label)
+    };
+}
+
+/// Marks a labelled race window for fault injection.
+///
+/// The `chaos` feature is disabled, so this expands to nothing: the label
+/// literal is never evaluated and no code is emitted at the call site.
+#[cfg(not(feature = "chaos"))]
+#[macro_export]
+macro_rules! inject {
+    ($label:expr) => {};
+}
+
+#[cfg(feature = "chaos")]
+mod runtime {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore, SeedableRng};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Once;
+    use std::time::Duration;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    /// Bumped on every (re)seed so live threads drop their stale schedule.
+    static GENERATION: AtomicU64 = AtomicU64::new(0);
+    /// Hands each participating thread a distinct stream index.
+    static THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+    static ENV_INIT: Once = Once::new();
+    static FIRED: AtomicU64 = AtomicU64::new(0);
+
+    struct Local {
+        generation: u64,
+        rng: SmallRng,
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+    }
+
+    /// Enables injection with a fixed global seed. Threads derive their own
+    /// deterministic streams from it; threads spawned after this call (and
+    /// live threads, at their next injection point) use the new schedule.
+    pub fn set_seed(seed: u64) {
+        SEED.store(seed, Ordering::SeqCst);
+        THREAD_ORDINAL.store(0, Ordering::SeqCst);
+        GENERATION.fetch_add(1, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Turns injection off; every `inject!` becomes a cheap load-and-return.
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether injection is currently live.
+    pub fn is_enabled() -> bool {
+        init_from_env();
+        ENABLED.load(Ordering::SeqCst)
+    }
+
+    /// Number of injection decisions taken since process start (diagnostic;
+    /// used by tests to confirm the hooks actually fired).
+    pub fn fired_count() -> u64 {
+        FIRED.load(Ordering::Relaxed)
+    }
+
+    fn init_from_env() {
+        ENV_INIT.call_once(|| {
+            if let Ok(text) = std::env::var("CQS_CHAOS_SEED") {
+                let text = text.trim();
+                let parsed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()
+                } else {
+                    text.parse().ok()
+                };
+                match parsed {
+                    Some(seed) => set_seed(seed),
+                    None => eprintln!("cqs-chaos: ignoring unparsable CQS_CHAOS_SEED=`{text}`"),
+                }
+            }
+        });
+    }
+
+    /// The injection point behind `inject!`: maybe perturbs the calling
+    /// thread's timing at the labelled window.
+    #[inline]
+    pub fn fire(label: &'static str) {
+        init_from_env();
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let generation = GENERATION.load(Ordering::Relaxed);
+        // try_with: a TLS-destructor-time call (thread teardown) is ignored.
+        let _ = LOCAL.try_with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let local = match slot.as_mut() {
+                Some(local) if local.generation == generation => local,
+                _ => {
+                    let ordinal = THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+                    let seed =
+                        SEED.load(Ordering::Relaxed) ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    *slot = Some(Local {
+                        generation,
+                        rng: SmallRng::seed_from_u64(seed),
+                    });
+                    slot.as_mut().unwrap()
+                }
+            };
+            FIRED.fetch_add(1, Ordering::Relaxed);
+            perturb(&mut local.rng, label);
+        });
+    }
+
+    fn perturb(rng: &mut SmallRng, label: &'static str) {
+        // Mix the label in so the same thread stream makes different
+        // choices at different windows, keeping schedules diverse.
+        let roll = (rng.next_u64() ^ fxhash(label)) % 100;
+        match roll {
+            // Mostly do nothing: perturbations must stay rare enough that
+            // storms still make real progress.
+            0..=79 => {}
+            // Stretch the window by a few hundred cycles.
+            80..=91 => {
+                let spins = 50 + (rng.next_u64() % 500);
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+            }
+            // Hand the core to a conflicting thread right inside the window.
+            92..=98 => std::thread::yield_now(),
+            // Rarely, sleep long enough for whole operations to overtake us.
+            _ => std::thread::sleep(Duration::from_micros(rng.gen_range(10u64..100))),
+        }
+    }
+
+    fn fxhash(label: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use runtime::{disable, fire, fired_count, is_enabled, set_seed};
+
+// Inert stand-ins so callers can manage chaos unconditionally; with the
+// feature off these compile to nothing and injection never happens.
+#[cfg(not(feature = "chaos"))]
+mod inert {
+    /// No-op: the `chaos` feature is disabled.
+    pub fn set_seed(_seed: u64) {}
+    /// No-op: the `chaos` feature is disabled.
+    pub fn disable() {}
+    /// Always `false`: the `chaos` feature is disabled.
+    pub fn is_enabled() -> bool {
+        false
+    }
+    /// Always `0`: the `chaos` feature is disabled.
+    pub fn fired_count() -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+pub use inert::{disable, fired_count, is_enabled, set_seed};
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    #[test]
+    fn fire_is_safe_and_counts() {
+        super::set_seed(42);
+        let before = super::fired_count();
+        for _ in 0..100 {
+            crate::inject!("test.window");
+        }
+        assert!(super::fired_count() >= before + 100);
+        super::disable();
+        assert!(!super::is_enabled());
+        super::set_seed(42);
+        assert!(super::is_enabled());
+    }
+}
+
+#[cfg(all(test, not(feature = "chaos")))]
+mod tests {
+    #[test]
+    fn disabled_macro_expands_to_nothing() {
+        // Compiles because the expansion is empty — the label is not even
+        // evaluated, and the inert API reports chaos off.
+        crate::inject!("never.evaluated");
+        assert!(!crate::is_enabled());
+        assert_eq!(crate::fired_count(), 0);
+    }
+}

@@ -100,6 +100,7 @@ impl<T: Send + 'static> CqsCell<T> {
             );
             *self.payload.get() = Some(value);
         }
+        cqs_chaos::inject!("cell.publish.pre-cas");
         match self
             .state
             .compare_exchange(EMPTY, VALUE, Ordering::SeqCst, Ordering::SeqCst)
@@ -130,6 +131,7 @@ impl<T: Send + 'static> CqsCell<T> {
             );
             *self.payload.get() = Some(value);
         }
+        cqs_chaos::inject!("cell.delegate.pre-cas");
         match self
             .state
             .compare_exchange(REQUEST, VALUE, Ordering::SeqCst, Ordering::SeqCst)
@@ -152,6 +154,7 @@ impl<T: Send + 'static> CqsCell<T> {
     /// no longer empty, i.e. a racing `resume(..)` got there first.
     pub(crate) fn try_install_waiter(&self, request: Arc<Request<T>>, guard: &Guard) -> bool {
         self.waiter.store(Some(request), guard);
+        cqs_chaos::inject!("cell.install.pre-cas");
         match self
             .state
             .compare_exchange(EMPTY, REQUEST, Ordering::SeqCst, Ordering::SeqCst)
@@ -174,6 +177,7 @@ impl<T: Send + 'static> CqsCell<T> {
     ///
     /// Returns `None` if the cell had been broken by a synchronous resumer.
     pub(crate) fn take_for_elimination(&self) -> Option<T> {
+        cqs_chaos::inject!("cell.eliminate.pre-swap");
         let old = self.state.swap(TAKEN, Ordering::SeqCst);
         match old {
             // SAFETY: the swap observed VALUE, so the resumer published the
@@ -193,6 +197,7 @@ impl<T: Send + 'static> CqsCell<T> {
     /// `REQUEST → RESUMED`: the resumer successfully completed the waiter;
     /// clear the cell for reclamation.
     pub(crate) fn mark_resumed(&self, guard: &Guard) {
+        cqs_chaos::inject!("cell.mark-resumed.pre-swap");
         let old = self.state.swap(RESUMED, Ordering::SeqCst);
         debug_assert_eq!(old, REQUEST, "mark_resumed from {}", state_name(old));
         self.waiter.store(None, guard);
@@ -202,6 +207,7 @@ impl<T: Send + 'static> CqsCell<T> {
     /// rendezvous. Returns the reclaimed value on success; `None` means a
     /// racing `suspend()` took the value after all (state became `TAKEN`).
     pub(crate) fn try_break(&self) -> Option<T> {
+        cqs_chaos::inject!("cell.break.pre-cas");
         match self
             .state
             .compare_exchange(VALUE, BROKEN, Ordering::SeqCst, Ordering::SeqCst)
@@ -223,6 +229,7 @@ impl<T: Send + 'static> CqsCell<T> {
     /// Panics if the cell is in a state the handler can never observe.
     pub(crate) fn cancel_swap(&self, new_state: usize, guard: &Guard) -> CancelSwap<T> {
         debug_assert!(new_state == CANCELLED || new_state == REFUSE);
+        cqs_chaos::inject!("cell.cancel.pre-swap");
         let old = self.state.swap(new_state, Ordering::SeqCst);
         match old {
             REQUEST => {

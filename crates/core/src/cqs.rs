@@ -2,7 +2,7 @@
 //! over the infinite array, with all four mode combinations (paper,
 //! Listings 1, 5, 11, 13).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cqs_future::{CancellationHandler, CqsFuture, Request};
@@ -80,6 +80,10 @@ struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
     suspend_segm: AtomicArc<Segment<T>>,
     resume_segm: AtomicArc<Segment<T>>,
     callbacks: C,
+    /// Set by [`CqsInner::close`]; suspenders double-check it after
+    /// installing their waiter and self-cancel, so no waiter can be parked
+    /// past a close.
+    closed: AtomicBool,
 }
 
 /// A `CancellableQueueSynchronizer`: a FIFO queue of waiters with efficient
@@ -123,6 +127,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
                 suspend_segm: AtomicArc::new(Some(Arc::clone(&first))),
                 resume_segm: AtomicArc::new(Some(first)),
                 callbacks,
+                closed: AtomicBool::new(false),
             }),
         }
     }
@@ -167,6 +172,26 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
     /// fails.
     pub fn resume(&self, value: T) -> Result<(), T> {
         self.inner.resume(value)
+    }
+
+    /// Closes the queue: every currently parked waiter is cancelled (its
+    /// future reports [`cqs_future::Cancelled`]) and any `suspend()` that
+    /// races with or follows the close self-cancels, so no waiter can park
+    /// forever on a closed queue. `resume(..)` is unaffected — in-flight
+    /// resumptions still hand their values over (or fail) exactly as
+    /// before, which lets primitives drain state counters gracefully.
+    ///
+    /// Note that `close` only settles the queue; primitives built on CQS
+    /// must stop *initiating* suspensions themselves (see
+    /// `Semaphore::close`), because the suspension counter of a logical
+    /// operation is typically adjusted before `suspend()` is reached.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    /// Whether [`close`](Cqs::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
     }
 
     /// Current value of the suspension counter (diagnostics/tests).
@@ -263,8 +288,10 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             .suspend_segm
             .load(&guard)
             .expect("head pointers are never null");
+        cqs_chaos::inject!("cqs.suspend.pre-counter");
         let i = self.suspend_idx.fetch_add(1, Ordering::SeqCst);
         let id = i / n;
+        cqs_chaos::inject!("cqs.suspend.pre-find");
         let segment = find_and_move_forward(
             &self.suspend_segm,
             start,
@@ -280,11 +307,21 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
 
         let request: Arc<Request<T>> = Arc::new(Request::new());
         if cell.try_install_waiter(Arc::clone(&request), &guard) {
+            cqs_chaos::inject!("cqs.suspend.install-to-handler-window");
             request.set_cancellation_handler(Box::new(CellCancellationHandler {
                 inner: Arc::clone(self_arc),
                 segment,
                 index,
             }));
+            // Double-check after publishing the waiter: if a `close()`
+            // stored `closed` before this load, self-cancel (idempotent
+            // with the closer's sweep — `Request::cancel` has exactly one
+            // winner). If it stored after, the install is ordered before
+            // the store, so the closer's sweep observes and cancels this
+            // waiter. Either way no waiter parks past a close.
+            if self.closed.load(Ordering::SeqCst) {
+                request.cancel();
+            }
             return Suspend::Future(CqsFuture::suspended(request));
         }
         // A racing resume(..) reached the cell first: eliminate.
@@ -304,6 +341,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 .resume_segm
                 .load(&guard)
                 .expect("head pointers are never null");
+            cqs_chaos::inject!("cqs.resume.pre-counter");
             let i = self.resume_idx.fetch_add(1, Ordering::SeqCst);
             let id = i / n;
             let segment = find_and_move_forward(
@@ -365,8 +403,10 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                             // between our state read and the peek.
                             continue 'cell;
                         };
+                        cqs_chaos::inject!("cqs.resume.pre-complete");
                         match request.complete(value) {
                             Ok(()) => {
+                                cqs_chaos::inject!("cqs.resume.pre-mark-resumed");
                                 cell.mark_resumed(&guard);
                                 return Ok(());
                             }
@@ -423,9 +463,39 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         }
     }
 
+    /// Closes the queue and sweeps every linked segment, cancelling each
+    /// still-parked waiter. See [`Cqs::close`] for the ordering argument.
+    fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return; // the first closer performs the (single) sweep
+        }
+        cqs_chaos::inject!("cqs.close.pre-sweep");
+        let guard = pin();
+        // Any waiter installed before the `closed` store above is reachable
+        // from the earlier of the two heads (resumers never move their head
+        // past a still-pending waiter); one installed after observes
+        // `closed` in its post-install double-check and self-cancels.
+        let resume_head = self.resume_segm.load(&guard);
+        let suspend_head = self.suspend_segm.load(&guard);
+        let mut cur = match (resume_head, suspend_head) {
+            (Some(r), Some(s)) => Some(if r.id() <= s.id() { r } else { s }),
+            (r, s) => r.or(s),
+        };
+        while let Some(segment) = cur {
+            for index in 0..segment.len() {
+                if let Some(request) = segment.cell(index).peek_waiter(&guard) {
+                    cqs_chaos::inject!("cqs.close.pre-cancel");
+                    request.cancel();
+                }
+            }
+            cur = segment.next(&guard);
+        }
+    }
+
     /// The cell-side part of cancellation, invoked by `Request::cancel`
     /// through the installed handler (paper, Listing 5).
     fn on_waiter_cancelled(&self, segment: &Arc<Segment<T>>, index: usize) {
+        cqs_chaos::inject!("cqs.on-waiter-cancelled.entry");
         let guard = pin();
         let cell = segment.cell(index);
         match self.config.get_cancellation_mode() {

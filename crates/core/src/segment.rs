@@ -83,6 +83,7 @@ impl<T: Send + 'static> Segment<T> {
     /// Registers one more cancelled cell; physically removes the segment if
     /// it became logically removed (paper, `onCancelledCell`).
     pub(crate) fn on_cancelled_cell(self: &Arc<Self>, guard: &Guard) {
+        cqs_chaos::inject!("segment.on-cancelled-cell.pre-count");
         let ctr = self.ctr.fetch_add(1, Ordering::SeqCst) + 1;
         debug_assert!(
             (ctr & CANCELLED_MASK) as usize <= self.cells.len(),
@@ -135,6 +136,7 @@ impl<T: Send + 'static> Segment<T> {
             let next = self.alive_segment_right(guard);
 
             // Link next and prev to each other.
+            cqs_chaos::inject!("segment.remove.pre-link");
             next.prev.store(prev.clone(), guard);
             if let Some(prev) = &prev {
                 prev.next.store(Some(Arc::clone(&next)), guard);
@@ -217,6 +219,7 @@ pub(crate) fn find_segment<T: Send + 'static>(
             None => {
                 // Create and append a new tail segment.
                 let fresh = Segment::new(cur.id + 1, segment_size, 0);
+                cqs_chaos::inject!("segment.append.pre-cas");
                 match cur.next.compare_exchange_null(Arc::clone(&fresh), guard) {
                     Ok(()) => {
                         fresh.prev.store(Some(Arc::clone(&cur)), guard);
@@ -258,6 +261,7 @@ pub(crate) fn move_forward<T: Send + 'static>(
             return false;
         }
         let cur_ptr = Arc::as_ptr(&cur);
+        cqs_chaos::inject!("segment.move-forward.pre-cas");
         if pointer
             .compare_exchange(cur_ptr, Some(Arc::clone(to)), guard)
             .is_ok()

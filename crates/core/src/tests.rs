@@ -585,7 +585,9 @@ fn memory_stays_proportional_to_live_waiters() {
     let long_lived = cqs.suspend().expect_future();
 
     for _ in 0..WAVES {
-        let wave: Vec<_> = (0..PER_WAVE).map(|_| cqs.suspend().expect_future()).collect();
+        let wave: Vec<_> = (0..PER_WAVE)
+            .map(|_| cqs.suspend().expect_future())
+            .collect();
         for f in &wave {
             assert!(f.cancel());
         }

@@ -145,9 +145,11 @@ impl<T> Request<T> {
     ///
     /// Panics if a handler was already installed.
     pub fn set_cancellation_handler(&self, handler: Box<dyn CancellationHandler>) {
+        cqs_chaos::inject!("future.handler.install-window");
         if self.handler.set(handler).is_err() {
             panic!("cancellation handler installed twice");
         }
+        cqs_chaos::inject!("future.handler.installed.pre-due-check");
         if self.handler_due.load(Ordering::Acquire) {
             self.run_handler_once();
         }
@@ -156,6 +158,7 @@ impl<T> Request<T> {
     fn run_handler_once(&self) {
         if let Some(handler) = self.handler.get() {
             if !self.handler_ran.swap(true, Ordering::AcqRel) {
+                cqs_chaos::inject!("future.handler.pre-run");
                 handler.on_cancel();
             }
         } else {
@@ -170,6 +173,7 @@ impl<T> Request<T> {
     /// Returns the value back if the request was already cancelled (or, in
     /// violation of the single-completer contract, already completed).
     pub fn complete(&self, value: T) -> Result<(), T> {
+        cqs_chaos::inject!("future.complete.pre-cas");
         if self
             .state
             .compare_exchange(PENDING, COMPLETING, Ordering::AcqRel, Ordering::Acquire)
@@ -177,6 +181,7 @@ impl<T> Request<T> {
         {
             return Err(value);
         }
+        cqs_chaos::inject!("future.complete.completing-window");
         // SAFETY: the CAS above made us the unique completer; no one reads
         // the slot until they observe COMPLETED.
         unsafe { *self.value.get() = Some(value) };
@@ -191,6 +196,7 @@ impl<T> Request<T> {
     /// Returns `true` if this call cancelled the request, `false` if it was
     /// already completed (or cancelled).
     pub fn cancel(&self) -> bool {
+        cqs_chaos::inject!("future.cancel.pre-cas");
         if self
             .state
             .compare_exchange(PENDING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
@@ -198,6 +204,7 @@ impl<T> Request<T> {
         {
             return false;
         }
+        cqs_chaos::inject!("future.cancel.pre-handler");
         self.run_handler_once();
         self.wake();
         true
@@ -315,6 +322,16 @@ impl<T> CqsFuture<T> {
         CqsFuture {
             inner: Inner::Suspended(request),
         }
+    }
+
+    /// An already-cancelled future: every observation reports
+    /// [`Cancelled`]. Used by primitives to fail an operation fast — e.g.
+    /// an `acquire()` against a closed semaphore — without touching the
+    /// waiter queue.
+    pub fn cancelled() -> Self {
+        let request = Arc::new(Request::new());
+        request.cancel();
+        CqsFuture::suspended(request)
     }
 
     /// Whether the operation completed without suspending. Mirrors the
@@ -490,6 +507,14 @@ mod tests {
         assert!(f.is_immediate());
         assert!(!f.cancel());
         assert_eq!(f.try_get(), FutureState::Ready(3));
+    }
+
+    #[test]
+    fn cancelled_future_fails_fast() {
+        let mut f: CqsFuture<u32> = CqsFuture::cancelled();
+        assert!(!f.is_immediate());
+        assert_eq!(f.try_get(), FutureState::Cancelled);
+        assert_eq!(CqsFuture::<u32>::cancelled().wait(), Err(Cancelled));
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     pub fn take(&self) -> CqsFuture<E> {
         let shared = &self.shared;
         loop {
+            // Fail fast on a closed pool before touching `size`; past this
+            // check a racing `close()` is settled by the CQS itself.
+            if shared.cqs.is_closed() {
+                return CqsFuture::cancelled();
+            }
             let s = shared.size.fetch_sub(1, Ordering::SeqCst);
             if s > 0 {
                 // An element should be there; a racing put() that announced
@@ -174,6 +179,21 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
                 }
             }
         }
+    }
+
+    /// Closes the pool: every waiting taker is woken with an error (its
+    /// future reports [`cqs_core::Cancelled`]) and every subsequent
+    /// [`take`](Self::take) fails fast without queuing. Stored elements
+    /// stay in the pool and [`put`](Self::put) keeps working, so owners of
+    /// checked-out elements can still return them for orderly teardown.
+    /// Closing twice is a no-op.
+    pub fn close(&self) {
+        self.shared.cqs.close();
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.cqs.is_closed()
     }
 }
 
@@ -356,6 +376,29 @@ mod tests {
             back.insert(pool.take().wait().unwrap());
         }
         assert_eq!(back.len(), ELEMENTS as usize, "elements lost or duplicated");
+    }
+
+    #[test]
+    fn close_wakes_takers_and_keeps_elements() {
+        let pool: QueuePool<u64> = QueuePool::new();
+        pool.put(7);
+        let _ = pool.take().wait().unwrap();
+        let waiter = pool.take();
+        assert!(!pool.is_closed());
+        pool.close();
+        assert!(pool.is_closed());
+        assert!(
+            waiter.wait().is_err(),
+            "queued taker must be woken with an error"
+        );
+        assert!(
+            pool.take().wait().is_err(),
+            "take after close must fail fast"
+        );
+        // A checked-out element can still come home after close.
+        pool.put(7);
+        assert_eq!(pool.len(), 1);
+        pool.close(); // double close is a no-op
     }
 
     #[test]

@@ -88,6 +88,7 @@ impl Global {
             }
         }
         // Multiple threads may race here; CAS ensures a single increment.
+        cqs_chaos::inject!("epoch.advance.pre-cas");
         self.epoch
             .compare_exchange(
                 global_epoch,
@@ -101,6 +102,7 @@ impl Global {
     /// Tries to advance the epoch and frees garbage that is at least two
     /// epochs old. Destructors run outside the garbage lock.
     fn collect(&self) {
+        cqs_chaos::inject!("epoch.collect.pre-drain");
         self.try_advance();
         let garbage: Vec<Deferred> = {
             let mut bags = self.bags.lock().unwrap();
@@ -121,6 +123,7 @@ impl Global {
     }
 
     fn defer(&self, deferred: Deferred) {
+        cqs_chaos::inject!("epoch.defer.pre-bin");
         let collect_now = {
             let mut bags = self.bags.lock().unwrap();
             let epoch = self.epoch.load(Ordering::SeqCst);
@@ -228,6 +231,7 @@ impl LocalHandle {
             // new one until it is stable.
             let mut epoch = self.global.epoch.load(Ordering::SeqCst);
             loop {
+                cqs_chaos::inject!("epoch.pin.publish-window");
                 self.participant
                     .state
                     .store((epoch << 1) | 1, Ordering::SeqCst);

@@ -50,9 +50,9 @@ mod semaphore;
 
 pub use barrier::{Barrier, BarrierFuture, CyclicBarrier};
 pub use latch::{CountDownLatch, SimpleCancelLatch};
-pub use mutex::{Mutex, MutexGuard, RawMutex};
+pub use mutex::{LockError, Mutex, MutexGuard, RawMutex};
 pub use rwlock::{RawRwLock, RwLockFuture};
-pub use semaphore::{Semaphore, SemaphoreGuard};
+pub use semaphore::{ExcessRelease, Semaphore, SemaphoreGuard};
 
 // Re-export the future vocabulary users interact with.
 pub use cqs_core::{Cancelled, CqsFuture, FutureState};

@@ -15,13 +15,40 @@
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use cqs_core::{
     CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
 };
+
+/// Error returned by [`Mutex::lock`] and [`Mutex::lock_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockError {
+    /// The lock request was aborted (cancelled future or elapsed timeout).
+    Cancelled,
+    /// A previous holder panicked while holding the lock; the protected
+    /// value may be in an inconsistent state. See [`Mutex::clear_poison`].
+    Poisoned,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Cancelled => f.write_str("lock request was cancelled"),
+            LockError::Poisoned => f.write_str("mutex was poisoned by a panicking holder"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<Cancelled> for LockError {
+    fn from(_: Cancelled) -> Self {
+        LockError::Cancelled
+    }
+}
 
 #[derive(Debug)]
 struct MutexCallbacks {
@@ -162,6 +189,11 @@ impl Default for RawMutex {
 /// ```
 pub struct Mutex<T> {
     raw: RawMutex,
+    /// Set when a holder's guard is dropped during a panic. Unlike a
+    /// poisoned [`std::sync::Mutex`], the lock itself is always released —
+    /// poisoning never deadlocks waiters, it only makes them observe
+    /// [`LockError::Poisoned`].
+    poison: AtomicBool,
     value: UnsafeCell<T>,
 }
 
@@ -174,6 +206,7 @@ impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
         Mutex {
             raw: RawMutex::new(),
+            poison: AtomicBool::new(false),
             value: UnsafeCell::new(value),
         }
     }
@@ -182,16 +215,19 @@ impl<T> Mutex<T> {
     ///
     /// # Errors
     ///
-    /// Never fails in practice; the `Result` mirrors [`CqsFuture::wait`].
-    pub fn lock(&self) -> Result<MutexGuard<'_, T>, Cancelled> {
+    /// Returns [`LockError::Poisoned`] if a previous holder panicked while
+    /// holding the lock (the lock itself is released again before the error
+    /// is returned, so other waiters are not blocked).
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, LockError> {
         self.raw.lock().wait()?;
-        Ok(MutexGuard { mutex: self })
+        self.guard_or_poisoned()
     }
 
-    /// Attempts to acquire the lock without waiting.
+    /// Attempts to acquire the lock without waiting. Returns `None` if the
+    /// lock is held — or if the mutex is poisoned.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         if self.raw.try_lock() {
-            Some(MutexGuard { mutex: self })
+            self.guard_or_poisoned().ok()
         } else {
             None
         }
@@ -202,9 +238,32 @@ impl<T> Mutex<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`Cancelled`] if the timeout elapsed first.
-    pub fn lock_timeout(&self, timeout: Duration) -> Result<MutexGuard<'_, T>, Cancelled> {
+    /// Returns [`LockError::Cancelled`] if the timeout elapsed first, or
+    /// [`LockError::Poisoned`] if a previous holder panicked.
+    pub fn lock_timeout(&self, timeout: Duration) -> Result<MutexGuard<'_, T>, LockError> {
         self.raw.lock().wait_timeout(timeout)?;
+        self.guard_or_poisoned()
+    }
+
+    /// Whether a previous holder panicked while holding the lock.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::SeqCst)
+    }
+
+    /// Clears the poison flag, declaring the protected value consistent
+    /// again; subsequent `lock` calls succeed normally.
+    pub fn clear_poison(&self) {
+        self.poison.store(false, Ordering::SeqCst);
+    }
+
+    /// Wraps a freshly acquired raw lock in a guard — unless the mutex is
+    /// poisoned, in which case the lock is handed back so that waiters
+    /// behind us are not stuck behind an error.
+    fn guard_or_poisoned(&self) -> Result<MutexGuard<'_, T>, LockError> {
+        if self.poison.load(Ordering::SeqCst) {
+            self.raw.unlock();
+            return Err(LockError::Poisoned);
+        }
         Ok(MutexGuard { mutex: self })
     }
 
@@ -252,6 +311,11 @@ impl<T> DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        // Poison on panic — but *always* unlock: a panicking holder must
+        // never leave the queue deadlocked.
+        if std::thread::panicking() {
+            self.mutex.poison.store(true, Ordering::SeqCst);
+        }
         self.mutex.raw.unlock();
     }
 }
@@ -386,6 +450,52 @@ mod tests {
             j.join().unwrap();
         }
         assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn panicking_holder_poisons_but_never_deadlocks() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let panicker = std::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g = 13;
+            panic!("holder dies");
+        });
+        assert!(panicker.join().is_err());
+        // Not deadlocked: the lock was released; but it reports poison.
+        assert!(m.is_poisoned());
+        assert!(matches!(m.lock(), Err(LockError::Poisoned)));
+        assert!(m.try_lock().is_none());
+        assert!(matches!(
+            m.lock_timeout(Duration::from_millis(50)),
+            Err(LockError::Poisoned)
+        ));
+        // The raw lock is free again after each poisoned rejection.
+        assert!(!m.raw.is_locked());
+        m.clear_poison();
+        assert_eq!(*m.lock().unwrap(), 13);
+    }
+
+    #[test]
+    fn poisoned_rejection_releases_lock_for_other_waiters() {
+        let m = Arc::new(Mutex::new(()));
+        let m2 = Arc::clone(&m);
+        assert!(std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join()
+        .is_err());
+        // Several waiters all observe Poisoned; none hangs.
+        let joins: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.lock().map(|_| ()))
+            })
+            .collect();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), Err(LockError::Poisoned));
+        }
     }
 
     #[test]

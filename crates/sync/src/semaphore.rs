@@ -122,6 +122,13 @@ impl Semaphore {
     /// abort waiting.
     pub fn acquire(&self) -> CqsFuture<()> {
         loop {
+            // Fail fast on a closed semaphore *before* touching `state`:
+            // past this check a racing `close()` is handled by the CQS
+            // itself (the suspension self-cancels and the smart callbacks
+            // restore the counter).
+            if self.cqs.is_closed() {
+                return CqsFuture::cancelled();
+            }
             let s = self.state.fetch_sub(1, Ordering::SeqCst);
             if s > 0 {
                 return CqsFuture::immediate(());
@@ -193,6 +200,60 @@ impl Semaphore {
         false
     }
 
+    /// Closes the semaphore: every queued acquirer is woken with an error
+    /// (its future reports [`Cancelled`]) and every subsequent
+    /// [`acquire`](Semaphore::acquire) fails fast without queuing. Permits
+    /// already handed out stay valid and may still be
+    /// [`release`](Semaphore::release)d, so holders can finish their
+    /// critical sections gracefully. Closing twice is a no-op.
+    pub fn close(&self) {
+        self.cqs.close();
+    }
+
+    /// Whether [`close`](Semaphore::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.cqs.is_closed()
+    }
+
+    /// Like [`release`](Semaphore::release), but refuses to push the number
+    /// of available permits above the count the semaphore was created with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExcessRelease`] — and leaves the semaphore untouched — if
+    /// all permits are already available, which means the caller releases
+    /// a permit it never acquired.
+    pub fn release_checked(&self) -> Result<(), ExcessRelease> {
+        let mut s = self.state.load(Ordering::SeqCst);
+        loop {
+            if s >= self.permits as i64 {
+                return Err(ExcessRelease);
+            }
+            match self
+                .state
+                .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(actual) => s = actual,
+            }
+        }
+        if s >= 0 {
+            return Ok(());
+        }
+        // There was a waiter when we incremented; resume it. Mirrors the
+        // retry structure of `release()` for synchronous rendezvous breaks.
+        loop {
+            if self.cqs.resume(()).is_ok() {
+                return Ok(());
+            }
+            std::thread::yield_now();
+            let prev = self.state.fetch_add(1, Ordering::SeqCst);
+            if prev >= 0 {
+                return Ok(());
+            }
+        }
+    }
+
     /// Returns a permit, resuming the first waiter if there is one.
     pub fn release(&self) {
         loop {
@@ -229,6 +290,19 @@ impl Drop for SemaphoreGuard<'_> {
         self.semaphore.release();
     }
 }
+
+/// Error of [`Semaphore::release_checked`]: the release would have pushed
+/// the available-permit count above the configured maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExcessRelease;
+
+impl std::fmt::Display for ExcessRelease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("released a permit that was never acquired")
+    }
+}
+
+impl std::error::Error for ExcessRelease {}
 
 #[cfg(test)]
 mod tests {
@@ -409,6 +483,99 @@ mod tests {
         for _ in 0..K {
             assert!(s.acquire().wait().is_ok());
         }
+    }
+}
+
+#[cfg(test)]
+mod close_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn close_wakes_queued_waiters_with_error() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let waiters: Vec<_> = (0..4).map(|_| s.acquire()).collect();
+        let joins: Vec<_> = waiters
+            .into_iter()
+            .map(|f| std::thread::spawn(move || f.wait()))
+            .collect();
+        // Give the waiters a moment to park, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        s.close();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), Err(Cancelled));
+        }
+    }
+
+    #[test]
+    fn acquire_after_close_fails_fast() {
+        let s = Semaphore::new(2);
+        assert!(!s.is_closed());
+        s.close();
+        assert!(s.is_closed());
+        assert_eq!(s.acquire().wait(), Err(Cancelled));
+        assert!(s.acquire_blocking().is_err());
+        // `state` was never touched: closing loses no permits.
+        assert_eq!(s.available_permits(), 2);
+    }
+
+    #[test]
+    fn holders_can_release_after_close() {
+        let s = Semaphore::new(2);
+        let g = s.acquire_blocking().unwrap();
+        s.close();
+        drop(g);
+        assert_eq!(s.available_permits(), 2);
+        s.close(); // double close is a no-op
+    }
+
+    #[test]
+    fn close_races_with_acquirers() {
+        for _ in 0..50 {
+            let s = Arc::new(Semaphore::new(1));
+            s.acquire().wait().unwrap();
+            let mut joins = Vec::new();
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                joins.push(std::thread::spawn(move || s.acquire().wait()));
+            }
+            let closer = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.close())
+            };
+            s.release();
+            closer.join().unwrap();
+            // Every acquirer either got the released permit or an error;
+            // none may park forever (join would hang).
+            let granted = joins
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .filter(|r| r.is_ok())
+                .count();
+            assert!(granted <= 1, "one permit granted to {granted} acquirers");
+        }
+    }
+
+    #[test]
+    fn release_checked_rejects_excess() {
+        let s = Semaphore::new(2);
+        assert_eq!(s.release_checked(), Err(ExcessRelease));
+        s.acquire().wait().unwrap();
+        assert_eq!(s.release_checked(), Ok(()));
+        assert_eq!(s.release_checked(), Err(ExcessRelease));
+        assert_eq!(s.available_permits(), 2);
+    }
+
+    #[test]
+    fn release_checked_resumes_waiters() {
+        let s = Arc::new(Semaphore::new(1));
+        s.acquire().wait().unwrap();
+        let f = s.acquire();
+        assert_eq!(s.release_checked(), Ok(()));
+        assert_eq!(f.wait(), Ok(()));
+        s.release();
+        assert_eq!(s.available_permits(), 1);
     }
 }
 

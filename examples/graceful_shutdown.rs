@@ -1,0 +1,74 @@
+//! Demonstrates graceful degradation of the CQS primitives: closing a
+//! semaphore wakes every queued waiter with an error, a panicking mutex
+//! holder poisons the lock instead of deadlocking it, and
+//! `release_checked` refuses permits that were never acquired.
+//!
+//! Run with `--features chaos` (optionally `CQS_CHAOS_SEED=<n>`) to
+//! stretch the race windows with the deterministic fault-injection layer.
+
+use cqs::{LockError, Mutex, Semaphore};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!(
+        "chaos injection: enabled={} (fired so far: {})",
+        cqs_chaos::is_enabled(),
+        cqs_chaos::fired_count()
+    );
+
+    // --- Semaphore::close() wakes queued waiters with an error ---------
+    let s = Arc::new(Semaphore::new(1));
+    s.acquire().wait().unwrap(); // take the only permit
+    let waiters: Vec<_> = (0..3)
+        .map(|i| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let outcome = s.acquire().wait_timeout(Duration::from_secs(5));
+                println!("  waiter {i}: {outcome:?}");
+                outcome
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50)); // let them park
+    s.close();
+    println!("semaphore closed; queued waiters woke with:");
+    for w in waiters {
+        assert!(w.join().unwrap().is_err(), "waiter won a closed semaphore");
+    }
+    println!("acquire after close: {:?}", s.acquire().wait());
+    assert!(s.acquire().wait().is_err());
+    s.release(); // holders may still return permits after close
+
+    // --- release_checked refuses permits never acquired ----------------
+    let s = Semaphore::new(2);
+    println!("release_checked at full permits: {:?}", s.release_checked());
+    assert!(s.release_checked().is_err());
+    s.acquire().wait().unwrap();
+    assert!(s.release_checked().is_ok());
+
+    // --- panicking Mutex holder poisons instead of deadlocking ---------
+    let m = Arc::new(Mutex::new(0u32));
+    let m2 = Arc::clone(&m);
+    let _ = std::thread::spawn(move || {
+        let _guard = m2.lock().unwrap();
+        panic!("holder dies while holding the lock");
+    })
+    .join();
+    match m.lock() {
+        Err(LockError::Poisoned) => println!("mutex is poisoned, not deadlocked"),
+        other => panic!("expected poisoning, got {other:?}"),
+    }
+    assert!(m.is_poisoned());
+    m.clear_poison();
+    *m.lock().unwrap() += 1;
+    println!(
+        "after clear_poison the mutex works again: {:?}",
+        *m.lock().unwrap()
+    );
+
+    println!(
+        "done; injections fired during this run: {}",
+        cqs_chaos::fired_count()
+    );
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no access to crates.io, so this shim provides the
+//! subset of the criterion 0.5 API the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`warm_up_time`/`measurement_time`/
+//! `bench_function`/`finish`, `BenchmarkId`, `Bencher::{iter, iter_custom}`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! straightforward wall-clock median over the configured sample count —
+//! good enough for the relative comparisons EXPERIMENTS.md makes, without
+//! criterion's statistical machinery.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// A benchmark identifier rendered as `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, automatically choosing the per-sample iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and calibrate: grow the batch until it costs >= ~1ms.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                if Instant::now() >= warm_deadline {
+                    break;
+                }
+            } else {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        let per_sample_budget = self.measurement_time / self.sample_size as u32;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+            if start.elapsed() > per_sample_budget.saturating_mul(4) {
+                break; // routine is far slower than budgeted; stop early
+            }
+        }
+    }
+
+    /// Times `routine` with caller-measured durations, as criterion's
+    /// `iter_custom`: the closure receives an iteration count and returns
+    /// the total time those iterations took.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let iters: u64 = 1;
+        std_black_box(routine(iters)); // warm-up pass
+        self.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let total = routine(iters);
+            self.samples.push(total / iters as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median sample time.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: D, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match bencher.median() {
+            Some(median) => println!("{label:<60} median {median:>12.2?}"),
+            None => println!("{label:<60} (no samples collected)"),
+        }
+        self.criterion.completed += 1;
+    }
+
+    /// Ends the group (parity with criterion; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group with shim default timing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, invoking each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_a_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        group.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function(BenchmarkId::new("spin", 4), |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(2 + 2);
+                }
+                start.elapsed()
+            })
+        });
+        group.finish();
+        assert_eq!(c.completed, 2);
+    }
+}

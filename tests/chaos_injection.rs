@@ -1,0 +1,254 @@
+//! Deterministic chaos-injection storms (run with `--features chaos`).
+//!
+//! With the `chaos` feature enabled, every labelled race window in the CQS
+//! stack may spin, yield or sleep according to a seeded per-thread schedule
+//! (see `crates/chaos`). These tests drive suspend/resume/cancel storms
+//! across many fixed seeds and assert the paper's invariants hold under
+//! each schedule:
+//!
+//! * **no lost wakeup** — every waiter is eventually resumed or cancelled
+//!   (enforced with generous deadlines, so a loss fails instead of hanging);
+//! * **no double resume** — never more than K holders inside a K-permit
+//!   semaphore, never two threads inside a mutex;
+//! * **FIFO order** — sequentially enqueued waiters are resumed in order;
+//! * **segment reclamation** — a queue whose waiters all cancelled shrinks
+//!   back to O(1) segments.
+//!
+//! Every assertion message carries the active seed, so a failure can be
+//! replayed exactly with `CQS_CHAOS_SEED=<seed> cargo test --features
+//! chaos <name>` (plus `--test-threads=1`, which the CI chaos job uses for
+//! fully deterministic schedules).
+//!
+//! Without the feature, the only test in this file asserts the inverse:
+//! the hooks are inert and fire zero times.
+
+#[cfg(feature = "chaos")]
+mod enabled {
+    use cqs::{Cancelled, Cqs, CqsConfig, Semaphore, SimpleCancellation};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+    use std::time::Duration;
+
+    /// Chaos seeding is process-global; storms must not interleave their
+    /// `set_seed` calls, so every test serializes on this lock.
+    fn storm_lock() -> &'static StdMutex<()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+    }
+
+    /// 64+ distinct, reproducible seeds (acceptance floor is 64).
+    fn seeds() -> impl Iterator<Item = u64> {
+        (0..72u64).map(|i| 0x5EED_0000 + i * 7919)
+    }
+
+    /// A waiter must complete within this budget or we call the wakeup
+    /// lost. Far above any chaos-induced delay (sleeps are <= 100us each).
+    const DEADLINE: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn injection_points_actually_fire() {
+        let _serial = storm_lock().lock().unwrap();
+        cqs_chaos::set_seed(42);
+        let before = cqs_chaos::fired_count();
+        let s = Semaphore::new(1);
+        s.acquire().wait().unwrap();
+        let waiter = s.acquire();
+        s.release();
+        waiter.wait().unwrap();
+        s.release();
+        assert!(
+            cqs_chaos::fired_count() > before,
+            "no injection point fired across a suspend/resume round trip"
+        );
+        cqs_chaos::disable();
+    }
+
+    /// Suspend/resume/cancel storm on a 2-permit semaphore: mutual
+    /// exclusion, no lost wakeups and permit conservation under every seed.
+    #[test]
+    fn semaphore_storm_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        const PERMITS: usize = 2;
+        const THREADS: usize = 4;
+        const OPS: usize = 30;
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let s = Arc::new(Semaphore::new(PERMITS));
+            let inside = Arc::new(AtomicUsize::new(0));
+            let joins: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    let inside = Arc::clone(&inside);
+                    std::thread::spawn(move || {
+                        for i in 0..OPS {
+                            let f = s.acquire();
+                            // A third of the acquisitions try to abort.
+                            if (i + t) % 3 == 0 && f.cancel() {
+                                continue;
+                            }
+                            f.wait_timeout(DEADLINE)?;
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(now <= PERMITS, "double resume: {now} > {PERMITS} holders");
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                            s.release();
+                        }
+                        Ok::<(), Cancelled>(())
+                    })
+                })
+                .collect();
+            for j in joins {
+                match j.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(Cancelled)) => {
+                        panic!("lost wakeup under seed {seed}: replay with CQS_CHAOS_SEED={seed}")
+                    }
+                    Err(_) => panic!(
+                        "invariant violated under seed {seed}: replay with CQS_CHAOS_SEED={seed}"
+                    ),
+                }
+            }
+            assert_eq!(
+                s.available_permits(),
+                PERMITS,
+                "permits lost under seed {seed}: replay with CQS_CHAOS_SEED={seed}"
+            );
+        }
+        cqs_chaos::disable();
+    }
+
+    /// Sequentially enqueued waiters must be woken strictly in order, no
+    /// matter how the chaos schedule stretches the resume path.
+    #[test]
+    fn fifo_order_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        const WAITERS: usize = 6;
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let s = Arc::new(Semaphore::new(1));
+            s.acquire().wait().unwrap();
+            // Enqueue from one thread: arrival order is the program order.
+            let futures: Vec<_> = (0..WAITERS).map(|_| s.acquire()).collect();
+            let order = Arc::new(AtomicUsize::new(0));
+            let joins: Vec<_> = futures
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let order = Arc::clone(&order);
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || {
+                        f.wait_timeout(DEADLINE).map(|()| {
+                            let at = order.fetch_add(1, Ordering::SeqCst);
+                            s.release();
+                            (i, at)
+                        })
+                    })
+                })
+                .collect();
+            s.release();
+            for j in joins {
+                match j.join().expect("waiter panicked") {
+                    Ok((i, at)) => assert_eq!(
+                        at, i,
+                        "FIFO violated under seed {seed}: waiter {i} woke {at}th; \
+                         replay with CQS_CHAOS_SEED={seed}"
+                    ),
+                    Err(Cancelled) => {
+                        panic!("lost wakeup under seed {seed}: replay with CQS_CHAOS_SEED={seed}")
+                    }
+                }
+            }
+        }
+        cqs_chaos::disable();
+    }
+
+    /// Mass cancellation must physically unlink fully-cancelled segments:
+    /// the queue's footprint stays O(live waiters), not O(total waiters).
+    #[test]
+    fn cancelled_segments_reclaimed_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        const SEGMENT: usize = 4;
+        const WAITERS: usize = 64;
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let cqs: Cqs<u32, SimpleCancellation> =
+                Cqs::new(CqsConfig::new().segment_size(SEGMENT), SimpleCancellation);
+            let futures: Vec<_> = (0..WAITERS)
+                .map(|_| cqs.suspend().expect_future())
+                .collect();
+            // Cancel from a second thread so handler/resume windows overlap
+            // with the main thread's next suspensions.
+            let canceller = std::thread::spawn(move || {
+                for f in &futures {
+                    assert!(f.cancel());
+                }
+            });
+            canceller.join().unwrap();
+            let live = cqs.live_segments();
+            assert!(
+                live <= 3,
+                "{WAITERS} cancelled waiters left {live} segments linked under seed {seed} \
+                 (expected <= 3): replay with CQS_CHAOS_SEED={seed}"
+            );
+        }
+        cqs_chaos::disable();
+    }
+
+    /// Close racing a storm of suspenders: every acquirer must either get a
+    /// permit or an error — nobody may park forever on a closed semaphore.
+    #[test]
+    fn close_storm_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let s = Arc::new(Semaphore::new(1));
+            s.acquire().wait().unwrap();
+            let joins: Vec<_> = (0..3)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || s.acquire().wait_timeout(DEADLINE))
+                })
+                .collect();
+            let closer = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.close())
+            };
+            s.release();
+            closer.join().unwrap();
+            let granted = joins
+                .into_iter()
+                .map(|j| {
+                    j.join()
+                        .unwrap_or_else(|_| panic!("panic under seed {seed}"))
+                })
+                .filter(|r| r.is_ok())
+                .count();
+            assert!(
+                granted <= 1,
+                "one released permit granted {granted} acquisitions under seed {seed}: \
+                 replay with CQS_CHAOS_SEED={seed}"
+            );
+        }
+        cqs_chaos::disable();
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+mod disabled {
+    use cqs::Semaphore;
+
+    /// Without the `chaos` feature `inject!` expands to nothing and the
+    /// management API is inert: exercising the full suspend/resume path
+    /// records zero firings.
+    #[test]
+    fn injection_is_inert_without_feature() {
+        cqs_chaos::set_seed(1);
+        assert!(!cqs_chaos::is_enabled());
+        let s = Semaphore::new(1);
+        s.acquire().wait().unwrap();
+        let waiter = s.acquire();
+        s.release();
+        waiter.wait().unwrap();
+        s.release();
+        assert_eq!(cqs_chaos::fired_count(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The timeout-vs-resume refusal race (paper, Listing 5's `REFUSE` path).
+//!
+//! An `acquire_timeout`/`lock_timeout` whose deadline expires at the same
+//! moment a `release`/`unlock` commits to resuming it forces the smart
+//! cancellation machinery to *refuse* the in-flight resumption: the permit
+//! must flow back into the primitive's state counter, never be lost inside
+//! the queue and never be duplicated.
+//!
+//! These tests run in the default build; with `--features chaos` each
+//! iteration additionally reseeds the fault-injection schedule so the
+//! refusal window is stretched in a different deterministic way every time.
+
+use cqs::{Mutex, Semaphore};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITERS: usize = 150;
+
+/// With chaos enabled, give every iteration its own deterministic
+/// schedule; the seed is derived from the iteration so a failure message's
+/// iteration number identifies the replay seed.
+fn reseed(i: usize) -> u64 {
+    let seed = 0xACE5_0000 + i as u64;
+    #[cfg(feature = "chaos")]
+    cqs_chaos::set_seed(seed);
+    seed
+}
+
+#[test]
+fn expiring_acquire_timeout_never_loses_the_permit() {
+    for i in 0..ITERS {
+        let seed = reseed(i);
+        let s = Arc::new(Semaphore::new(1));
+        let held = s.acquire_blocking().unwrap();
+        let s2 = Arc::clone(&s);
+        // Deadline jittered around "already expired" so the cancellation
+        // lands on every side of the racing release.
+        let timeout = Duration::from_micros(20 * (i as u64 % 5));
+        let waiter = std::thread::spawn(move || s2.acquire_timeout(timeout).map(drop));
+        drop(held); // release() racing the expiry
+        let _ = waiter.join().unwrap(); // either outcome is legal...
+        assert_eq!(
+            s.available_permits(),
+            1,
+            "permit lost or duplicated in refusal race (iteration {i}, seed {seed:#x})"
+        );
+    }
+    #[cfg(feature = "chaos")]
+    cqs_chaos::disable();
+}
+
+#[test]
+fn expiring_lock_timeout_never_loses_the_lock() {
+    for i in 0..ITERS {
+        let seed = reseed(i);
+        let m = Arc::new(Mutex::new(0u32));
+        let g = m.lock().unwrap();
+        let m2 = Arc::clone(&m);
+        let timeout = Duration::from_micros(20 * (i as u64 % 5));
+        let waiter = std::thread::spawn(move || match m2.lock_timeout(timeout) {
+            Ok(mut g) => {
+                *g += 1;
+                true
+            }
+            Err(_) => false,
+        });
+        drop(g); // unlock() racing the expiry
+        let _ = waiter.join().unwrap();
+        // However the race resolved, the lock must be free and observable.
+        assert!(
+            m.try_lock().is_some(),
+            "lock stranded in the queue after refusal race (iteration {i}, seed {seed:#x})"
+        );
+    }
+    #[cfg(feature = "chaos")]
+    cqs_chaos::disable();
+}

@@ -11,14 +11,28 @@
 use std::time::Instant;
 
 use cqs_core::{Cqs, CqsConfig, SimpleCancellation};
-use cqs_harness::Series;
+use cqs_harness::{CqsStats, PointStats, Repeats, Series};
 use cqs_sync::{CountDownLatch, SimpleCancelLatch};
 
 use crate::Scale;
 
+/// Repeats a manually timed closure per the schedule and summarizes the
+/// samples, with the counter delta spanning the timed runs. The closure
+/// rebuilds its own state, so warmup runs are real runs that get dropped.
+fn timed_repeats(repeats: Repeats, run: impl FnMut() -> f64) -> PointStats {
+    let mut run = run;
+    for _ in 0..repeats.warmup {
+        run();
+    }
+    let before = CqsStats::snapshot();
+    let samples: Vec<f64> = (0..repeats.timed.max(1)).map(|_| run()).collect();
+    let counters = CqsStats::snapshot().delta(&before);
+    PointStats::from_samples(samples, counters)
+}
+
 /// A1: time for the final `count_down()` to wake the single live waiter
 /// when `cancelled` other waiters aborted first, per cancellation mode.
-pub fn cancellation_mode(scale: Scale) -> Vec<Series> {
+pub fn cancellation_mode(scale: Scale, repeats: Repeats) -> Vec<Series> {
     let sweep: &[u64] = match scale {
         Scale::Quick => &[100, 1_000, 10_000],
         Scale::Full => &[100, 1_000, 10_000, 100_000],
@@ -27,49 +41,66 @@ pub fn cancellation_mode(scale: Scale) -> Vec<Series> {
     let mut simple = Series::new("simple cancellation");
 
     for &cancelled in sweep {
-        let latch = CountDownLatch::new(1);
-        let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
-        for f in futures.iter().take(cancelled as usize) {
-            assert!(f.cancel());
-        }
-        let begin = Instant::now();
-        latch.count_down();
-        smart.push(cancelled, begin.elapsed().as_nanos() as f64);
-        assert_eq!(
-            futures.into_iter().next_back().unwrap().wait(),
-            Ok(()),
-            "live waiter must be resumed"
+        smart.push(
+            cancelled,
+            timed_repeats(repeats, || {
+                let latch = CountDownLatch::new(1);
+                let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+                for f in futures.iter().take(cancelled as usize) {
+                    assert!(f.cancel());
+                }
+                let begin = Instant::now();
+                latch.count_down();
+                let nanos = begin.elapsed().as_nanos() as f64;
+                assert_eq!(
+                    futures.into_iter().next_back().unwrap().wait(),
+                    Ok(()),
+                    "live waiter must be resumed"
+                );
+                nanos
+            }),
         );
 
-        let latch = SimpleCancelLatch::new(1);
-        let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
-        for f in futures.iter().take(cancelled as usize) {
-            assert!(f.cancel());
-        }
-        let begin = Instant::now();
-        latch.count_down();
-        simple.push(cancelled, begin.elapsed().as_nanos() as f64);
-        assert_eq!(futures.into_iter().next_back().unwrap().wait(), Ok(()));
+        simple.push(
+            cancelled,
+            timed_repeats(repeats, || {
+                let latch = SimpleCancelLatch::new(1);
+                let futures: Vec<_> = (0..cancelled + 1).map(|_| latch.await_ready()).collect();
+                for f in futures.iter().take(cancelled as usize) {
+                    assert!(f.cancel());
+                }
+                let begin = Instant::now();
+                latch.count_down();
+                let nanos = begin.elapsed().as_nanos() as f64;
+                assert_eq!(futures.into_iter().next_back().unwrap().wait(), Ok(()));
+                nanos
+            }),
+        );
     }
     vec![smart, simple]
 }
 
 /// A2: uncontended suspend+resume round-trip cost per segment size.
-pub fn segment_size(scale: Scale) -> Vec<Series> {
+pub fn segment_size(scale: Scale, repeats: Repeats) -> Vec<Series> {
     let ops = scale.ops();
     let mut series = Series::new("suspend+resume round-trip");
     for seg_size in [2u64, 8, 32, 128] {
-        let cqs: Cqs<u64> = Cqs::new(
-            CqsConfig::new().segment_size(seg_size as usize),
-            SimpleCancellation,
+        series.push(
+            seg_size,
+            timed_repeats(repeats, || {
+                let cqs: Cqs<u64> = Cqs::new(
+                    CqsConfig::new().segment_size(seg_size as usize),
+                    SimpleCancellation,
+                );
+                let begin = Instant::now();
+                for i in 0..ops {
+                    let f = cqs.suspend().expect_future();
+                    cqs.resume(i).unwrap();
+                    assert_eq!(f.wait(), Ok(i));
+                }
+                begin.elapsed().as_nanos() as f64 / ops as f64
+            }),
         );
-        let begin = Instant::now();
-        for i in 0..ops {
-            let f = cqs.suspend().expect_future();
-            cqs.resume(i).unwrap();
-            assert_eq!(f.wait(), Ok(i));
-        }
-        series.push(seg_size, begin.elapsed().as_nanos() as f64 / ops as f64);
     }
     vec![series]
 }

@@ -1,15 +1,25 @@
-//! Regenerates the paper's figures as textual tables.
+//! Regenerates the paper's figures as textual tables and, optionally, as a
+//! machine-readable `BENCH_*.json` report.
 //!
 //! ```text
-//! figures [--quick] [--threads a,b,c] (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment)
+//! figures [--quick] [--threads a,b,c] [--warmup N] [--repeats N]
+//!         [--json out.json] [--baseline old.json] [--regression-pct X]
+//!         (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment)
 //! ```
 //!
 //! All numbers are nanoseconds per operation (lower is better) except the
-//! Fig. 13 speedup tables (scaled ×1000, higher is better).
+//! Fig. 13 speedup tables (scaled ×1000, higher is better). With `--json`
+//! every series point is written out with full statistics (median, min,
+//! max, p95, relative IQR, raw samples) plus the CQS operation counters
+//! (all zeros unless built with `--features stats`) and run metadata.
+//! With `--baseline` the freshly measured medians are compared against a
+//! previous report and the process exits non-zero if any non-noisy point
+//! slowed down by more than `--regression-pct` percent (default 25).
 
+use cqs_bench::report::{compare_to_baseline, BenchReport, FigureReport, Json, RunMeta};
 use cqs_bench::{
     ablations, fig13_coroutine_mutex, fig5_barrier, fig6_latch, fig7_semaphore, fig8_pools,
-    print_figure, thread_sweep, Scale,
+    print_figure, thread_sweep, Repeats, Scale, Series,
 };
 
 #[derive(Debug)]
@@ -17,12 +27,20 @@ struct Options {
     scale: Scale,
     threads: Vec<usize>,
     figures: Vec<String>,
+    repeats: Repeats,
+    json: Option<String>,
+    baseline: Option<String>,
+    regression_pct: f64,
 }
 
 fn parse_args() -> Options {
     let mut scale = Scale::Full;
     let mut threads = thread_sweep();
     let mut figures = Vec::new();
+    let mut repeats = Repeats::default();
+    let mut json = None;
+    let mut baseline = None;
+    let mut regression_pct = 25.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,6 +51,30 @@ fn parse_args() -> Options {
                     .split(',')
                     .map(|s| s.trim().parse().expect("bad thread count"))
                     .collect();
+            }
+            "--warmup" => {
+                repeats.warmup = args
+                    .next()
+                    .expect("--warmup needs a count")
+                    .parse()
+                    .expect("bad warmup count");
+            }
+            "--repeats" => {
+                repeats.timed = args
+                    .next()
+                    .expect("--repeats needs a count")
+                    .parse::<usize>()
+                    .expect("bad repeat count")
+                    .max(1);
+            }
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--regression-pct" => {
+                regression_pct = args
+                    .next()
+                    .expect("--regression-pct needs a value")
+                    .parse()
+                    .expect("bad percentage");
             }
             "--all" => {
                 figures = ["5", "6", "7", "8", "13", "14", "15", "a1", "a2"]
@@ -58,115 +100,196 @@ fn parse_args() -> Options {
         scale,
         threads,
         figures,
+        repeats,
+        json,
+        baseline,
+        regression_pct,
     }
+}
+
+/// Prints a figure's table and records it for the JSON report under a
+/// stable name (the baseline-comparison key, so parameterized variants get
+/// distinct names: `fig5_work100`, `fig7_permits4`, ...).
+fn emit(
+    report: &mut Vec<FigureReport>,
+    name: String,
+    title: String,
+    x_label: &str,
+    series: Vec<Series>,
+) {
+    print_figure(&title, x_label, &series);
+    report.push(FigureReport {
+        name,
+        title,
+        x_label: x_label.to_string(),
+        series,
+    });
 }
 
 fn main() {
     let options = parse_args();
     let scale = options.scale;
     let threads = &options.threads;
+    let repeats = options.repeats;
     println!(
-        "running {:?} at {:?} scale on threads {:?}",
-        options.figures, scale, threads
+        "running {:?} at {:?} scale on threads {:?} ({} warmup + {} timed runs per point)",
+        options.figures, scale, threads, repeats.warmup, repeats.timed
     );
 
+    let mut figures = Vec::new();
     for figure in &options.figures {
         match figure.as_str() {
             "5" => {
                 for work in [100, 1000] {
-                    let series = fig5_barrier::run(scale, work, threads);
-                    print_figure(
-                        &format!("Figure 5: barrier, work = {work}"),
+                    emit(
+                        &mut figures,
+                        format!("fig5_work{work}"),
+                        format!("Figure 5: barrier, work = {work}"),
                         "threads",
-                        &series,
+                        fig5_barrier::run(scale, work, threads, repeats),
                     );
                 }
             }
             "6" => {
                 for work in [50, 200] {
-                    let series = fig6_latch::run(scale, work, threads);
-                    print_figure(
-                        &format!("Figure 6: count-down latch, work = {work}"),
+                    emit(
+                        &mut figures,
+                        format!("fig6_work{work}"),
+                        format!("Figure 6: count-down latch, work = {work}"),
                         "threads",
-                        &series,
+                        fig6_latch::run(scale, work, threads, repeats),
                     );
                 }
             }
             "7" => {
                 for permits in [1usize, 4, 16] {
-                    let series = fig7_semaphore::run(scale, permits, threads);
-                    print_figure(
-                        &format!("Figure 7: semaphore, permits = {permits}"),
+                    emit(
+                        &mut figures,
+                        format!("fig7_permits{permits}"),
+                        format!("Figure 7: semaphore, permits = {permits}"),
                         "threads",
-                        &series,
+                        fig7_semaphore::run(scale, permits, threads, repeats),
                     );
                 }
             }
             "8" => {
                 for elements in [1usize, 4, 16] {
-                    let series = fig8_pools::run(scale, elements, threads);
-                    print_figure(
-                        &format!("Figure 8: blocking pools, elements = {elements}"),
+                    emit(
+                        &mut figures,
+                        format!("fig8_elements{elements}"),
+                        format!("Figure 8: blocking pools, elements = {elements}"),
                         "threads",
-                        &series,
+                        fig8_pools::run(scale, elements, threads, repeats),
                     );
                 }
             }
             "13" => {
                 for coroutines in [1_000usize, 10_000] {
-                    let raw = fig13_coroutine_mutex::run(scale, coroutines, threads);
-                    print_figure(
-                        &format!("Figure 13: coroutine mutex, {coroutines} coroutines (ns/op)"),
-                        "threads",
-                        &raw,
-                    );
+                    let raw = fig13_coroutine_mutex::run(scale, coroutines, threads, repeats);
                     let speedups = fig13_coroutine_mutex::speedups(&raw);
-                    print_figure(
-                        &format!(
+                    emit(
+                        &mut figures,
+                        format!("fig13_coroutines{coroutines}"),
+                        format!("Figure 13: coroutine mutex, {coroutines} coroutines (ns/op)"),
+                        "threads",
+                        raw,
+                    );
+                    emit(
+                        &mut figures,
+                        format!("fig13_speedup_coroutines{coroutines}"),
+                        format!(
                             "Figure 13: speedup vs legacy mutex, {coroutines} coroutines (x1000)"
                         ),
                         "threads",
-                        &speedups,
+                        speedups,
                     );
                 }
             }
             "14" => {
                 for permits in [2usize, 8, 32, 64] {
-                    let series = fig7_semaphore::run(scale, permits, threads);
-                    print_figure(
-                        &format!("Figure 14: semaphore (extended), permits = {permits}"),
+                    emit(
+                        &mut figures,
+                        format!("fig14_permits{permits}"),
+                        format!("Figure 14: semaphore (extended), permits = {permits}"),
                         "threads",
-                        &series,
+                        fig7_semaphore::run(scale, permits, threads, repeats),
                     );
                 }
             }
             "15" => {
                 for elements in [2usize, 8, 32, 64] {
-                    let series = fig8_pools::run(scale, elements, threads);
-                    print_figure(
-                        &format!("Figure 15: blocking pools (extended), elements = {elements}"),
+                    emit(
+                        &mut figures,
+                        format!("fig15_elements{elements}"),
+                        format!("Figure 15: blocking pools (extended), elements = {elements}"),
                         "threads",
-                        &series,
+                        fig8_pools::run(scale, elements, threads, repeats),
                     );
                 }
             }
             "a1" => {
-                let series = ablations::cancellation_mode(scale);
-                print_figure(
-                    "Ablation A1: final wake-up cost after N cancelled waiters (total ns)",
+                emit(
+                    &mut figures,
+                    "a1_cancellation".to_string(),
+                    "Ablation A1: final wake-up cost after N cancelled waiters (total ns)"
+                        .to_string(),
                     "cancelled",
-                    &series,
+                    ablations::cancellation_mode(scale, repeats),
                 );
             }
             "a2" => {
-                let series = ablations::segment_size(scale);
-                print_figure(
-                    "Ablation A2: uncontended suspend+resume vs segment size (ns/op)",
+                emit(
+                    &mut figures,
+                    "a2_segment_size".to_string(),
+                    "Ablation A2: uncontended suspend+resume vs segment size (ns/op)".to_string(),
                     "SEGM_SIZE",
-                    &series,
+                    ablations::segment_size(scale, repeats),
                 );
             }
             other => eprintln!("unknown figure {other}"),
+        }
+    }
+
+    let report = BenchReport {
+        meta: RunMeta::current(scale.label(), threads, repeats),
+        figures,
+    };
+
+    if let Some(path) = &options.json {
+        let json = report.to_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!(
+            "\nwrote {} figures to {path} ({} bytes)",
+            report.figures.len(),
+            json.len()
+        );
+    }
+
+    if let Some(path) = &options.baseline {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+        let current = Json::parse(&report.to_json()).expect("self-emitted JSON must parse");
+        let regressions = compare_to_baseline(&current, &baseline, options.regression_pct);
+        if regressions.is_empty() {
+            println!(
+                "no median regressions above {:.1}% against {path}",
+                options.regression_pct
+            );
+        } else {
+            eprintln!(
+                "\n{} median regression(s) above {:.1}% against {path}:",
+                regressions.len(),
+                options.regression_pct
+            );
+            for r in &regressions {
+                eprintln!(
+                    "  {} / {} @ x={}: {:.0} ns -> {:.0} ns (+{:.1}%)",
+                    r.figure, r.series, r.x, r.baseline_ns, r.current_ns, r.pct
+                );
+            }
+            std::process::exit(1);
         }
     }
 }

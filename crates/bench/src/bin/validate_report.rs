@@ -1,0 +1,58 @@
+//! Validates a `BENCH_*.json` benchmark report against the
+//! `cqs-bench/v1` schema.
+//!
+//! ```text
+//! validate_report <report.json> [more.json ...]
+//! ```
+//!
+//! Exits non-zero (listing every problem on stderr) if any file fails to
+//! parse or violates the schema; prints a one-line summary per file
+//! otherwise. This is the same validator the test suite uses
+//! (`cqs_harness::report::validate_report`), exposed for CI and manual
+//! use.
+
+use cqs_bench::report::{validate_report, Json};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_report <report.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: not valid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let problems = validate_report(&doc);
+        if problems.is_empty() {
+            let figures = doc
+                .get("figures")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            println!("{path}: ok ({figures} figures, {} bytes)", text.len());
+        } else {
+            eprintln!("{path}: {} schema violation(s):", problems.len());
+            for problem in &problems {
+                eprintln!("  {problem}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -14,7 +14,7 @@ use std::time::Instant;
 use cqs_baseline::LegacyMutex;
 use cqs_exec::{CoroStep, CoroWaker, Coroutine, Executor};
 use cqs_future::{CqsFuture, FutureState};
-use cqs_harness::{Series, Workload};
+use cqs_harness::{CqsStats, PointStats, Repeats, Series, Workload};
 use cqs_sync::Semaphore;
 
 use crate::Scale;
@@ -131,6 +131,35 @@ fn bench<L: CoroLock>(
     elapsed.as_nanos() as f64 / (coroutines as u64 * iterations) as f64
 }
 
+/// [`bench`] under a repeat schedule: warmup runs discarded, timed runs
+/// summarized, operation counters sampled around the timed block. Each run
+/// spins up a fresh executor; only the lock is shared between runs.
+fn bench_repeated<L: CoroLock>(
+    lock: Arc<L>,
+    coroutines: usize,
+    threads: usize,
+    iterations: u64,
+    work: Workload,
+    repeats: Repeats,
+) -> PointStats {
+    for _ in 0..repeats.warmup {
+        bench(Arc::clone(&lock), coroutines, threads, iterations, work);
+    }
+    let before = CqsStats::snapshot();
+    let mut samples = Vec::with_capacity(repeats.timed.max(1));
+    for _ in 0..repeats.timed.max(1) {
+        samples.push(bench(
+            Arc::clone(&lock),
+            coroutines,
+            threads,
+            iterations,
+            work,
+        ));
+    }
+    let counters = CqsStats::snapshot().delta(&before);
+    PointStats::from_samples(samples, counters)
+}
+
 /// Which mutex implementation a single run should exercise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockImpl {
@@ -181,7 +210,7 @@ pub fn run_once(
 /// Runs the Fig. 13 sweep for one coroutine count. Series order:
 /// `[CQS async, CQS sync, legacy]`, all in ns/op; speedups are derived by
 /// the caller as `legacy / cqs`.
-pub fn run(scale: Scale, coroutines: usize, threads: &[usize]) -> Vec<Series> {
+pub fn run(scale: Scale, coroutines: usize, threads: &[usize], repeats: Repeats) -> Vec<Series> {
     let work = Workload::new(100);
     let total_ops = match scale {
         Scale::Quick => 40_000u64,
@@ -196,26 +225,35 @@ pub fn run(scale: Scale, coroutines: usize, threads: &[usize]) -> Vec<Series> {
     for &n in threads {
         cqs_async.push(
             n as u64,
-            bench(Arc::new(Semaphore::new(1)), coroutines, n, iterations, work),
+            bench_repeated(
+                Arc::new(Semaphore::new(1)),
+                coroutines,
+                n,
+                iterations,
+                work,
+                repeats,
+            ),
         );
         cqs_sync.push(
             n as u64,
-            bench(
+            bench_repeated(
                 Arc::new(Semaphore::new_sync(1)),
                 coroutines,
                 n,
                 iterations,
                 work,
+                repeats,
             ),
         );
         legacy.push(
             n as u64,
-            bench(
+            bench_repeated(
                 Arc::new(LegacyMutex::new()),
                 coroutines,
                 n,
                 iterations,
                 work,
+                repeats,
             ),
         );
     }
@@ -230,10 +268,11 @@ pub fn speedups(raw: &[Series]) -> Vec<Series> {
         .iter()
         .map(|s| {
             let mut speedup = Series::new(format!("{} speedup", s.name));
-            for ((x, cqs_ns), (_, legacy_ns)) in s.points.iter().zip(&legacy.points) {
-                // Stored scaled by 1000 to keep the integer-ish table
-                // printable (2.34x -> 2340).
-                speedup.push(*x, legacy_ns / cqs_ns * 1000.0);
+            for (x, cqs) in &s.points {
+                let Some(leg) = legacy.at(*x) else { continue };
+                // Medians of both sides; stored scaled by 1000 to keep the
+                // integer-ish table printable (2.34x -> 2340).
+                speedup.push_scalar(*x, leg.median / cqs.median * 1000.0);
             }
             speedup
         })

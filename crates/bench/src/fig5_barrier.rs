@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use cqs_baseline::{LockBarrier, SpinBarrier};
-use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_harness::{measure_per_op_repeated, PointStats, Repeats, Series, Workload};
 use cqs_sync::CyclicBarrier;
 
 use crate::Scale;
@@ -18,10 +18,11 @@ fn bench_barrier<B: Sync>(
     threads: usize,
     rounds: u64,
     work: Workload,
+    repeats: Repeats,
     barrier: &B,
     arrive: impl Fn(&B) + Send + Sync + Copy,
-) -> f64 {
-    measure_per_op(threads, rounds, |t| {
+) -> PointStats {
+    measure_per_op_repeated(threads, rounds, repeats, |t| {
         let mut rng = work.rng(t as u64);
         for _ in 0..rounds {
             arrive(barrier);
@@ -31,7 +32,7 @@ fn bench_barrier<B: Sync>(
 }
 
 /// Runs the Fig. 5 sweep for one work size.
-pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
+pub fn run(scale: Scale, work_mean: u64, threads: &[usize], repeats: Repeats) -> Vec<Series> {
     let work = Workload::new(work_mean);
     let mut cqs = Series::new("CQS barrier");
     let mut java = Series::new("Lock barrier (Java)");
@@ -43,19 +44,21 @@ pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
         let b = Arc::new(CyclicBarrier::new(n));
         cqs.push(
             n as u64,
-            bench_barrier(n, rounds, work, &*b, |b: &CyclicBarrier| b.arrive().wait()),
+            bench_barrier(n, rounds, work, repeats, &*b, |b: &CyclicBarrier| {
+                b.arrive().wait()
+            }),
         );
 
         let b = Arc::new(LockBarrier::new(n));
         java.push(
             n as u64,
-            bench_barrier(n, rounds, work, &*b, |b: &LockBarrier| b.arrive()),
+            bench_barrier(n, rounds, work, repeats, &*b, |b: &LockBarrier| b.arrive()),
         );
 
         let b = Arc::new(SpinBarrier::new(n));
         spin.push(
             n as u64,
-            bench_barrier(n, rounds, work, &*b, |b: &SpinBarrier| b.arrive()),
+            bench_barrier(n, rounds, work, repeats, &*b, |b: &SpinBarrier| b.arrive()),
         );
     }
     vec![cqs, java, spin]

@@ -8,13 +8,13 @@
 use std::sync::Arc;
 
 use cqs_baseline::AqsLatch;
-use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_harness::{measure_per_op_repeated, Repeats, Series, Workload};
 use cqs_sync::CountDownLatch;
 
 use crate::Scale;
 
 /// Runs the Fig. 6 sweep for one work size.
-pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
+pub fn run(scale: Scale, work_mean: u64, threads: &[usize], repeats: Repeats) -> Vec<Series> {
     let work = Workload::new(work_mean);
     let total = scale.ops();
     let mut cqs = Series::new("CQS latch");
@@ -24,12 +24,17 @@ pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
     for &n in threads {
         let per_thread = total / n as u64;
         let total_ops = per_thread * n as u64;
+        // A latch is one-shot, but the repeat machinery reruns the same
+        // closure (warmup + timed) times; size the count so every run
+        // decrements a still-positive latch and only the last one fires it
+        // — `count_down()` takes the identical code path either way.
+        let runs = (repeats.warmup + repeats.timed.max(1)) as u64;
 
-        let latch = Arc::new(CountDownLatch::new(total_ops as usize));
+        let latch = Arc::new(CountDownLatch::new((total_ops * runs) as usize));
         let l = Arc::clone(&latch);
         cqs.push(
             n as u64,
-            measure_per_op(n, total_ops, |t| {
+            measure_per_op_repeated(n, total_ops, repeats, |t| {
                 let mut rng = work.rng(t as u64);
                 for _ in 0..per_thread {
                     l.count_down();
@@ -39,11 +44,11 @@ pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
         );
         latch.wait().unwrap();
 
-        let latch = Arc::new(AqsLatch::new(total_ops as usize));
+        let latch = Arc::new(AqsLatch::new((total_ops * runs) as usize));
         let l = Arc::clone(&latch);
         java.push(
             n as u64,
-            measure_per_op(n, total_ops, |t| {
+            measure_per_op_repeated(n, total_ops, repeats, |t| {
                 let mut rng = work.rng(t as u64);
                 for _ in 0..per_thread {
                     l.count_down();
@@ -55,7 +60,7 @@ pub fn run(scale: Scale, work_mean: u64, threads: &[usize]) -> Vec<Series> {
 
         baseline.push(
             n as u64,
-            measure_per_op(n, total_ops, |t| {
+            measure_per_op_repeated(n, total_ops, repeats, |t| {
                 let mut rng = work.rng(t as u64);
                 for _ in 0..per_thread {
                     work.run(&mut rng);

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use cqs_baseline::{AqsLock, AqsSemaphore, ClhLock, McsLock};
-use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_harness::{measure_per_op_repeated, PointStats, Repeats, Series, Workload};
 use cqs_sync::Semaphore;
 
 use crate::Scale;
@@ -19,11 +19,12 @@ fn bench<S: Sync + ?Sized>(
     threads: usize,
     total: u64,
     work: Workload,
+    repeats: Repeats,
     sync: &S,
     acquire_release: impl Fn(&S, &mut dyn FnMut()) + Send + Sync + Copy,
-) -> f64 {
+) -> PointStats {
     let per_thread = total / threads as u64;
-    measure_per_op(threads, per_thread * threads as u64, |t| {
+    measure_per_op_repeated(threads, per_thread * threads as u64, repeats, |t| {
         let mut rng = work.rng(t as u64);
         for _ in 0..per_thread {
             // Preparation phase outside the critical section.
@@ -35,7 +36,7 @@ fn bench<S: Sync + ?Sized>(
 }
 
 /// Runs the Fig. 7/14 sweep for one permit count.
-pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
+pub fn run(scale: Scale, permits: usize, threads: &[usize], repeats: Repeats) -> Vec<Series> {
     let work = Workload::new(100);
     let total = scale.ops();
 
@@ -52,7 +53,7 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
         let s = Arc::new(Semaphore::new(permits));
         cqs_async.push(
             n as u64,
-            bench(n, total, work, &*s, |s: &Semaphore, critical| {
+            bench(n, total, work, repeats, &*s, |s: &Semaphore, critical| {
                 s.acquire().wait().expect("benchmark never cancels");
                 critical();
                 s.release();
@@ -62,7 +63,7 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
         let s = Arc::new(Semaphore::new_sync(permits));
         cqs_sync.push(
             n as u64,
-            bench(n, total, work, &*s, |s: &Semaphore, critical| {
+            bench(n, total, work, repeats, &*s, |s: &Semaphore, critical| {
                 s.acquire().wait().expect("benchmark never cancels");
                 critical();
                 s.release();
@@ -72,28 +73,42 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
         let s = Arc::new(AqsSemaphore::fair(permits));
         aqs_fair.push(
             n as u64,
-            bench(n, total, work, &*s, |s: &AqsSemaphore, critical| {
-                s.acquire();
-                critical();
-                s.release();
-            }),
+            bench(
+                n,
+                total,
+                work,
+                repeats,
+                &*s,
+                |s: &AqsSemaphore, critical| {
+                    s.acquire();
+                    critical();
+                    s.release();
+                },
+            ),
         );
 
         let s = Arc::new(AqsSemaphore::unfair(permits));
         aqs_unfair.push(
             n as u64,
-            bench(n, total, work, &*s, |s: &AqsSemaphore, critical| {
-                s.acquire();
-                critical();
-                s.release();
-            }),
+            bench(
+                n,
+                total,
+                work,
+                repeats,
+                &*s,
+                |s: &AqsSemaphore, critical| {
+                    s.acquire();
+                    critical();
+                    s.release();
+                },
+            ),
         );
 
         if permits == 1 {
             let l = Arc::new(AqsLock::fair());
             lock_fair.push(
                 n as u64,
-                bench(n, total, work, &*l, |l: &AqsLock, critical| {
+                bench(n, total, work, repeats, &*l, |l: &AqsLock, critical| {
                     l.lock();
                     critical();
                     l.unlock();
@@ -103,7 +118,7 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
             let l = Arc::new(AqsLock::unfair());
             lock_unfair.push(
                 n as u64,
-                bench(n, total, work, &*l, |l: &AqsLock, critical| {
+                bench(n, total, work, repeats, &*l, |l: &AqsLock, critical| {
                     l.lock();
                     critical();
                     l.unlock();
@@ -113,7 +128,7 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
             let l = Arc::new(ClhLock::new());
             clh.push(
                 n as u64,
-                bench(n, total, work, &*l, |l: &ClhLock, critical| {
+                bench(n, total, work, repeats, &*l, |l: &ClhLock, critical| {
                     let g = l.lock();
                     critical();
                     drop(g);
@@ -123,7 +138,7 @@ pub fn run(scale: Scale, permits: usize, threads: &[usize]) -> Vec<Series> {
             let l = Arc::new(McsLock::new());
             mcs.push(
                 n as u64,
-                bench(n, total, work, &*l, |l: &McsLock, critical| {
+                bench(n, total, work, repeats, &*l, |l: &McsLock, critical| {
                     let g = l.lock();
                     critical();
                     drop(g);

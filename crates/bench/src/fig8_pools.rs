@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use cqs_baseline::{ArrayBlockingQueue, LinkedBlockingQueue};
-use cqs_harness::{measure_per_op, Series, Workload};
+use cqs_harness::{measure_per_op_repeated, PointStats, Repeats, Series, Workload};
 use cqs_pool::{QueuePool, StackPool};
 
 use crate::Scale;
@@ -17,11 +17,12 @@ fn bench<P: Sync>(
     threads: usize,
     total: u64,
     work: Workload,
+    repeats: Repeats,
     pool: &P,
     take_put: impl Fn(&P, &mut dyn FnMut()) + Send + Sync + Copy,
-) -> f64 {
+) -> PointStats {
     let per_thread = total / threads as u64;
-    measure_per_op(threads, per_thread * threads as u64, |t| {
+    measure_per_op_repeated(threads, per_thread * threads as u64, repeats, |t| {
         let mut rng = work.rng(t as u64);
         for _ in 0..per_thread {
             work.run(&mut rng);
@@ -32,7 +33,7 @@ fn bench<P: Sync>(
 }
 
 /// Runs the Fig. 8/15 sweep for one shared-element count.
-pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
+pub fn run(scale: Scale, elements: usize, threads: &[usize], repeats: Repeats) -> Vec<Series> {
     let work = Workload::new(100);
     let total = scale.ops();
 
@@ -49,7 +50,7 @@ pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
         }
         queue_pool.push(
             n as u64,
-            bench(n, total, work, &*pool, |p: &QueuePool<u64>, f| {
+            bench(n, total, work, repeats, &*pool, |p: &QueuePool<u64>, f| {
                 let e = p.take().wait().expect("benchmark never cancels");
                 f();
                 p.put(e);
@@ -62,7 +63,7 @@ pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
         }
         stack_pool.push(
             n as u64,
-            bench(n, total, work, &*pool, |p: &StackPool<u64>, f| {
+            bench(n, total, work, repeats, &*pool, |p: &StackPool<u64>, f| {
                 let e = p.take().wait().expect("benchmark never cancels");
                 f();
                 p.put(e);
@@ -76,11 +77,18 @@ pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
             }
             series.push(
                 n as u64,
-                bench(n, total, work, &*pool, |p: &ArrayBlockingQueue<u64>, f| {
-                    let e = p.take();
-                    f();
-                    p.put(e);
-                }),
+                bench(
+                    n,
+                    total,
+                    work,
+                    repeats,
+                    &*pool,
+                    |p: &ArrayBlockingQueue<u64>, f| {
+                        let e = p.take();
+                        f();
+                        p.put(e);
+                    },
+                ),
             );
         }
 
@@ -90,11 +98,18 @@ pub fn run(scale: Scale, elements: usize, threads: &[usize]) -> Vec<Series> {
         }
         lbq.push(
             n as u64,
-            bench(n, total, work, &*pool, |p: &LinkedBlockingQueue<u64>, f| {
-                let e = p.take();
-                f();
-                p.put(e);
-            }),
+            bench(
+                n,
+                total,
+                work,
+                repeats,
+                &*pool,
+                |p: &LinkedBlockingQueue<u64>, f| {
+                    let e = p.take();
+                    f();
+                    p.put(e);
+                },
+            ),
         );
     }
     vec![queue_pool, stack_pool, abq_fair, abq_unfair, lbq]

@@ -20,7 +20,10 @@ pub mod fig6_latch;
 pub mod fig7_semaphore;
 pub mod fig8_pools;
 
-pub use cqs_harness::{measure, measure_per_op, print_figure, thread_sweep, Series, Workload};
+pub use cqs_harness::{
+    measure, measure_per_op, measure_per_op_repeated, print_figure, report, thread_sweep, CqsStats,
+    PointStats, Repeats, Series, Workload,
+};
 
 /// Scale of a benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +40,14 @@ impl Scale {
         match self {
             Scale::Quick => 20_000,
             Scale::Full => 200_000,
+        }
+    }
+
+    /// Lowercase label for run metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 

@@ -280,6 +280,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
     }
 
     fn suspend(&self, self_arc: &Arc<Self>) -> Suspend<T> {
+        cqs_stats::bump!(suspends);
         let guard = pin();
         let n = self.segment_size();
         // Read the head *before* incrementing the counter (paper, Listing
@@ -326,12 +327,19 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         }
         // A racing resume(..) reached the cell first: eliminate.
         match cell.take_for_elimination() {
-            Some(value) => Suspend::Future(CqsFuture::immediate(value)),
-            None => Suspend::Broken,
+            Some(value) => {
+                cqs_stats::bump!(elim_hits);
+                Suspend::Future(CqsFuture::immediate(value))
+            }
+            None => {
+                cqs_stats::bump!(rendezvous_breaks);
+                Suspend::Broken
+            }
         }
     }
 
     fn resume(&self, mut value: T) -> Result<(), T> {
+        cqs_stats::bump!(resumes);
         let n = self.segment_size();
         let simple = self.config.get_cancellation_mode() == CancellationMode::Simple;
         let sync = self.config.get_resume_mode() == ResumeMode::Synchronous;
@@ -500,6 +508,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         let cell = segment.cell(index);
         match self.config.get_cancellation_mode() {
             CancellationMode::Simple => {
+                cqs_stats::bump!(cancels_simple);
                 match cell.cancel_swap(cell::CANCELLED, &guard) {
                     CancelSwap::WasRequest => {}
                     CancelSwap::WasValue(_) => {
@@ -512,6 +521,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 if self.callbacks.on_cancellation() {
                     // Logically deregistered: the cell becomes CANCELLED and
                     // resumers skip it.
+                    cqs_stats::bump!(cancels_smart_skipped);
                     match cell.cancel_swap(cell::CANCELLED, &guard) {
                         CancelSwap::WasRequest => {
                             segment.on_cancelled_cell(&guard);
@@ -528,6 +538,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                     }
                 } else {
                     // The upcoming resume(..) must be refused.
+                    cqs_stats::bump!(cancels_refused);
                     match cell.cancel_swap(cell::REFUSE, &guard) {
                         CancelSwap::WasRequest => {}
                         CancelSwap::WasValue(v) => {

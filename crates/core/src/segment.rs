@@ -36,6 +36,7 @@ pub(crate) struct Segment<T: Send + 'static> {
 
 impl<T: Send + 'static> Segment<T> {
     pub(crate) fn new(id: u64, size: usize, initial_pointers: u64) -> Arc<Self> {
+        cqs_stats::bump!(segments_allocated);
         let cells = (0..size).map(|_| CqsCell::new()).collect();
         Arc::new(Segment {
             id,
@@ -189,6 +190,18 @@ impl<T: Send + 'static> Segment<T> {
                 None => return cur, // the tail, even if removed
             }
         }
+    }
+}
+
+// Gated on the crate feature (not just the macro) so that without `stats`
+// the type has no drop glue at all — the counter hook must stay truly free.
+#[cfg(feature = "stats")]
+impl<T: Send + 'static> Drop for Segment<T> {
+    fn drop(&mut self) {
+        // Runs exactly once per segment, when the last `Arc` reference (a
+        // link, a head pointer or an in-flight traversal) goes away — the
+        // moment the memory is actually reclaimed.
+        cqs_stats::bump!(segments_reclaimed);
     }
 }
 

@@ -260,6 +260,7 @@ impl<T> Request<T> {
             )
         };
         if let Some(t) = thread {
+            cqs_stats::bump!(unparks);
             t.unpark();
         }
         if let Some(cb) = callback {
@@ -390,7 +391,10 @@ impl<T> CqsFuture<T> {
             match self.try_get() {
                 FutureState::Ready(v) => return Ok(v),
                 FutureState::Cancelled => return Err(Cancelled),
-                FutureState::Pending => std::thread::park(),
+                FutureState::Pending => {
+                    cqs_stats::bump!(parks);
+                    std::thread::park();
+                }
             }
         }
     }
@@ -430,6 +434,7 @@ impl<T> CqsFuture<T> {
                         // A completion raced the timeout; take it.
                         continue;
                     }
+                    cqs_stats::bump!(parks);
                     std::thread::park_timeout(deadline - now);
                 }
             }

@@ -1,0 +1,836 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! The container building this repo has no registry access, so there is no
+//! serde; this module hand-rolls the narrow slice of JSON the pipeline
+//! needs: a writer for [`BenchReport`] and a small recursive-descent
+//! parser ([`Json`]) used by `--baseline` regression checks and by the
+//! schema-validation tests.
+//!
+//! Schema (`"schema": "cqs-bench/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "cqs-bench/v1",
+//!   "meta": { "scale": "quick", "threads": [1, 2], "vcpus": 8,
+//!             "git_rev": "abc1234", "chaos": false, "stats": true,
+//!             "warmup": 1, "timed": 5 },
+//!   "figures": [ { "name": "fig5", "title": "...", "x_label": "threads",
+//!     "series": [ { "name": "cqs-barrier", "points": [
+//!       { "x": 1, "median_ns": 103.0, "min_ns": 99.0, "max_ns": 120.0,
+//!         "p95_ns": 120.0, "rel_iqr": 0.04, "noisy": false,
+//!         "samples_ns": [103.0, 99.0, 120.0],
+//!         "counters": { "suspends": 12, "...": 0 } } ] } ] } ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{PointStats, Series};
+
+/// Run metadata embedded in every report, so a stored `BENCH_*.json` is
+/// self-describing.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Benchmark scale label (`"quick"` or `"full"`).
+    pub scale: String,
+    /// Thread counts swept.
+    pub threads: Vec<usize>,
+    /// vCPUs available on the machine that produced the numbers.
+    pub vcpus: usize,
+    /// Git revision of the tree, or `"unknown"` outside a checkout.
+    pub git_rev: String,
+    /// Whether chaos (fault-injection) was live during the run — numbers
+    /// from a chaos run are not comparable to a clean baseline.
+    pub chaos: bool,
+    /// Whether the `stats` feature was compiled in (if not, every counter
+    /// block in the report is all zeros by construction).
+    pub stats: bool,
+    /// Warmup runs per point.
+    pub warmup: usize,
+    /// Timed runs per point.
+    pub timed: usize,
+}
+
+impl RunMeta {
+    /// Metadata for the current process: vCPU count probed, git revision
+    /// resolved from `git rev-parse` (falling back to `"unknown"`), chaos
+    /// and stats flags read from the compiled-in features.
+    pub fn current(scale: &str, threads: &[usize], repeats: crate::Repeats) -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunMeta {
+            scale: scale.to_string(),
+            threads: threads.to_vec(),
+            vcpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            git_rev,
+            chaos: cqs_chaos::is_enabled(),
+            stats: cqs_stats::enabled(),
+            warmup: repeats.warmup,
+            timed: repeats.timed,
+        }
+    }
+}
+
+/// One figure's worth of series, named for cross-run matching.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Stable identifier (`"fig5"`, `"a1"`, ...), the key used by
+    /// baseline comparison.
+    pub name: String,
+    /// Human-readable title as printed above the table.
+    pub title: String,
+    /// Label of the sweep variable.
+    pub x_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+/// A full benchmark run: metadata plus every figure produced.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Run metadata.
+    pub meta: RunMeta,
+    /// Figures, in generation order.
+    pub figures: Vec<FigureReport>,
+}
+
+/// Schema tag written into (and required from) every report.
+pub const SCHEMA: &str = "cqs-bench/v1";
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` so the output is valid JSON (no `NaN`/`inf`, which JSON
+/// cannot represent; they become `null` and fail validation loudly rather
+/// than silently parsing as something else).
+fn number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_point(x: u64, p: &PointStats, out: &mut String) {
+    let _ = write!(out, "{{\"x\":{x},");
+    out.push_str("\"median_ns\":");
+    number(p.median, out);
+    out.push_str(",\"min_ns\":");
+    number(p.min, out);
+    out.push_str(",\"max_ns\":");
+    number(p.max, out);
+    out.push_str(",\"p95_ns\":");
+    number(p.p95, out);
+    out.push_str(",\"rel_iqr\":");
+    number(p.rel_iqr, out);
+    let _ = write!(out, ",\"noisy\":{},", p.noisy);
+    out.push_str("\"samples_ns\":[");
+    for (i, s) in p.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        number(*s, out);
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, value)) in p.counters.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{value}");
+    }
+    out.push_str("}}");
+}
+
+impl BenchReport {
+    /// Serializes the report to a JSON string (single line — the file is
+    /// for machines; `python3 -m json.tool` pretty-prints it on demand).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":");
+        escape_json(SCHEMA, &mut out);
+        out.push_str(",\"meta\":{\"scale\":");
+        escape_json(&self.meta.scale, &mut out);
+        out.push_str(",\"threads\":[");
+        for (i, t) in self.meta.threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{t}");
+        }
+        let _ = write!(out, "],\"vcpus\":{},\"git_rev\":", self.meta.vcpus);
+        escape_json(&self.meta.git_rev, &mut out);
+        let _ = write!(
+            out,
+            ",\"chaos\":{},\"stats\":{},\"warmup\":{},\"timed\":{}}}",
+            self.meta.chaos, self.meta.stats, self.meta.warmup, self.meta.timed
+        );
+        out.push_str(",\"figures\":[");
+        for (i, fig) in self.figures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            escape_json(&fig.name, &mut out);
+            out.push_str(",\"title\":");
+            escape_json(&fig.title, &mut out);
+            out.push_str(",\"x_label\":");
+            escape_json(&fig.x_label, &mut out);
+            out.push_str(",\"series\":[");
+            for (j, s) in fig.series.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                escape_json(&s.name, &mut out);
+                out.push_str(",\"points\":[");
+                for (k, (x, p)) in s.points.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_point(*x, p, &mut out);
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects use a `BTreeMap` (reports never rely on key
+/// order and deterministic iteration keeps error messages stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`; report integers are exact below 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a JSON document, requiring the whole input be consumed.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup; `None` unless this is an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs never appear in reports we write;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input came from &str, so this
+                // slice boundary is always valid).
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8".to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+// ---------------------------------------------------------------------------
+
+/// One point whose median slowed down past the allowed threshold relative
+/// to a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Figure name (`"fig5"`).
+    pub figure: String,
+    /// Series name within the figure.
+    pub series: String,
+    /// Sweep value.
+    pub x: u64,
+    /// Baseline median (ns/op).
+    pub baseline_ns: f64,
+    /// Current median (ns/op).
+    pub current_ns: f64,
+    /// Slowdown in percent (positive means slower).
+    pub pct: f64,
+}
+
+/// Validates that `doc` is a well-formed `cqs-bench/v1` report: schema tag,
+/// complete metadata, strictly increasing thread sweep, and per-point
+/// statistics that are present, finite, and non-negative. Returns the list
+/// of violations (empty means valid).
+pub fn validate_report(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut err = |msg: String| errors.push(msg);
+
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        other => err(format!("schema must be {SCHEMA:?}, got {other:?}")),
+    }
+
+    match doc.get("meta") {
+        None => err("missing \"meta\" object".to_string()),
+        Some(meta) => {
+            for key in ["scale", "git_rev"] {
+                if meta.get(key).and_then(Json::as_str).is_none() {
+                    err(format!("meta.{key} must be a string"));
+                }
+            }
+            for key in ["chaos", "stats"] {
+                if meta.get(key).and_then(Json::as_bool).is_none() {
+                    err(format!("meta.{key} must be a boolean"));
+                }
+            }
+            for key in ["vcpus", "warmup", "timed"] {
+                if meta.get(key).and_then(Json::as_f64).is_none() {
+                    err(format!("meta.{key} must be a number"));
+                }
+            }
+            match meta.get("threads").and_then(Json::as_arr) {
+                None => err("meta.threads must be an array".to_string()),
+                Some(threads) => {
+                    let mut prev = 0.0;
+                    for t in threads {
+                        match t.as_f64() {
+                            Some(n) if n > prev => prev = n,
+                            other => err(format!(
+                                "meta.threads must be strictly increasing positive \
+                                 numbers, got {other:?} after {prev}"
+                            )),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let figures = match doc.get("figures").and_then(Json::as_arr) {
+        None => {
+            err("missing \"figures\" array".to_string());
+            return errors;
+        }
+        Some(figs) => figs,
+    };
+    if figures.is_empty() {
+        err("\"figures\" is empty".to_string());
+    }
+    for fig in figures {
+        let fig_name = fig
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        if fig.get("name").and_then(Json::as_str).is_none() {
+            err("figure missing string \"name\"".to_string());
+        }
+        for key in ["title", "x_label"] {
+            if fig.get(key).and_then(Json::as_str).is_none() {
+                err(format!("figure {fig_name}: {key} must be a string"));
+            }
+        }
+        let series = match fig.get("series").and_then(Json::as_arr) {
+            None => {
+                err(format!("figure {fig_name}: missing \"series\" array"));
+                continue;
+            }
+            Some(s) => s,
+        };
+        for s in series {
+            let s_name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>")
+                .to_string();
+            let points = match s.get("points").and_then(Json::as_arr) {
+                None => {
+                    err(format!(
+                        "figure {fig_name} series {s_name}: missing \"points\""
+                    ));
+                    continue;
+                }
+                Some(p) => p,
+            };
+            for point in points {
+                let ctx = || {
+                    format!(
+                        "figure {fig_name} series {s_name} x={:?}",
+                        point.get("x").and_then(Json::as_f64)
+                    )
+                };
+                if point.get("x").and_then(Json::as_f64).is_none() {
+                    err(format!("{}: missing numeric \"x\"", ctx()));
+                }
+                for key in ["median_ns", "min_ns", "max_ns", "p95_ns", "rel_iqr"] {
+                    match point.get(key).and_then(Json::as_f64) {
+                        Some(v) if v.is_finite() && v >= 0.0 => {}
+                        other => err(format!(
+                            "{}: {key} must be a non-negative finite number, \
+                             got {other:?}",
+                            ctx()
+                        )),
+                    }
+                }
+                if point.get("noisy").and_then(Json::as_bool).is_none() {
+                    err(format!("{}: missing boolean \"noisy\"", ctx()));
+                }
+                match point.get("samples_ns").and_then(Json::as_arr) {
+                    None => err(format!("{}: missing \"samples_ns\" array", ctx())),
+                    Some(samples) => {
+                        if samples.is_empty() {
+                            err(format!("{}: samples_ns is empty", ctx()));
+                        }
+                        for s in samples {
+                            match s.as_f64() {
+                                Some(v) if v.is_finite() && v >= 0.0 => {}
+                                other => err(format!(
+                                    "{}: sample must be non-negative, got {other:?}",
+                                    ctx()
+                                )),
+                            }
+                        }
+                    }
+                }
+                match point.get("counters") {
+                    Some(Json::Obj(counters)) => {
+                        for (name, v) in counters {
+                            match v.as_f64() {
+                                Some(n) if n >= 0.0 => {}
+                                _ => err(format!("{}: counter {name} must be non-negative", ctx())),
+                            }
+                        }
+                    }
+                    _ => err(format!("{}: missing \"counters\" object", ctx())),
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Extracts `(figure, series, x) -> (median, noisy)` from a parsed report.
+fn medians(doc: &Json) -> BTreeMap<(String, String, u64), (f64, bool)> {
+    let mut out = BTreeMap::new();
+    let Some(figures) = doc.get("figures").and_then(Json::as_arr) else {
+        return out;
+    };
+    for fig in figures {
+        let Some(fig_name) = fig.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(series) = fig.get("series").and_then(Json::as_arr) else {
+            continue;
+        };
+        for s in series {
+            let Some(s_name) = s.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(points) = s.get("points").and_then(Json::as_arr) else {
+                continue;
+            };
+            for p in points {
+                let (Some(x), Some(median)) = (
+                    p.get("x").and_then(Json::as_f64),
+                    p.get("median_ns").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                let noisy = p.get("noisy").and_then(Json::as_bool).unwrap_or(false);
+                out.insert(
+                    (fig_name.to_string(), s_name.to_string(), x as u64),
+                    (median, noisy),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Compares a current report against a baseline, returning every point
+/// whose median slowed down by more than `max_pct` percent. Points flagged
+/// noisy in either run are skipped — a wide interquartile range means the
+/// median moved inside its own noise band. Points present in only one of
+/// the two reports are ignored (the sweep legitimately varies by machine).
+pub fn compare_to_baseline(current: &Json, baseline: &Json, max_pct: f64) -> Vec<Regression> {
+    let base = medians(baseline);
+    let cur = medians(current);
+    let mut regressions = Vec::new();
+    for (key, (cur_median, cur_noisy)) in &cur {
+        let Some((base_median, base_noisy)) = base.get(key) else {
+            continue;
+        };
+        if *cur_noisy || *base_noisy || *base_median <= 0.0 {
+            continue;
+        }
+        let pct = (cur_median / base_median - 1.0) * 100.0;
+        if pct > max_pct {
+            regressions.push(Regression {
+                figure: key.0.clone(),
+                series: key.1.clone(),
+                x: key.2,
+                baseline_ns: *base_median,
+                current_ns: *cur_median,
+                pct,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PointStats, Repeats, Series};
+
+    fn sample_report() -> BenchReport {
+        let mut s = Series::new("cqs");
+        s.push(
+            1,
+            PointStats::from_samples(vec![100.0, 105.0, 95.0], CqsStats::default()),
+        );
+        s.push(
+            2,
+            PointStats::from_samples(vec![210.0, 190.0, 200.0], CqsStats::default()),
+        );
+        BenchReport {
+            meta: RunMeta {
+                scale: "quick".to_string(),
+                threads: vec![1, 2],
+                vcpus: 8,
+                git_rev: "deadbeef".to_string(),
+                chaos: false,
+                stats: false,
+                warmup: 1,
+                timed: 3,
+            },
+            figures: vec![FigureReport {
+                name: "fig5".to_string(),
+                title: "Fig 5 \"barrier\"".to_string(),
+                x_label: "threads".to_string(),
+                series: vec![s],
+            }],
+        }
+    }
+
+    use crate::CqsStats;
+
+    #[test]
+    fn roundtrip_parses_and_validates() {
+        let report = sample_report();
+        let json = report.to_json();
+        let doc = Json::parse(&json).expect("self-emitted JSON must parse");
+        let errors = validate_report(&doc);
+        assert!(errors.is_empty(), "unexpected violations: {errors:?}");
+        assert_eq!(
+            doc.get("meta")
+                .and_then(|m| m.get("scale"))
+                .and_then(Json::as_str),
+            Some("quick")
+        );
+        // Escaped quotes in the title survive the round trip.
+        let title = doc.get("figures").and_then(Json::as_arr).unwrap()[0]
+            .get("title")
+            .and_then(Json::as_str)
+            .unwrap();
+        assert_eq!(title, "Fig 5 \"barrier\"");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nested_values() {
+        let doc = Json::parse(r#"{"a": [1, {"b": true}, null], "c": -2.5e1}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_f64), Some(-25.0));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[1].get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(arr[2], Json::Null);
+    }
+
+    #[test]
+    fn validation_flags_missing_fields() {
+        let doc = Json::parse(r#"{"schema": "cqs-bench/v1", "figures": []}"#).unwrap();
+        let errors = validate_report(&doc);
+        assert!(errors.iter().any(|e| e.contains("meta")));
+        assert!(errors.iter().any(|e| e.contains("figures")));
+    }
+
+    #[test]
+    fn validation_flags_unsorted_threads() {
+        let mut report = sample_report();
+        report.meta.threads = vec![2, 1];
+        let doc = Json::parse(&report.to_json()).unwrap();
+        let errors = validate_report(&doc);
+        assert!(
+            errors.iter().any(|e| e.contains("strictly increasing")),
+            "got {errors:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_comparison_finds_regressions() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        // Slow the x=2 point down by 50%.
+        cur.figures[0].series[0].points[1].1 =
+            PointStats::from_samples(vec![310.0, 290.0, 300.0], CqsStats::default());
+        let base_doc = Json::parse(&base.to_json()).unwrap();
+        let cur_doc = Json::parse(&cur.to_json()).unwrap();
+        let regs = compare_to_baseline(&cur_doc, &base_doc, 20.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].x, 2);
+        assert!(regs[0].pct > 45.0 && regs[0].pct < 55.0, "{:?}", regs[0]);
+        // Generous threshold: no regression.
+        assert!(compare_to_baseline(&cur_doc, &base_doc, 60.0).is_empty());
+        // Identical reports never regress.
+        assert!(compare_to_baseline(&base_doc, &base_doc, 0.5).is_empty());
+    }
+
+    #[test]
+    fn noisy_points_are_exempt_from_regression_checks() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        // Massive slowdown, but with a spread wide enough to be flagged.
+        cur.figures[0].series[0].points[1].1 =
+            PointStats::from_samples(vec![900.0, 100.0, 600.0, 50.0, 1200.0], CqsStats::default());
+        assert!(cur.figures[0].series[0].points[1].1.noisy);
+        let base_doc = Json::parse(&base.to_json()).unwrap();
+        let cur_doc = Json::parse(&cur.to_json()).unwrap();
+        assert!(compare_to_baseline(&cur_doc, &base_doc, 20.0).is_empty());
+    }
+
+    #[test]
+    fn run_meta_current_probes_environment() {
+        let meta = RunMeta::current("quick", &[1, 2, 4], Repeats::default());
+        assert_eq!(meta.scale, "quick");
+        assert_eq!(meta.threads, vec![1, 2, 4]);
+        assert!(!meta.git_rev.is_empty());
+        assert_eq!(meta.stats, cqs_stats::enabled());
+    }
+}

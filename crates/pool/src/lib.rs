@@ -168,6 +168,7 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
                 // An element should be there; a racing put() that announced
                 // itself but has not inserted yet makes us restart.
                 if let Some(element) = shared.backend.try_retrieve() {
+                    cqs_stats::bump!(immediate_hits);
                     return CqsFuture::immediate(element);
                 }
             } else {

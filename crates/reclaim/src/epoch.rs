@@ -118,11 +118,13 @@ impl Global {
             std::mem::take(&mut bags.bins[stale_bin])
         };
         for g in garbage {
+            cqs_stats::bump!(epoch_collects);
             g();
         }
     }
 
     fn defer(&self, deferred: Deferred) {
+        cqs_stats::bump!(epoch_defers);
         cqs_chaos::inject!("epoch.defer.pre-bin");
         let collect_now = {
             let mut bags = self.bags.lock().unwrap();

@@ -1,0 +1,207 @@
+#![warn(missing_docs)]
+
+//! Zero-cost operation counters for the CQS stack.
+//!
+//! Benchmark numbers alone say a configuration is slow; they do not say
+//! *why*. This crate gives the runtime crates a shared block of counters —
+//! suspensions, resumptions, fast-path hits, cancellation outcomes,
+//! rendezvous breaks, segment churn, thread parks — that the benchmark
+//! harness snapshots around every measured point and embeds in its
+//! `BENCH_*.json` output.
+//!
+//! Hot paths mark events with [`bump!`]`(counter)`. Without the `stats`
+//! cargo feature the macro expands to **nothing** — zero code, zero
+//! branches, zero cost, exactly like `cqs_chaos::inject!`. With the feature
+//! enabled, each call site performs one relaxed `fetch_add` on a global
+//! [`AtomicU64`](std::sync::atomic::AtomicU64).
+//!
+//! The [`CqsStats`] snapshot type is available unconditionally (all zeros
+//! when the feature is off), so consumers such as `cqs-harness` need no
+//! `cfg` of their own:
+//!
+//! ```
+//! let before = cqs_stats::CqsStats::snapshot();
+//! // ... run a workload ...
+//! let delta = cqs_stats::CqsStats::snapshot().delta(&before);
+//! assert_eq!(delta.suspends, 0); // feature off: always zero
+//! ```
+
+/// Defines the counter set exactly once; both the live statics and the
+/// [`CqsStats`] snapshot struct are generated from this list so they cannot
+/// drift apart.
+macro_rules! define_counters {
+    ($($(#[doc = $doc:expr])+ $name:ident,)+) => {
+        /// The live counters behind [`bump!`]; present only with the
+        /// `stats` feature.
+        #[cfg(feature = "stats")]
+        #[allow(non_upper_case_globals)]
+        pub mod counters {
+            use std::sync::atomic::AtomicU64;
+            $(
+                $(#[doc = $doc])+
+                pub static $name: AtomicU64 = AtomicU64::new(0);
+            )+
+        }
+
+        /// A point-in-time snapshot of every counter, taken with
+        /// [`CqsStats::snapshot`]. All fields are zero when the `stats`
+        /// feature is disabled.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct CqsStats {
+            $(
+                $(#[doc = $doc])+
+                pub $name: u64,
+            )+
+        }
+
+        impl CqsStats {
+            /// Number of counters in the block.
+            pub const LEN: usize = [$(stringify!($name)),+].len();
+
+            /// Reads every counter. With the `stats` feature disabled this
+            /// returns all zeros.
+            pub fn snapshot() -> Self {
+                #[cfg(feature = "stats")]
+                {
+                    use std::sync::atomic::Ordering;
+                    CqsStats {
+                        $($name: counters::$name.load(Ordering::Relaxed),)+
+                    }
+                }
+                #[cfg(not(feature = "stats"))]
+                {
+                    CqsStats::default()
+                }
+            }
+
+            /// Counter increments since `earlier` (saturating, so a
+            /// snapshot pair taken out of order degrades to zeros instead
+            /// of wrapping).
+            pub fn delta(&self, earlier: &CqsStats) -> CqsStats {
+                CqsStats {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+
+            /// `(name, value)` view in declaration order, for generic
+            /// serialization.
+            pub fn fields(&self) -> [(&'static str, u64); Self::LEN] {
+                [$((stringify!($name), self.$name),)+]
+            }
+
+            /// Whether every counter is zero.
+            pub fn is_zero(&self) -> bool {
+                self.fields().iter().all(|(_, v)| *v == 0)
+            }
+        }
+    };
+}
+
+define_counters! {
+    /// `Cqs::suspend` calls that registered or eliminated a waiter.
+    suspends,
+    /// `Cqs::resume` logical operations started.
+    resumes,
+    /// Suspensions eliminated by a racing resume that had already
+    /// deposited its value in the cell (asynchronous fast path).
+    elim_hits,
+    /// Primitive-level fast-path completions that never reached the CQS
+    /// (e.g. a semaphore acquire with a free permit, a pool take with a
+    /// stored element).
+    immediate_hits,
+    /// Cancellations processed in `CancellationMode::Simple`.
+    cancels_simple,
+    /// Smart-mode cancellations that logically deregistered the waiter,
+    /// letting resumers skip the cell in O(1).
+    cancels_smart_skipped,
+    /// Smart-mode cancellations that raced an in-flight resume and refused
+    /// it (the value went through `complete_refused_resume`).
+    cancels_refused,
+    /// Synchronous-mode rendezvous that timed out and broke the cell,
+    /// forcing both sides to restart.
+    rendezvous_breaks,
+    /// Segments of the infinite array allocated.
+    segments_allocated,
+    /// Segments physically reclaimed (deallocated after unlinking).
+    segments_reclaimed,
+    /// Threads parked while waiting on a `CqsFuture`.
+    parks,
+    /// Parked threads woken by a completion or cancellation.
+    unparks,
+    /// Destructors deferred to the epoch reclamation engine.
+    epoch_defers,
+    /// Deferred destructors actually executed by the epoch engine.
+    epoch_collects,
+}
+
+/// Increments a named counter from the block above.
+///
+/// Expands to a single relaxed `fetch_add` when the `stats` feature is
+/// enabled, and to **nothing** otherwise.
+#[cfg(feature = "stats")]
+#[macro_export]
+macro_rules! bump {
+    ($name:ident) => {
+        $crate::counters::$name.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    };
+}
+
+/// Increments a named counter from the block above.
+///
+/// The `stats` feature is disabled, so this expands to nothing: no load,
+/// no branch, no code at the call site.
+#[cfg(not(feature = "stats"))]
+#[macro_export]
+macro_rules! bump {
+    ($name:ident) => {};
+}
+
+/// Whether the `stats` feature was compiled in (i.e. whether [`bump!`]
+/// call sites actually count).
+pub const fn enabled() -> bool {
+    cfg!(feature = "stats")
+}
+
+#[cfg(all(test, feature = "stats"))]
+mod tests {
+    use super::CqsStats;
+
+    #[test]
+    fn bump_moves_the_snapshot() {
+        let before = CqsStats::snapshot();
+        crate::bump!(suspends);
+        crate::bump!(suspends);
+        crate::bump!(parks);
+        let delta = CqsStats::snapshot().delta(&before);
+        assert!(delta.suspends >= 2);
+        assert!(delta.parks >= 1);
+        assert!(super::enabled());
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        let snapshot = CqsStats::snapshot();
+        assert_eq!(snapshot.fields().len(), CqsStats::LEN);
+    }
+}
+
+#[cfg(all(test, not(feature = "stats")))]
+mod tests {
+    use super::CqsStats;
+
+    #[test]
+    fn disabled_macro_counts_nothing() {
+        crate::bump!(suspends);
+        let snapshot = CqsStats::snapshot();
+        assert!(snapshot.is_zero());
+        assert!(!super::enabled());
+    }
+
+    #[test]
+    fn delta_of_zeros_is_zero() {
+        let a = CqsStats::snapshot();
+        crate::bump!(resumes);
+        let b = CqsStats::snapshot();
+        assert!(b.delta(&a).is_zero());
+    }
+}

@@ -117,6 +117,7 @@ impl RawMutex {
         loop {
             let s = self.state.fetch_sub(1, Ordering::SeqCst);
             if s > 0 {
+                cqs_stats::bump!(immediate_hits);
                 return CqsFuture::immediate(());
             }
             match self.cqs.suspend() {

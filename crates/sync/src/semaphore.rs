@@ -73,7 +73,7 @@ impl Semaphore {
     ///
     /// Panics if `permits` is zero.
     pub fn new(permits: usize) -> Self {
-        Self::with_mode(permits, ResumeMode::Asynchronous)
+        Self::with_mode(permits, ResumeMode::Asynchronous, None)
     }
 
     /// Creates a semaphore using synchronous resumption, which additionally
@@ -83,16 +83,33 @@ impl Semaphore {
     ///
     /// Panics if `permits` is zero.
     pub fn new_sync(permits: usize) -> Self {
-        Self::with_mode(permits, ResumeMode::Synchronous)
+        Self::with_mode(permits, ResumeMode::Synchronous, None)
     }
 
-    fn with_mode(permits: usize, mode: ResumeMode) -> Self {
+    /// Like [`new_sync`](Semaphore::new_sync), but with an explicit
+    /// rendezvous spin limit: how long a releaser waits for a lagging
+    /// acquirer before breaking the cell and retrying (Listing 16's
+    /// bounded wait). Low limits make broken rendezvous frequent; tests
+    /// use `0` to exercise the retry protocol deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new_sync_with_spin(permits: usize, spin_limit: usize) -> Self {
+        Self::with_mode(permits, ResumeMode::Synchronous, Some(spin_limit))
+    }
+
+    fn with_mode(permits: usize, mode: ResumeMode, spin_limit: Option<usize>) -> Self {
         assert!(permits > 0, "a semaphore needs at least one permit");
         let state = Arc::new(AtomicI64::new(permits as i64));
+        let mut config = CqsConfig::new()
+            .resume_mode(mode)
+            .cancellation_mode(CancellationMode::Smart);
+        if let Some(limit) = spin_limit {
+            config = config.spin_limit(limit);
+        }
         let cqs = Cqs::new(
-            CqsConfig::new()
-                .resume_mode(mode)
-                .cancellation_mode(CancellationMode::Smart),
+            config,
             SemaphoreCallbacks {
                 state: Arc::clone(&state),
             },
@@ -131,6 +148,7 @@ impl Semaphore {
             }
             let s = self.state.fetch_sub(1, Ordering::SeqCst);
             if s > 0 {
+                cqs_stats::bump!(immediate_hits);
                 return CqsFuture::immediate(());
             }
             match self.cqs.suspend() {
@@ -240,15 +258,36 @@ impl Semaphore {
         if s >= 0 {
             return Ok(());
         }
-        // There was a waiter when we incremented; resume it. Mirrors the
-        // retry structure of `release()` for synchronous rendezvous breaks.
+        // There was a waiter when we incremented; resume it, retrying
+        // broken synchronous rendezvous like `release()` does: refund the
+        // counter first (Listing 16), and resume again only while the
+        // refunded value still shows waiters. The refund honours the same
+        // cap as the entry increment — an unconditional `fetch_add` here
+        // can race a lagging suspender's re-decrement and push `state`
+        // permanently above `permits`.
         loop {
             if self.cqs.resume(()).is_ok() {
                 return Ok(());
             }
             std::thread::yield_now();
-            let prev = self.state.fetch_add(1, Ordering::SeqCst);
-            if prev >= 0 {
+            let mut s = self.state.load(Ordering::SeqCst);
+            loop {
+                if s >= self.permits as i64 {
+                    // Every permit is already accounted for: the one this
+                    // call committed was absorbed balancing the broken
+                    // rendezvous (its suspender re-acquires via the fast
+                    // path), so no waiter remains for us to serve.
+                    return Ok(());
+                }
+                match self
+                    .state
+                    .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => break,
+                    Err(actual) => s = actual,
+                }
+            }
+            if s >= 0 {
                 return Ok(());
             }
         }
@@ -258,8 +297,15 @@ impl Semaphore {
     pub fn release(&self) {
         loop {
             let s = self.state.fetch_add(1, Ordering::SeqCst);
+            // In asynchronous mode every increment releases exactly one
+            // permit, so overshooting the cap proves an excess release. In
+            // synchronous mode this same loop also performs the Listing-16
+            // refund increments for broken rendezvous, which race with the
+            // lagging suspender's re-decrement — the bound does not hold
+            // per-increment there and asserting it fires on correct
+            // programs.
             debug_assert!(
-                s < self.permits as i64,
+                self.sync_mode || s < self.permits as i64,
                 "released more permits than were acquired"
             );
             if s >= 0 {
@@ -325,6 +371,83 @@ mod tests {
     #[should_panic(expected = "at least one permit")]
     fn zero_permits_rejected() {
         let _ = Semaphore::new(0);
+    }
+
+    /// Deterministic replay of the synchronous-mode interleaving in which
+    /// the Listing-16 refund must honour the permit cap.
+    ///
+    /// The schedule (permits = 1):
+    ///
+    /// 1. the only permit is held;
+    /// 2. an acquirer applies its `fetch_sub` but lags before reaching
+    ///    `cqs.suspend()` (simulated directly — the window is real but a
+    ///    preemption there cannot be forced portably);
+    /// 3. the holder's `release_checked()` commits its permit (`-1 -> 0`),
+    ///    sees the waiter, and enters the synchronous rendezvous: it
+    ///    publishes the value and spins for `TAKEN`. A huge `spin_limit`
+    ///    parks it in that window for tens of milliseconds, making the
+    ///    remaining interleaving deterministic;
+    /// 4. an *excess* `release_checked()` arrives during the transient dip.
+    ///    The entry cap cannot attribute the in-flight rendezvous, so the
+    ///    call sneaks through with `Ok` (`0 -> 1`) — unavoidable in sync
+    ///    mode, and harmless *if* the refund below respects the cap;
+    /// 5. the spin expires, the rendezvous breaks, and the releaser refunds
+    ///    the broken waiter's coming re-decrement. An unconditional
+    ///    `fetch_add` here pushes `state` to `permits + 1` permanently: the
+    ///    sneaked excess of step 4 and the refund both stack on top of the
+    ///    single real permit. The capped refund absorbs the excess instead.
+    ///
+    /// Before the fix this test fails with `available_permits() == 1` while
+    /// the permit is held (and, with the then-unconditional debug
+    /// assertion, the innocent holder's `release()` panicked — the spurious
+    /// fire this regression test pins down).
+    #[test]
+    fn sync_mode_refund_honours_permit_cap() {
+        // Roughly 50-500 ms of spinning on current hardware: far above the
+        // few milliseconds the main thread needs for steps 4-5.
+        const SPIN: usize = 50_000_000;
+        let s = Arc::new(Semaphore::new_sync_with_spin(1, SPIN));
+        assert!(s.try_acquire(), "the single permit must be free");
+
+        // Step 2: the lagging acquirer's decrement, pre-suspension.
+        s.state.fetch_sub(1, Ordering::SeqCst);
+
+        // Step 3: release the held permit; the releaser parks inside the
+        // rendezvous window.
+        let releaser = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                s.release_checked()
+                    .expect("releasing a genuinely held permit must succeed");
+            })
+        };
+        // The entry increment (-1 -> 0) is the observable signal that the
+        // releaser is about to publish; give it a moment to start spinning.
+        while s.state.load(Ordering::SeqCst) < 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+
+        // Step 4: the excess release that sneaks through the entry cap
+        // during the dip. Its result is unspecified mid-rendezvous; the
+        // counter invariant below is what matters.
+        let _ = s.release_checked();
+
+        // Step 5: the rendezvous breaks and the refund is applied.
+        releaser.join().unwrap();
+
+        // The lagging acquirer retries (a broken rendezvous re-runs the
+        // acquire loop); it must find exactly one permit.
+        let waiter = s.acquire();
+        assert_eq!(waiter.wait(), Ok(()));
+        assert_eq!(
+            s.available_permits(),
+            0,
+            "permit counter corrupted: a permit is held, none may be free"
+        );
+        s.release(); // must not trip the excess-release debug assertion
+        assert_eq!(s.available_permits(), 1);
+        assert_eq!(s.release_checked(), Err(ExcessRelease));
     }
 
     #[test]
@@ -436,6 +559,83 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(s.available_permits(), 2);
+    }
+
+    /// Regression test: `release_checked()`'s retry path used to refund a
+    /// broken synchronous rendezvous with an uncapped `fetch_add`, which
+    /// could race a lagging suspender's re-decrement and push `state`
+    /// permanently above `permits` — after which innocent `release()`
+    /// calls tripped their excess-release debug assertion. A spin limit of
+    /// zero makes every release that overtakes its suspender break the
+    /// rendezvous, so the retry protocol runs constantly.
+    #[test]
+    fn sync_mode_broken_rendezvous_storm_respects_permit_cap() {
+        const PERMITS: usize = 2;
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        let s = Arc::new(Semaphore::new_sync_with_spin(PERMITS, 0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let s = Arc::clone(&s);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    s.acquire().wait().unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= PERMITS, "semaphore admitted {now} > {PERMITS}");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    // Alternate the two release flavours: the corruption
+                    // needs release_checked's retry racing other releases.
+                    if (i + t) % 2 == 0 {
+                        s.release_checked()
+                            .expect("a held permit is never an excess release");
+                    } else {
+                        s.release();
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Quiescence: exactly the configured permits, never more.
+        assert_eq!(
+            s.available_permits(),
+            PERMITS,
+            "permit counter corrupted by broken-rendezvous refunds"
+        );
+        assert_eq!(s.release_checked(), Err(ExcessRelease));
+    }
+
+    /// Same storm on a single permit (mutex degeneration), all releases
+    /// through `release_checked()` — the tightest window for the capped
+    /// refund, since one broken rendezvous is enough to reach the cap.
+    #[test]
+    fn sync_mode_release_checked_storm_single_permit() {
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        let s = Arc::new(Semaphore::new_sync_with_spin(1, 0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let s = Arc::clone(&s);
+            let inside = Arc::clone(&inside);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    s.acquire().wait().unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(now <= 1, "mutual exclusion violated: {now} holders");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    s.release_checked()
+                        .expect("a held permit is never an excess release");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(s.available_permits(), 1);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Drives the `stats` operation counters through the public API.
+//!
+//! ```bash
+//! cargo run --release --example operation_counters                    # all zeros
+//! cargo run --release --features stats --example operation_counters   # live counts
+//! ```
+//!
+//! A synchronous-mode semaphore is stormed by a few threads (forcing real
+//! suspensions and resumptions), `release_checked` is probed for its
+//! excess-release guarantee, and the counter delta across the storm is
+//! printed. Without `--features stats` every hook compiles to a no-op and
+//! the delta is all zeros; with it, the same binary reports what the
+//! workload actually did inside the CQS.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cqs::Semaphore;
+use cqs_stats::CqsStats;
+
+fn main() {
+    println!("stats enabled = {}", cqs_stats::enabled());
+
+    let before = CqsStats::snapshot();
+
+    const PERMITS: usize = 2;
+    const THREADS: usize = 4;
+    const OPS: usize = 500;
+    let semaphore = Arc::new(Semaphore::new_sync(PERMITS));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let inside = Arc::new(AtomicUsize::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let semaphore = Arc::clone(&semaphore);
+            let peak = Arc::clone(&peak);
+            let inside = Arc::clone(&inside);
+            std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    semaphore.acquire().wait().expect("storm never closes");
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    semaphore
+                        .release_checked()
+                        .expect("a held permit is always releasable");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    assert!(
+        peak.load(Ordering::SeqCst) <= PERMITS,
+        "mutual exclusion violated"
+    );
+    assert_eq!(
+        semaphore.available_permits(),
+        PERMITS,
+        "all permits must be back after the storm"
+    );
+    assert!(
+        semaphore.release_checked().is_err(),
+        "an excess release must be rejected"
+    );
+    println!(
+        "storm ok: {} acquisitions, peak concurrency {} <= {PERMITS} permits",
+        THREADS * OPS,
+        peak.load(Ordering::SeqCst)
+    );
+
+    let delta = CqsStats::snapshot().delta(&before);
+    println!("\ncounter deltas across the storm:");
+    for (name, value) in delta.fields() {
+        println!("  {name:<24} {value}");
+    }
+    if cqs_stats::enabled() {
+        assert!(
+            delta.immediate_hits > 0,
+            "a 2-permit/4-thread storm must take the fast path sometimes"
+        );
+        assert!(!delta.is_zero(), "enabled counters must observe the storm");
+    } else {
+        assert!(delta.is_zero(), "disabled counters must stay at zero");
+    }
+    println!(
+        "\ncounters consistent with stats enabled = {}",
+        cqs_stats::enabled()
+    );
+}

@@ -231,4 +231,69 @@ mod tests {
         group.finish();
         assert_eq!(c.completed, 2);
     }
+
+    fn bencher(sample_size: usize) -> Bencher {
+        Bencher {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_secs(5),
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_custom_divides_total_by_iteration_count() {
+        let mut b = bencher(5);
+        // The routine reports a total proportional to the requested
+        // iteration count, so every per-iteration sample must normalise to
+        // exactly 100µs regardless of what `iters` the shim chose.
+        b.iter_custom(|iters| Duration::from_micros(100 * iters));
+        assert!(!b.samples.is_empty(), "must collect at least one sample");
+        assert!(b.samples.len() <= 5, "must not exceed the sample budget");
+        for s in &b.samples {
+            assert_eq!(*s, Duration::from_micros(100));
+        }
+        assert_eq!(b.median(), Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn iter_custom_warm_up_pass_is_discarded() {
+        let mut b = bencher(3);
+        let mut calls = 0u32;
+        b.iter_custom(|_| {
+            calls += 1;
+            Duration::from_micros(10)
+        });
+        // One warm-up invocation plus one per recorded sample.
+        assert_eq!(calls as usize, b.samples.len() + 1);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        for permutation in [[5u64, 1, 3], [1, 3, 5], [3, 5, 1]] {
+            let mut b = bencher(3);
+            b.samples = permutation
+                .iter()
+                .map(|&ms| Duration::from_millis(ms))
+                .collect();
+            assert_eq!(b.median(), Some(Duration::from_millis(3)));
+        }
+    }
+
+    #[test]
+    fn median_of_even_sample_count_is_upper_middle() {
+        // The shim intentionally keeps the cheap nearest-rank definition
+        // (criterion proper interpolates); pin it down so a change shows up.
+        let mut b = bencher(4);
+        b.samples = [4u64, 1, 2, 3]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        assert_eq!(b.median(), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn median_of_no_samples_is_none() {
+        assert_eq!(bencher(1).median(), None);
+    }
 }

@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                         measure(threads, |t| {
                             let mut rng = work.rng(t as u64);
                             for _ in 0..iters {
-                                barrier.arrive().wait();
+                                barrier.arrive().wait().unwrap();
                                 work.run(&mut rng);
                             }
                         })

@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
     let rwlock = RawRwLock::new();
     group.bench_function("cqs_rwlock_read", |b| {
         b.iter(|| {
-            rwlock.read().wait();
+            rwlock.read().wait().unwrap();
             rwlock.read_unlock();
         })
     });

@@ -127,6 +127,11 @@ fn emit(
 }
 
 fn main() {
+    // With `--features watch` and CQS_WATCH_STALL_MS set, a background
+    // watchdog reports stalled waiters / deadlocks of a wedged benchmark
+    // run as JSON lines (to CQS_WATCH_REPORT or stderr) instead of leaving
+    // a silent hang; see EXPERIMENTS.md. No-op otherwise.
+    let _watchdog = cqs_watch::spawn_from_env();
     let options = parse_args();
     let scale = options.scale;
     let threads = &options.threads;

@@ -45,7 +45,7 @@ pub fn run(scale: Scale, work_mean: u64, threads: &[usize], repeats: Repeats) ->
         cqs.push(
             n as u64,
             bench_barrier(n, rounds, work, repeats, &*b, |b: &CyclicBarrier| {
-                b.arrive().wait()
+                b.arrive().wait().unwrap()
             }),
         );
 

@@ -54,6 +54,7 @@ pub struct CqsConfig {
     cancellation_mode: CancellationMode,
     segment_size: usize,
     spin_limit: usize,
+    label: &'static str,
 }
 
 impl CqsConfig {
@@ -71,7 +72,17 @@ impl CqsConfig {
             cancellation_mode: CancellationMode::Simple,
             segment_size: Self::DEFAULT_SEGMENT_SIZE,
             spin_limit: Self::DEFAULT_SPIN_LIMIT,
+            label: "cqs",
         }
+    }
+
+    /// Sets the static label naming this queue's suspension site in
+    /// watchdog stall/deadlock reports (e.g. `"mutex.lock"`). Purely
+    /// diagnostic; ignored unless the `watch` feature is enabled.
+    #[must_use]
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
     }
 
     /// Sets the resumption mode.
@@ -125,6 +136,11 @@ impl CqsConfig {
     /// The configured spin budget.
     pub fn get_spin_limit(&self) -> usize {
         self.spin_limit
+    }
+
+    /// The configured watchdog label.
+    pub fn get_label(&self) -> &'static str {
+        self.label
     }
 }
 

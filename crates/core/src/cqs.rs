@@ -75,6 +75,8 @@ impl<T> Suspend<T> {
 
 struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
     config: CqsConfig,
+    /// Watchdog id of this queue (0 when the `watch` feature is off).
+    watch_id: u64,
     suspend_idx: AtomicU64,
     resume_idx: AtomicU64,
     suspend_segm: AtomicArc<Segment<T>>,
@@ -121,6 +123,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
         let first = Segment::new(0, config.get_segment_size(), 2);
         Cqs {
             inner: Arc::new(CqsInner {
+                watch_id: cqs_watch::next_primitive_id(config.get_label()),
                 config,
                 suspend_idx: AtomicU64::new(0),
                 resume_idx: AtomicU64::new(0),
@@ -192,6 +195,12 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
     /// Whether [`close`](Cqs::close) was called.
     pub fn is_closed(&self) -> bool {
         self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Watchdog id of this queue: keys its waiter records in cqs-watch
+    /// stall/deadlock reports. Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.inner.watch_id
     }
 
     /// Current value of the suspension counter (diagnostics/tests).
@@ -314,6 +323,11 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 segment,
                 index,
             }));
+            cqs_watch::register_waiter!(
+                self.watch_id,
+                self.config.get_label(),
+                Arc::clone(&request)
+            );
             // Double-check after publishing the waiter: if a `close()`
             // stored `closed` before this load, self-cancel (idempotent
             // with the closer's sweep — `Request::cancel` has exactly one

@@ -128,6 +128,39 @@ impl std::fmt::Debug for CoroWaker {
     }
 }
 
+/// One or more coroutines panicked since the last check.
+///
+/// Returned by [`Executor::wait_idle_checked`]; carries the panic payloads
+/// (rendered to strings) so the failure is attributable instead of silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoroutinePanics {
+    /// The captured panic payloads, oldest first.
+    pub payloads: Vec<String>,
+}
+
+impl std::fmt::Display for CoroutinePanics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} coroutine(s) panicked", self.payloads.len())?;
+        if let Some(first) = self.payloads.first() {
+            write!(f, "; first payload: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CoroutinePanics {}
+
+/// Renders a `catch_unwind` payload the way the default panic hook does.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "Box<dyn Any>".to_string()
+    }
+}
+
 struct ExecShared {
     queue: Mutex<VecDeque<BoxedCoroutine>>,
     work_available: Condvar,
@@ -136,6 +169,13 @@ struct ExecShared {
     idle: Condvar,
     idle_lock: Mutex<()>,
     shutdown: AtomicBool,
+    /// Total coroutine panics over the executor's lifetime.
+    panic_count: AtomicUsize,
+    /// Panic payloads not yet drained by `wait_idle_checked`.
+    panics: Mutex<Vec<String>>,
+    /// Watchdog id for this executor's gauges; 0 when `watch` is off.
+    #[cfg_attr(not(feature = "watch"), allow(dead_code))]
+    watch_id: u64,
 }
 
 impl ExecShared {
@@ -145,10 +185,20 @@ impl ExecShared {
     }
 
     fn finish_one(&self) {
-        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let previous = self.live.fetch_sub(1, Ordering::SeqCst);
+        cqs_watch::gauge!(self.watch_id, "live", previous as i64 - 1);
+        if previous == 1 {
             let _g = self.idle_lock.lock().unwrap();
             self.idle.notify_all();
         }
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let message = describe_panic(payload);
+        let _total = self.panic_count.fetch_add(1, Ordering::SeqCst) + 1;
+        eprintln!("cqs-exec: coroutine panicked: {message}");
+        cqs_watch::gauge!(self.watch_id, "panics", _total as i64);
+        self.panics.lock().unwrap().push(message);
     }
 }
 
@@ -173,6 +223,9 @@ impl Executor {
             idle: Condvar::new(),
             idle_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
+            panic_count: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+            watch_id: cqs_watch::next_primitive_id("exec"),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -188,11 +241,17 @@ impl Executor {
 
     /// Submits a coroutine for execution.
     pub fn spawn<C: Coroutine>(&self, coroutine: C) {
-        self.shared.live.fetch_add(1, Ordering::SeqCst);
+        let _previous = self.shared.live.fetch_add(1, Ordering::SeqCst);
+        cqs_watch::gauge!(self.shared.watch_id, "live", _previous as i64 + 1);
         self.shared.enqueue(Box::new(coroutine));
     }
 
-    /// Blocks until every spawned coroutine has finished.
+    /// Blocks until every spawned coroutine has finished. Coroutine panics
+    /// do not fail this call (matching historical behaviour) but are never
+    /// silent: each is logged to stderr when caught and counted in
+    /// [`panic_count`](Self::panic_count); use
+    /// [`wait_idle_checked`](Self::wait_idle_checked) to surface them as an
+    /// error.
     pub fn wait_idle(&self) {
         let mut g = self.shared.idle_lock.lock().unwrap();
         while self.shared.live.load(Ordering::SeqCst) != 0 {
@@ -200,9 +259,33 @@ impl Executor {
         }
     }
 
+    /// Like [`wait_idle`](Self::wait_idle), but returns an error carrying
+    /// the captured payloads if any coroutine panicked since the last
+    /// `wait_idle_checked` call. Draining is destructive: a returned
+    /// [`CoroutinePanics`] will not be reported again (the lifetime
+    /// [`panic_count`](Self::panic_count) is unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoroutinePanics`] with the undrained panic payloads.
+    pub fn wait_idle_checked(&self) -> Result<(), CoroutinePanics> {
+        self.wait_idle();
+        let payloads: Vec<String> = self.shared.panics.lock().unwrap().drain(..).collect();
+        if payloads.is_empty() {
+            Ok(())
+        } else {
+            Err(CoroutinePanics { payloads })
+        }
+    }
+
     /// The number of coroutines not yet finished.
     pub fn live_count(&self) -> usize {
         self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Total coroutine panics caught over this executor's lifetime.
+    pub fn panic_count(&self) -> usize {
+        self.shared.panic_count.load(Ordering::SeqCst)
     }
 }
 
@@ -234,9 +317,11 @@ fn run_one(shared: &Arc<ExecShared>, mut coroutine: BoxedCoroutine) {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| coroutine.step(&waker)));
         let step = match step {
             Ok(step) => step,
-            Err(_) => {
+            Err(payload) => {
                 // A panicking coroutine counts as finished; the carrier
-                // thread survives and keeps serving other coroutines.
+                // thread survives and keeps serving other coroutines. The
+                // payload is logged and kept for `wait_idle_checked`.
+                shared.record_panic(payload.as_ref());
                 shared.finish_one();
                 return;
             }
@@ -430,6 +515,33 @@ mod panic_tests {
         }));
         executor.wait_idle();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(executor.panic_count(), 1);
+    }
+
+    #[test]
+    fn wait_idle_checked_surfaces_payloads_once() {
+        let executor = Executor::new(2);
+        executor.spawn(FnCoroutine::new(|_| panic!("first failure")));
+        executor.spawn(FnCoroutine::new(|_| {
+            panic!("code {}", 42); // formatted payload → String
+        }));
+        let err = executor.wait_idle_checked().unwrap_err();
+        assert_eq!(err.payloads.len(), 2);
+        assert!(err.payloads.contains(&"first failure".to_string()));
+        assert!(err.payloads.contains(&"code 42".to_string()));
+        assert!(err.to_string().contains("2 coroutine(s) panicked"));
+        assert_eq!(executor.panic_count(), 2);
+        // Drained: a second check is clean, the lifetime counter is not.
+        executor.wait_idle_checked().unwrap();
+        assert_eq!(executor.panic_count(), 2);
+    }
+
+    #[test]
+    fn wait_idle_checked_ok_when_nothing_panicked() {
+        let executor = Executor::new(1);
+        executor.spawn(FnCoroutine::new(|_| CoroStep::Done));
+        executor.wait_idle_checked().unwrap();
+        assert_eq!(executor.panic_count(), 0);
     }
 }
 

@@ -278,6 +278,19 @@ impl<T> Default for Request<T> {
     }
 }
 
+// Lets the watchdog registry observe and (under an eviction policy) abort a
+// suspended request without knowing `T`. The impl is unconditional — with
+// the `watch` feature off no registration site exists, so it is dead code.
+impl<T: Send + 'static> cqs_watch::WaiterHandle for Request<T> {
+    fn is_terminated(&self) -> bool {
+        Request::is_terminated(self)
+    }
+
+    fn cancel(&self) -> bool {
+        Request::cancel(self)
+    }
+}
+
 impl<T> fmt::Debug for Request<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let state = match self.state.load(Ordering::Relaxed) {

@@ -228,6 +228,166 @@ impl BenchReport {
 }
 
 // ---------------------------------------------------------------------------
+// Generic incremental writer
+// ---------------------------------------------------------------------------
+
+/// Incremental hand-rolled JSON writer: the reusable face of the same
+/// no-serde machinery behind [`BenchReport::to_json`]. `cqs-watch` uses it
+/// to serialize stall/deadlock reports; anything else in the workspace that
+/// needs machine-readable output without a registry dependency can too.
+///
+/// Commas are managed automatically; the caller only describes structure:
+///
+/// ```
+/// use cqs_harness::report::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("kind", "stall");
+/// w.key("waiters");
+/// w.begin_array();
+/// w.unsigned(3);
+/// w.unsigned(7);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"kind":"stall","waiters":[3,7]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether the next value at that level
+    /// needs a separating comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::with_capacity(256),
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Opens an object (as a root, array element, or the value of a
+    /// pending [`key`](Self::key)).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma.pop();
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma.pop();
+    }
+
+    /// Writes an object key; the next emitted value becomes its value.
+    pub fn key(&mut self, key: &str) {
+        self.pre_value();
+        escape_json(key, &mut self.out);
+        self.out.push(':');
+        if let Some(top) = self.needs_comma.last_mut() {
+            *top = false; // the upcoming value continues this entry
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.pre_value();
+        escape_json(v, &mut self.out);
+    }
+
+    /// Writes an `f64` value (`NaN`/`inf` become `null`, as in the bench
+    /// writer).
+    pub fn float(&mut self, v: f64) {
+        self.pre_value();
+        number(v, &mut self.out);
+    }
+
+    /// Writes a `u64` value.
+    pub fn unsigned(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes an `i64` value.
+    pub fn integer(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Shorthand for `key(k); string(v)`.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Shorthand for `key(k); unsigned(v)`.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.unsigned(v);
+    }
+
+    /// Shorthand for `key(k); integer(v)`.
+    pub fn field_i64(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.integer(v);
+    }
+
+    /// Shorthand for `key(k); float(v)`.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.float(v);
+    }
+
+    /// Shorthand for `key(k); boolean(v)`.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.boolean(v);
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(
+            self.needs_comma.is_empty(),
+            "JsonWriter finished with {} unclosed container(s)",
+            self.needs_comma.len()
+        );
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------
 
@@ -702,6 +862,41 @@ pub fn compare_to_baseline(current: &Json, baseline: &Json, max_pct: f64) -> Vec
 mod tests {
     use super::*;
     use crate::{PointStats, Repeats, Series};
+
+    #[test]
+    fn json_writer_round_trips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", "dead\"lock");
+        w.field_bool("evicting", true);
+        w.field_i64("delta", -3);
+        w.field_f64("waited_ms", 12.5);
+        w.key("cycle");
+        w.begin_array();
+        w.begin_object();
+        w.field_u64("thread", 1);
+        w.field_u64("wants", 2);
+        w.end_object();
+        w.begin_object();
+        w.field_u64("thread", 2);
+        w.field_u64("wants", 1);
+        w.end_object();
+        w.end_array();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        let doc = Json::parse(&text).expect("writer output must parse");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("dead\"lock"));
+        assert_eq!(doc.get("evicting").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("delta").and_then(Json::as_f64), Some(-3.0));
+        assert_eq!(doc.get("waited_ms").and_then(Json::as_f64), Some(12.5));
+        let cycle = doc.get("cycle").and_then(Json::as_arr).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert_eq!(cycle[1].get("wants").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("empty").and_then(Json::as_arr).unwrap().len(), 0);
+    }
 
     fn sample_report() -> BenchReport {
         let mut s = Series::new("cqs");

@@ -126,7 +126,9 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
             size: AtomicI64::new(0),
             backend,
             cqs: Cqs::new(
-                CqsConfig::new().cancellation_mode(CancellationMode::Smart),
+                CqsConfig::new()
+                    .cancellation_mode(CancellationMode::Smart)
+                    .label("pool.take"),
                 PoolCallbacks {
                     shared: Weak::clone(weak),
                 },
@@ -144,6 +146,12 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     /// Whether no elements are currently stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Watchdog id keying this pool's waiter records and its size gauge in
+    /// cqs-watch reports. Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.shared.cqs.watch_id()
     }
 
     /// Returns `element` to the pool, handing it directly to the first
@@ -164,6 +172,7 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
                 return CqsFuture::cancelled();
             }
             let s = shared.size.fetch_sub(1, Ordering::SeqCst);
+            cqs_watch::gauge!(shared.cqs.watch_id(), "size", s - 1);
             if s > 0 {
                 // An element should be there; a racing put() that announced
                 // itself but has not inserted yet makes us restart.
@@ -202,6 +211,7 @@ impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
     fn put(&self, mut element: E) {
         loop {
             let s = self.size.fetch_add(1, Ordering::SeqCst);
+            cqs_watch::gauge!(self.cqs.watch_id(), "size", s + 1);
             if s < 0 {
                 // Resume the first waiting taker; with smart cancellation
                 // and asynchronous resumption this cannot fail.

@@ -1,11 +1,14 @@
 //! A barrier on top of CQS (paper, §4.1, Listing 6).
 //!
 //! All parties call [`Barrier::arrive`]; the last arrival resumes everyone.
-//! Like the paper's (and Java's) implementation, the barrier does not
-//! support cancellation: resuming a set of waiters atomically is impossible
-//! with real primitives, so an arrived party counts toward the barrier even
-//! if its caller lost interest. The returned [`BarrierFuture`] therefore
-//! exposes no `cancel`.
+//! Like the paper's (and Java's) implementation, an arrival cannot be
+//! *withdrawn*: resuming a set of waiters atomically is impossible with
+//! real primitives, so an arrived party counts toward the barrier even if
+//! its caller lost interest. Waiting, however, is abortable — a party can
+//! stop waiting via [`BarrierFuture::wait_timeout`] (its arrival still
+//! counts, its wake-up is simply discarded), and a whole barrier can be
+//! [`close`](Barrier::close)d during shutdown, failing every current and
+//! future waiter with [`Cancelled`] instead of hanging them forever.
 //!
 //! For phased workloads, [`CyclicBarrier`] layers generation counting on top
 //! so the same object can be reused round after round (an extension beyond
@@ -13,8 +16,9 @@
 //! reusability).
 
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
 
-use cqs_core::{Cqs, CqsConfig, CqsFuture, SimpleCancellation};
+use cqs_core::{Cancelled, Cqs, CqsConfig, CqsFuture, SimpleCancellation};
 
 /// A single-use barrier for a fixed number of parties.
 ///
@@ -28,7 +32,7 @@ use cqs_core::{Cqs, CqsConfig, CqsFuture, SimpleCancellation};
 /// let handles: Vec<_> = (0..4)
 ///     .map(|_| {
 ///         let barrier = Arc::clone(&barrier);
-///         std::thread::spawn(move || barrier.arrive().wait())
+///         std::thread::spawn(move || barrier.arrive().wait().unwrap())
 ///     })
 ///     .collect();
 /// for h in handles {
@@ -53,7 +57,7 @@ impl Barrier {
         Barrier {
             parties,
             remaining: AtomicI64::new(parties as i64),
-            cqs: Cqs::new(CqsConfig::new(), SimpleCancellation),
+            cqs: Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),
         }
     }
 
@@ -62,13 +66,26 @@ impl Barrier {
         self.parties
     }
 
+    /// Watchdog id keying this barrier's waiter records in cqs-watch
+    /// reports. Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.cqs.watch_id()
+    }
+
     /// Registers the caller's arrival. The future completes once all
-    /// `parties` have arrived.
+    /// `parties` have arrived — or fails with [`Cancelled`] when the
+    /// barrier is [`close`](Self::close)d (arrivals after a close fail
+    /// immediately and are not counted).
     ///
     /// # Panics
     ///
     /// Panics if called more than `parties` times.
     pub fn arrive(&self) -> BarrierFuture {
+        if self.cqs.is_closed() {
+            return BarrierFuture {
+                inner: CqsFuture::cancelled(),
+            };
+        }
         let r = self.remaining.fetch_sub(1, Ordering::SeqCst);
         assert!(r > 0, "barrier arrive() called more times than parties");
         if r > 1 {
@@ -76,20 +93,38 @@ impl Barrier {
                 inner: self.cqs.suspend().expect_future(),
             };
         }
-        // Last arrival: wake everyone who suspended before us.
+        // Last arrival: wake everyone who suspended before us. A resume
+        // landing on the cell of a party that stopped waiting (timeout, or
+        // a close racing with this sweep) fails in simple-cancellation
+        // style; that party needs no wake-up, so the failure is simply
+        // dropped — each resume still consumes exactly one cell, keeping
+        // the counters balanced.
         for _ in 0..self.parties - 1 {
-            self.cqs
-                .resume(())
-                .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+            let _ = self.cqs.resume(());
         }
         BarrierFuture {
             inner: CqsFuture::immediate(()),
         }
     }
+
+    /// Closes the barrier: every currently waiting party is woken with
+    /// [`Cancelled`] and every subsequent [`arrive`](Self::arrive) fails
+    /// fast without counting. A barrier that can never be completed (a
+    /// party died) thus degrades into visible errors instead of a hang.
+    /// Closing twice is a no-op.
+    pub fn close(&self) {
+        self.cqs.close();
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.cqs.is_closed()
+    }
 }
 
 /// The pending side of a [`Barrier::arrive`]; completes when all parties
-/// have arrived. Deliberately not cancellable (see module docs).
+/// have arrived. The *arrival* is permanent, but waiting is abortable —
+/// see [`wait_timeout`](Self::wait_timeout).
 #[derive(Debug)]
 pub struct BarrierFuture {
     inner: CqsFuture<()>,
@@ -97,10 +132,31 @@ pub struct BarrierFuture {
 
 impl BarrierFuture {
     /// Blocks until all parties have arrived.
-    pub fn wait(self) {
-        self.inner
-            .wait()
-            .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the barrier was closed, or if this party's
+    /// wait was abandoned by a concurrent [`wait_timeout`] expiry (e.g. a
+    /// watchdog eviction).
+    ///
+    /// [`wait_timeout`]: Self::wait_timeout
+    pub fn wait(self) -> Result<(), Cancelled> {
+        self.inner.wait()
+    }
+
+    /// Blocks until all parties have arrived or `timeout` elapses.
+    ///
+    /// On expiry the party stops waiting and observes [`Cancelled`], but
+    /// its **arrival still counts** — the barrier cannot un-arrive a party
+    /// (see module docs), it only discards the abandoned wake-up. The
+    /// barrier remains usable: the remaining parties still meet normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed first or the barrier
+    /// was closed.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<(), Cancelled> {
+        self.inner.wait_timeout(timeout)
     }
 
     /// Whether the caller was the last to arrive (no suspension happened).
@@ -110,15 +166,13 @@ impl BarrierFuture {
 }
 
 impl std::future::Future for BarrierFuture {
-    type Output = ();
+    type Output = Result<(), Cancelled>;
 
     fn poll(
         mut self: std::pin::Pin<&mut Self>,
         cx: &mut std::task::Context<'_>,
-    ) -> std::task::Poll<()> {
-        std::pin::Pin::new(&mut self.inner)
-            .poll(cx)
-            .map(|r| r.unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled")))
+    ) -> std::task::Poll<Result<(), Cancelled>> {
+        std::pin::Pin::new(&mut self.inner).poll(cx)
     }
 }
 
@@ -155,8 +209,8 @@ impl CyclicBarrier {
             parties,
             arrivals: AtomicI64::new(0),
             queues: [
-                Cqs::new(CqsConfig::new(), SimpleCancellation),
-                Cqs::new(CqsConfig::new(), SimpleCancellation),
+                Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),
+                Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),
             ],
         }
     }
@@ -166,9 +220,22 @@ impl CyclicBarrier {
         self.parties
     }
 
+    /// Watchdog ids of the two alternating round queues, keying this
+    /// barrier's waiter records in cqs-watch reports. Always `[0, 0]` when
+    /// the `watch` feature is off.
+    pub fn watch_ids(&self) -> [u64; 2] {
+        [self.queues[0].watch_id(), self.queues[1].watch_id()]
+    }
+
     /// Arrives at the current round's synchronization point; the future
-    /// completes when all parties of this round have arrived.
+    /// completes when all parties of this round have arrived — or fails
+    /// with [`Cancelled`] once the barrier is [`close`](Self::close)d.
     pub fn arrive(&self) -> BarrierFuture {
+        if self.is_closed() {
+            return BarrierFuture {
+                inner: CqsFuture::cancelled(),
+            };
+        }
         let a = self.arrivals.fetch_add(1, Ordering::SeqCst);
         let position = (a as usize) % self.parties;
         let round = (a as usize) / self.parties;
@@ -178,13 +245,28 @@ impl CyclicBarrier {
                 inner: cqs.suspend().expect_future(),
             };
         }
+        // See `Barrier::arrive`: a failed resume belongs to a party that
+        // stopped waiting and is dropped on purpose.
         for _ in 0..self.parties - 1 {
-            cqs.resume(())
-                .unwrap_or_else(|_| unreachable!("barrier waiters are never cancelled"));
+            let _ = cqs.resume(());
         }
         BarrierFuture {
             inner: CqsFuture::immediate(()),
         }
+    }
+
+    /// Closes the barrier: both round queues are settled, waking every
+    /// current waiter with [`Cancelled`], and subsequent arrivals fail fast
+    /// without counting. Closing twice is a no-op.
+    pub fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.queues[0].is_closed()
     }
 }
 
@@ -204,7 +286,7 @@ mod tests {
     #[should_panic(expected = "more times than parties")]
     fn over_arrival_panics() {
         let b = Barrier::new(1);
-        b.arrive().wait();
+        b.arrive().wait().unwrap();
         let _over = b.arrive();
     }
 
@@ -219,7 +301,7 @@ mod tests {
             let arrived = Arc::clone(&arrived);
             joins.push(std::thread::spawn(move || {
                 arrived.fetch_add(1, Ordering::SeqCst);
-                b.arrive().wait();
+                b.arrive().wait().unwrap();
                 // Everybody must have arrived by the time anyone passes.
                 assert_eq!(arrived.load(Ordering::SeqCst), PARTIES);
             }));
@@ -227,6 +309,71 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+    }
+
+    /// Expire-then-recover: a party that abandons its wait still counts,
+    /// so the remaining parties complete the barrier normally.
+    #[test]
+    fn wait_timeout_expires_then_barrier_completes() {
+        let b = Barrier::new(2);
+        let f = b.arrive();
+        assert_eq!(
+            f.wait_timeout(std::time::Duration::from_millis(20)),
+            Err(Cancelled)
+        );
+        // The timed-out arrival is still registered; this last arrival
+        // completes the barrier immediately instead of hanging forever.
+        let last = b.arrive();
+        assert!(last.is_immediate());
+        last.wait().unwrap();
+    }
+
+    /// Expire-then-recover on the cyclic variant: a timed-out waiter's
+    /// round still completes, and the *next* round works normally.
+    #[test]
+    fn cyclic_wait_timeout_expires_then_next_round_recovers() {
+        let b = Arc::new(CyclicBarrier::new(2));
+        let f = b.arrive();
+        assert_eq!(
+            f.wait_timeout(std::time::Duration::from_millis(20)),
+            Err(Cancelled)
+        );
+        assert!(b.arrive().is_immediate()); // round 0 completes
+        let b2 = Arc::clone(&b);
+        let j = std::thread::spawn(move || b2.arrive().wait());
+        b.arrive().wait().unwrap(); // round 1 is healthy
+        j.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_waiters_and_fails_later_arrivals() {
+        let b = Arc::new(Barrier::new(3));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.arrive().wait());
+        // Wait until the party is actually queued, then close.
+        while b.cqs.suspend_count() == 0 {
+            std::thread::yield_now();
+        }
+        b.close();
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert!(b.is_closed());
+        // Post-close arrivals fail fast and do not count or panic.
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cyclic_close_wakes_waiters() {
+        let b = Arc::new(CyclicBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.arrive().wait());
+        while b.queues[0].suspend_count() == 0 {
+            std::thread::yield_now();
+        }
+        b.close();
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
     }
 
     #[test]
@@ -242,7 +389,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 for round in 0..ROUNDS {
                     in_round.fetch_add(1, Ordering::SeqCst);
-                    b.arrive().wait();
+                    b.arrive().wait().unwrap();
                     // No thread can be more than one round ahead.
                     let seen = in_round.load(Ordering::SeqCst);
                     assert!(
@@ -275,7 +422,7 @@ mod tests {
                 let b = Arc::clone(&b);
                 joins.push(std::thread::spawn(move || {
                     for _ in 0..ROUNDS {
-                        b.arrive().wait();
+                        b.arrive().wait().unwrap();
                     }
                 }));
             }
@@ -295,7 +442,7 @@ mod tests {
         let f1 = b.arrive();
         let f2 = b.arrive();
         assert!(f2.is_immediate());
-        f1.wait();
-        f2.wait();
+        f1.wait().unwrap();
+        f2.wait().unwrap();
     }
 }

@@ -71,7 +71,9 @@ impl CountDownLatch {
     pub fn new(count: usize) -> Self {
         let waiters = Arc::new(AtomicU64::new(0));
         let cqs = Cqs::new(
-            CqsConfig::new().cancellation_mode(CancellationMode::Smart),
+            CqsConfig::new()
+                .cancellation_mode(CancellationMode::Smart)
+                .label("latch.wait"),
             LatchCallbacks {
                 waiters: Arc::clone(&waiters),
             },
@@ -86,6 +88,12 @@ impl CountDownLatch {
     /// The number of operations still to be completed (zero once open).
     pub fn count(&self) -> usize {
         self.count.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// Watchdog id keying this latch's waiter records in cqs-watch reports.
+    /// Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.cqs.watch_id()
     }
 
     /// Records one completed operation; the call that brings the count to
@@ -170,7 +178,7 @@ impl SimpleCancelLatch {
         SimpleCancelLatch {
             count: AtomicI64::new(count as i64),
             waiters: Arc::new(AtomicU64::new(0)),
-            cqs: Cqs::new(CqsConfig::new(), SimpleCancellation),
+            cqs: Cqs::new(CqsConfig::new().label("latch.wait"), SimpleCancellation),
         }
     }
 

@@ -97,7 +97,8 @@ impl RawMutex {
         let cqs = Cqs::new(
             CqsConfig::new()
                 .resume_mode(ResumeMode::Synchronous)
-                .cancellation_mode(CancellationMode::Smart),
+                .cancellation_mode(CancellationMode::Smart)
+                .label("mutex.lock"),
             MutexCallbacks {
                 state: Arc::clone(&state),
             },
@@ -108,6 +109,12 @@ impl RawMutex {
     /// Whether the mutex is currently locked (a racy snapshot).
     pub fn is_locked(&self) -> bool {
         self.state.load(Ordering::SeqCst) <= 0
+    }
+
+    /// Watchdog id keying this mutex's waiter/holder records in cqs-watch
+    /// reports. Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.cqs.watch_id()
     }
 
     /// Acquires the lock: completes immediately if it is free, otherwise
@@ -257,6 +264,12 @@ impl<T> Mutex<T> {
         self.poison.store(false, Ordering::SeqCst);
     }
 
+    /// Watchdog id keying this mutex's waiter/holder records in cqs-watch
+    /// reports. Always `0` when the `watch` feature is off.
+    pub fn watch_id(&self) -> u64 {
+        self.raw.watch_id()
+    }
+
     /// Wraps a freshly acquired raw lock in a guard — unless the mutex is
     /// poisoned, in which case the lock is handed back so that waiters
     /// behind us are not stuck behind an error.
@@ -265,6 +278,7 @@ impl<T> Mutex<T> {
             self.raw.unlock();
             return Err(LockError::Poisoned);
         }
+        cqs_watch::acquired!(self.raw.watch_id(), "mutex.lock", true);
         Ok(MutexGuard { mutex: self })
     }
 
@@ -317,6 +331,7 @@ impl<T> Drop for MutexGuard<'_, T> {
         if std::thread::panicking() {
             self.mutex.poison.store(true, Ordering::SeqCst);
         }
+        cqs_watch::released!(self.mutex.raw.watch_id());
         self.mutex.raw.unlock();
     }
 }

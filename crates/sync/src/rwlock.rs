@@ -22,15 +22,22 @@
 //!   contention); `read_unlock()` by the last reader hands over to the
 //!   next writer.
 //!
-//! Like the barrier (§4.1) — and unlike the mutex/semaphore — waiting here
-//! is *not* cancellable: batch reader wake-ups would need an atomic
-//! multi-resume to stay correct under aborts, the same practical
-//! impossibility the paper describes for the barrier. The returned futures
-//! therefore expose no `cancel`.
+//! Waiting is **abortable** (`wait_timeout`, `cancel`) through smart
+//! cancellation with the semaphore's anonymous-grant accounting: a
+//! cancelling waiter deregisters by decrementing its waiting counter when
+//! its grant has not been issued yet (`on_cancellation` → `true`, the cell
+//! is skipped in amortized O(1)), and otherwise *refuses* the in-flight
+//! grant, whose value is re-dispatched through the regular unlock logic
+//! (`complete_refused_resume`). Grants are anonymous — a cancelling reader
+//! may consume a slot logically belonging to a later reader while the
+//! in-flight resumption lands on that reader's cell — but the counters
+//! stay consistent, exactly as in the paper's semaphore (§4.2).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
-use cqs_core::{Cqs, CqsConfig, CqsFuture, SimpleCancellation};
+use cqs_core::{CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, Suspend};
 
 const READER_BITS: u32 = 20;
 const FIELD_MASK: u64 = (1 << READER_BITS) - 1;
@@ -69,74 +76,95 @@ impl State {
     }
 }
 
-/// A fair readers–writer lock: shared `read()` access, exclusive `write()`
-/// access, FIFO writers, batch-released readers, starvation-free in both
-/// directions under contention (phase-fair).
-///
-/// # Example
-///
-/// ```
-/// use cqs_sync::RawRwLock;
-///
-/// let lock = RawRwLock::new();
-/// lock.read().wait();
-/// lock.read().wait(); // readers share
-/// lock.read_unlock();
-/// lock.read_unlock();
-/// lock.write().wait(); // writers exclude
-/// lock.write_unlock();
-/// ```
 #[derive(Debug)]
-pub struct RawRwLock {
+struct RwShared {
     state: AtomicU64,
-    readers: Cqs<(), SimpleCancellation>,
-    writers: Cqs<(), SimpleCancellation>,
+    readers: Cqs<(), ReaderCallbacks>,
+    writers: Cqs<(), WriterCallbacks>,
 }
 
-/// The pending side of a [`RawRwLock`] acquisition. Not cancellable (see
-/// module docs).
+/// Smart-cancellation hooks for the reader queue.
 #[derive(Debug)]
-pub struct RwLockFuture {
-    inner: CqsFuture<()>,
+struct ReaderCallbacks {
+    shared: Weak<RwShared>,
 }
 
-impl RwLockFuture {
-    /// Blocks until the lock is granted.
-    pub fn wait(self) {
-        self.inner
-            .wait()
-            .unwrap_or_else(|_| unreachable!("rwlock waiters are never cancelled"));
-    }
-
-    /// Whether the lock was granted without suspension.
-    pub fn is_immediate(&self) -> bool {
-        self.inner.is_immediate()
-    }
-}
-
-impl std::future::Future for RwLockFuture {
-    type Output = ();
-
-    fn poll(
-        mut self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-    ) -> std::task::Poll<()> {
-        std::pin::Pin::new(&mut self.inner)
-            .poll(cx)
-            .map(|r| r.unwrap_or_else(|_| unreachable!("rwlock waiters are never cancelled")))
-    }
-}
-
-impl RawRwLock {
-    /// Creates an unlocked lock.
-    pub fn new() -> Self {
-        RawRwLock {
-            state: AtomicU64::new(0),
-            readers: Cqs::new(CqsConfig::new(), SimpleCancellation),
-            writers: Cqs::new(CqsConfig::new(), SimpleCancellation),
+impl CqsCallbacks<()> for ReaderCallbacks {
+    fn on_cancellation(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return true; // the lock is gone; nothing to deregister from
+        };
+        // Deregister while this waiter's unit is still in `waiting-readers`.
+        // If a `write_unlock` already moved the whole batch to
+        // `active-readers`, a grant is in flight for this cell: refuse it
+        // so `complete_refused_resume` can undo the activation.
+        let mut word = shared.state.load(Ordering::SeqCst);
+        loop {
+            let mut s = State::unpack(word);
+            if s.waiting_readers == 0 {
+                return false;
+            }
+            s.waiting_readers -= 1;
+            match shared
+                .state
+                .compare_exchange(word, s.pack(), Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(actual) => word = actual,
+            }
         }
     }
 
+    fn complete_refused_resume(&self, _value: ()) {
+        // The cancelled reader was already counted active by the batch
+        // release; leave as if it entered and immediately left.
+        if let Some(shared) = self.shared.upgrade() {
+            shared.read_unlock();
+        }
+    }
+}
+
+/// Smart-cancellation hooks for the writer queue.
+#[derive(Debug)]
+struct WriterCallbacks {
+    shared: Weak<RwShared>,
+}
+
+impl CqsCallbacks<()> for WriterCallbacks {
+    fn on_cancellation(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return true;
+        };
+        // Same shape as the reader hook: deregister from
+        // `waiting-writers`, or refuse the grant that is already bound to
+        // this batch (`writer-active` was set on our behalf).
+        let mut word = shared.state.load(Ordering::SeqCst);
+        loop {
+            let mut s = State::unpack(word);
+            if s.waiting_writers == 0 {
+                return false;
+            }
+            s.waiting_writers -= 1;
+            match shared
+                .state
+                .compare_exchange(word, s.pack(), Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(actual) => word = actual,
+            }
+        }
+    }
+
+    fn complete_refused_resume(&self, _value: ()) {
+        // The grant made this writer active; release it as if it entered
+        // and immediately left, re-dispatching to readers or writers.
+        if let Some(shared) = self.shared.upgrade() {
+            shared.write_unlock();
+        }
+    }
+}
+
+impl RwShared {
     fn transition(&self, f: impl Fn(State) -> State) -> (State, State) {
         let mut word = self.state.load(Ordering::SeqCst);
         loop {
@@ -152,31 +180,7 @@ impl RawRwLock {
         }
     }
 
-    /// Acquires shared (read) access. Enters immediately unless a writer is
-    /// active or waiting.
-    pub fn read(&self) -> RwLockFuture {
-        let (old, _) = self.transition(|mut s| {
-            if s.writer_active || s.waiting_writers > 0 {
-                s.waiting_readers += 1;
-            } else {
-                s.active_readers += 1;
-            }
-            s
-        });
-        if old.writer_active || old.waiting_writers > 0 {
-            RwLockFuture {
-                inner: self.readers.suspend().expect_future(),
-            }
-        } else {
-            RwLockFuture {
-                inner: CqsFuture::immediate(()),
-            }
-        }
-    }
-
-    /// Releases shared access. The last leaving reader hands the lock to
-    /// the first waiting writer.
-    pub fn read_unlock(&self) {
+    fn read_unlock(&self) {
         let (old, new) = self.transition(|mut s| {
             debug_assert!(s.active_readers > 0, "read_unlock without readers");
             debug_assert!(!s.writer_active);
@@ -190,37 +194,11 @@ impl RawRwLock {
         if old.active_readers == 1 && new.writer_active {
             self.writers
                 .resume(())
-                .unwrap_or_else(|_| unreachable!("rwlock waiters are never cancelled"));
+                .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
         }
     }
 
-    /// Acquires exclusive (write) access. Enters immediately only when the
-    /// lock is completely free.
-    pub fn write(&self) -> RwLockFuture {
-        let (old, _) = self.transition(|mut s| {
-            if !s.writer_active && s.active_readers == 0 && s.waiting_writers == 0 {
-                s.writer_active = true;
-            } else {
-                s.waiting_writers += 1;
-            }
-            s
-        });
-        let immediate = !old.writer_active && old.active_readers == 0 && old.waiting_writers == 0;
-        if immediate {
-            RwLockFuture {
-                inner: CqsFuture::immediate(()),
-            }
-        } else {
-            RwLockFuture {
-                inner: self.writers.suspend().expect_future(),
-            }
-        }
-    }
-
-    /// Releases exclusive access, preferring to release the whole waiting
-    /// reader batch (phase fairness); with no waiting readers the next
-    /// writer takes over.
-    pub fn write_unlock(&self) {
+    fn write_unlock(&self) {
         let (old, new) = self.transition(|mut s| {
             debug_assert!(s.writer_active, "write_unlock without a writer");
             debug_assert_eq!(s.active_readers, 0);
@@ -238,18 +216,262 @@ impl RawRwLock {
             for _ in 0..old.waiting_readers {
                 self.readers
                     .resume(())
-                    .unwrap_or_else(|_| unreachable!("rwlock waiters are never cancelled"));
+                    .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
             }
         } else if new.writer_active {
             self.writers
                 .resume(())
-                .unwrap_or_else(|_| unreachable!("rwlock waiters are never cancelled"));
+                .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
         }
+    }
+}
+
+/// A fair readers–writer lock: shared `read()` access, exclusive `write()`
+/// access, FIFO writers, batch-released readers, starvation-free in both
+/// directions under contention (phase-fair), abortable waiting in both
+/// queues.
+///
+/// # Example
+///
+/// ```
+/// use cqs_sync::RawRwLock;
+///
+/// let lock = RawRwLock::new();
+/// lock.read().wait().unwrap();
+/// lock.read().wait().unwrap(); // readers share
+/// lock.read_unlock();
+/// lock.read_unlock();
+/// lock.write().wait().unwrap(); // writers exclude
+/// lock.write_unlock();
+/// ```
+#[derive(Debug)]
+pub struct RawRwLock {
+    shared: Arc<RwShared>,
+}
+
+/// The pending side of a [`RawRwLock`] acquisition. Abortable: drop-in
+/// `wait`/`wait_timeout`/`cancel` like any [`CqsFuture`].
+#[derive(Debug)]
+pub struct RwLockFuture {
+    inner: CqsFuture<()>,
+    #[cfg_attr(not(feature = "watch"), allow(dead_code))]
+    watch_id: u64,
+    #[cfg_attr(not(feature = "watch"), allow(dead_code))]
+    exclusive: bool,
+}
+
+impl RwLockFuture {
+    #[cfg_attr(not(feature = "watch"), allow(unused_variables))]
+    fn record_acquired(watch_id: u64, exclusive: bool) {
+        cqs_watch::acquired!(
+            watch_id,
+            if exclusive {
+                "rwlock.write"
+            } else {
+                "rwlock.read"
+            },
+            exclusive
+        );
+    }
+
+    /// Blocks until the lock is granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the pending acquisition was aborted (via
+    /// [`cancel`](Self::cancel) from another thread, or a watchdog
+    /// eviction).
+    pub fn wait(self) -> Result<(), Cancelled> {
+        let RwLockFuture {
+            inner,
+            watch_id,
+            exclusive,
+        } = self;
+        inner.wait()?;
+        Self::record_acquired(watch_id, exclusive);
+        Ok(())
+    }
+
+    /// Blocks until the lock is granted or `timeout` elapses, aborting the
+    /// queued request on expiry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed (or the acquisition was
+    /// aborted) first.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<(), Cancelled> {
+        let RwLockFuture {
+            inner,
+            watch_id,
+            exclusive,
+        } = self;
+        inner.wait_timeout(timeout)?;
+        Self::record_acquired(watch_id, exclusive);
+        Ok(())
+    }
+
+    /// Aborts the pending acquisition. Returns `true` if this call
+    /// cancelled it (the queue slot is released in amortized O(1)), `false`
+    /// if the lock was already granted or the future already cancelled.
+    pub fn cancel(&self) -> bool {
+        self.inner.cancel()
+    }
+
+    /// Whether the lock was granted without suspension.
+    pub fn is_immediate(&self) -> bool {
+        self.inner.is_immediate()
+    }
+}
+
+impl std::future::Future for RwLockFuture {
+    type Output = Result<(), Cancelled>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Result<(), Cancelled>> {
+        match std::pin::Pin::new(&mut self.inner).poll(cx) {
+            std::task::Poll::Ready(Ok(())) => {
+                Self::record_acquired(self.watch_id, self.exclusive);
+                std::task::Poll::Ready(Ok(()))
+            }
+            other => other,
+        }
+    }
+}
+
+impl RawRwLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        let shared = Arc::new_cyclic(|weak: &Weak<RwShared>| RwShared {
+            state: AtomicU64::new(0),
+            readers: Cqs::new(
+                CqsConfig::new()
+                    .cancellation_mode(CancellationMode::Smart)
+                    .label("rwlock.read"),
+                ReaderCallbacks {
+                    shared: Weak::clone(weak),
+                },
+            ),
+            writers: Cqs::new(
+                CqsConfig::new()
+                    .cancellation_mode(CancellationMode::Smart)
+                    .label("rwlock.write"),
+                WriterCallbacks {
+                    shared: Weak::clone(weak),
+                },
+            ),
+        });
+        RawRwLock { shared }
+    }
+
+    /// Watchdog id keying the *reader* queue's waiter/holder records in
+    /// cqs-watch reports. Always `0` when the `watch` feature is off.
+    pub fn read_watch_id(&self) -> u64 {
+        self.shared.readers.watch_id()
+    }
+
+    /// Watchdog id keying the *writer* queue's waiter/holder records in
+    /// cqs-watch reports. Always `0` when the `watch` feature is off.
+    pub fn write_watch_id(&self) -> u64 {
+        self.shared.writers.watch_id()
+    }
+
+    /// Acquires shared (read) access. Enters immediately unless a writer is
+    /// active or waiting.
+    pub fn read(&self) -> RwLockFuture {
+        let (old, _) = self.shared.transition(|mut s| {
+            if s.writer_active || s.waiting_writers > 0 {
+                s.waiting_readers += 1;
+            } else {
+                s.active_readers += 1;
+            }
+            s
+        });
+        let inner = if old.writer_active || old.waiting_writers > 0 {
+            match self.shared.readers.suspend() {
+                Suspend::Future(f) => f,
+                Suspend::Broken => unreachable!("async cells never break"),
+            }
+        } else {
+            CqsFuture::immediate(())
+        };
+        RwLockFuture {
+            inner,
+            watch_id: self.read_watch_id(),
+            exclusive: false,
+        }
+    }
+
+    /// Blocking convenience: acquires shared access or aborts the queued
+    /// request after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed first; the lock's
+    /// counters are restored, so writer handoff is not wedged by the
+    /// abandoned request.
+    pub fn read_timeout(&self, timeout: Duration) -> Result<(), Cancelled> {
+        self.read().wait_timeout(timeout)
+    }
+
+    /// Releases shared access. The last leaving reader hands the lock to
+    /// the first waiting writer.
+    pub fn read_unlock(&self) {
+        cqs_watch::released!(self.read_watch_id());
+        self.shared.read_unlock();
+    }
+
+    /// Acquires exclusive (write) access. Enters immediately only when the
+    /// lock is completely free.
+    pub fn write(&self) -> RwLockFuture {
+        let (old, _) = self.shared.transition(|mut s| {
+            if !s.writer_active && s.active_readers == 0 && s.waiting_writers == 0 {
+                s.writer_active = true;
+            } else {
+                s.waiting_writers += 1;
+            }
+            s
+        });
+        let immediate = !old.writer_active && old.active_readers == 0 && old.waiting_writers == 0;
+        let inner = if immediate {
+            CqsFuture::immediate(())
+        } else {
+            match self.shared.writers.suspend() {
+                Suspend::Future(f) => f,
+                Suspend::Broken => unreachable!("async cells never break"),
+            }
+        };
+        RwLockFuture {
+            inner,
+            watch_id: self.write_watch_id(),
+            exclusive: true,
+        }
+    }
+
+    /// Blocking convenience: acquires exclusive access or aborts the queued
+    /// request after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the timeout elapsed first; the
+    /// `waiting-writers` count is restored, so the abandoned request does
+    /// not keep blocking new readers through writer preference.
+    pub fn write_timeout(&self, timeout: Duration) -> Result<(), Cancelled> {
+        self.write().wait_timeout(timeout)
+    }
+
+    /// Releases exclusive access, preferring to release the whole waiting
+    /// reader batch (phase fairness); with no waiting readers the next
+    /// writer takes over.
+    pub fn write_unlock(&self) {
+        cqs_watch::released!(self.write_watch_id());
+        self.shared.write_unlock();
     }
 
     /// Snapshot of `(active_readers, writer_active)`, for diagnostics.
     pub fn observed_state(&self) -> (u64, bool) {
-        let s = State::unpack(self.state.load(Ordering::SeqCst));
+        let s = State::unpack(self.shared.state.load(Ordering::SeqCst));
         (s.active_readers, s.writer_active)
     }
 }
@@ -265,6 +487,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicI64, AtomicUsize};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn state_packing_round_trips() {
@@ -305,39 +528,39 @@ mod tests {
     #[test]
     fn writer_excludes_readers() {
         let lock = RawRwLock::new();
-        lock.write().wait();
+        lock.write().wait().unwrap();
         let r = lock.read();
         assert!(!r.is_immediate());
         lock.write_unlock();
-        r.wait();
+        r.wait().unwrap();
         lock.read_unlock();
     }
 
     #[test]
     fn readers_block_writer_until_all_leave() {
         let lock = RawRwLock::new();
-        lock.read().wait();
-        lock.read().wait();
+        lock.read().wait().unwrap();
+        lock.read().wait().unwrap();
         let w = lock.write();
         assert!(!w.is_immediate());
         lock.read_unlock();
         lock.read_unlock(); // last reader hands over
-        w.wait();
+        w.wait().unwrap();
         lock.write_unlock();
     }
 
     #[test]
     fn waiting_writer_blocks_new_readers() {
         let lock = RawRwLock::new();
-        lock.read().wait();
+        lock.read().wait().unwrap();
         let w = lock.write();
         // Writer preference: this reader must queue behind the writer.
         let r = lock.read();
         assert!(!r.is_immediate());
         lock.read_unlock();
-        w.wait();
+        w.wait().unwrap();
         lock.write_unlock(); // releases the waiting reader batch
-        r.wait();
+        r.wait().unwrap();
         lock.read_unlock();
     }
 
@@ -347,16 +570,116 @@ mod tests {
     #[test]
     fn paper_scenario_ordering() {
         let lock = RawRwLock::new();
-        lock.read().wait(); // (1) reader takes the lock
+        lock.read().wait().unwrap(); // (1) reader takes the lock
         let writer = lock.write(); // (2) writer suspends
         let reader2 = lock.read(); // (3) second reader suspends behind it
         assert!(!writer.is_immediate() && !reader2.is_immediate());
         lock.read_unlock();
-        writer.wait(); // writer goes first
+        writer.wait().unwrap(); // writer goes first
         lock.write_unlock();
-        reader2.wait(); // then the reader batch
+        reader2.wait().unwrap(); // then the reader batch
         lock.read_unlock();
         assert_eq!(lock.observed_state(), (0, false));
+    }
+
+    /// Expire-then-recover: a reader that gives up behind an active writer
+    /// deregisters cleanly — the writer's unlock has no phantom reader to
+    /// serve and the next read enters immediately.
+    #[test]
+    fn read_timeout_expires_and_recovers() {
+        let lock = RawRwLock::new();
+        lock.write().wait().unwrap();
+        assert_eq!(lock.read_timeout(Duration::from_millis(20)), Err(Cancelled));
+        lock.write_unlock();
+        let r = lock.read();
+        assert!(r.is_immediate(), "timed-out reader left no trace");
+        r.wait().unwrap();
+        lock.read_unlock();
+        assert_eq!(lock.observed_state(), (0, false));
+    }
+
+    /// Expire-then-recover for writer preference: a writer that gives up
+    /// must unwedge the readers its queue entry was blocking.
+    #[test]
+    fn write_timeout_expires_and_recovers() {
+        let lock = RawRwLock::new();
+        lock.read().wait().unwrap();
+        assert_eq!(
+            lock.write_timeout(Duration::from_millis(20)),
+            Err(Cancelled)
+        );
+        // The abandoned writer no longer blocks new readers.
+        let r = lock.read();
+        assert!(r.is_immediate(), "timed-out writer still wedges readers");
+        r.wait().unwrap();
+        lock.read_unlock();
+        lock.read_unlock();
+        // And the lock still hands out exclusive access.
+        lock.write().wait().unwrap();
+        lock.write_unlock();
+        assert_eq!(lock.observed_state(), (0, false));
+    }
+
+    /// A cancelled reader inside a queued batch is skipped; the rest of the
+    /// batch is released intact.
+    #[test]
+    fn cancelled_reader_is_skipped_in_batch_release() {
+        let lock = RawRwLock::new();
+        lock.write().wait().unwrap();
+        let r1 = lock.read();
+        let r2 = lock.read();
+        assert!(!r1.is_immediate() && !r2.is_immediate());
+        assert!(r2.cancel());
+        lock.write_unlock();
+        r1.wait().unwrap();
+        assert_eq!(lock.observed_state(), (1, false));
+        lock.read_unlock();
+        assert_eq!(lock.observed_state(), (0, false));
+    }
+
+    /// Cancellation storm: mix timed-out and successful acquisitions on
+    /// both queues and check the counters come back to rest. Exercises the
+    /// deregister path and (under scheduling jitter) the refused-grant
+    /// path.
+    #[test]
+    fn timeout_stress_settles() {
+        const THREADS: usize = 4;
+        const OPS: usize = 300;
+        let lock = Arc::new(RawRwLock::new());
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    match (t + i) % 4 {
+                        0 => {
+                            if lock.write_timeout(Duration::from_micros(50)).is_ok() {
+                                lock.write_unlock();
+                            }
+                        }
+                        1 => {
+                            lock.write().wait().unwrap();
+                            lock.write_unlock();
+                        }
+                        2 => {
+                            if lock.read_timeout(Duration::from_micros(50)).is_ok() {
+                                lock.read_unlock();
+                            }
+                        }
+                        _ => {
+                            lock.read().wait().unwrap();
+                            lock.read_unlock();
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(lock.observed_state(), (0, false));
+        let s = State::unpack(lock.shared.state.load(Ordering::SeqCst));
+        assert_eq!((s.waiting_readers, s.waiting_writers), (0, 0));
     }
 
     #[test]
@@ -375,14 +698,14 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 for i in 0..OPS {
                     if (t + i) % 4 == 0 {
-                        lock.write().wait();
+                        lock.write().wait().unwrap();
                         let prev = occupancy.swap(-1, Ordering::SeqCst);
                         assert_eq!(prev, 0, "writer entered an occupied lock");
                         writes.fetch_add(1, Ordering::SeqCst);
                         occupancy.store(0, Ordering::SeqCst);
                         lock.write_unlock();
                     } else {
-                        lock.read().wait();
+                        lock.read().wait().unwrap();
                         let now = occupancy.fetch_add(1, Ordering::SeqCst);
                         assert!(now >= 0, "reader entered alongside a writer");
                         occupancy.fetch_sub(1, Ordering::SeqCst);
@@ -404,7 +727,7 @@ mod tests {
         // Trivial async usage via a poll-once-ready future.
         let fut = lock.read();
         assert!(fut.is_immediate());
-        futures_block_on(fut);
+        futures_block_on(fut).unwrap();
         lock.read_unlock();
     }
 

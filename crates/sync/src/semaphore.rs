@@ -104,7 +104,8 @@ impl Semaphore {
         let state = Arc::new(AtomicI64::new(permits as i64));
         let mut config = CqsConfig::new()
             .resume_mode(mode)
-            .cancellation_mode(CancellationMode::Smart);
+            .cancellation_mode(CancellationMode::Smart)
+            .label("semaphore.acquire");
         if let Some(limit) = spin_limit {
             config = config.spin_limit(limit);
         }
@@ -133,6 +134,13 @@ impl Semaphore {
         self.state.load(Ordering::SeqCst).max(0) as usize
     }
 
+    /// Watchdog id keying this semaphore's waiter records and its permit
+    /// gauge in cqs-watch reports. Always `0` when the `watch` feature is
+    /// off.
+    pub fn watch_id(&self) -> u64 {
+        self.cqs.watch_id()
+    }
+
     /// Acquires a permit: completes immediately if one is available,
     /// otherwise returns a future completed by a future
     /// [`release`](Semaphore::release) in FIFO order. Cancel the future to
@@ -147,6 +155,7 @@ impl Semaphore {
                 return CqsFuture::cancelled();
             }
             let s = self.state.fetch_sub(1, Ordering::SeqCst);
+            cqs_watch::gauge!(self.cqs.watch_id(), "state", s - 1);
             if s > 0 {
                 cqs_stats::bump!(immediate_hits);
                 return CqsFuture::immediate(());
@@ -172,6 +181,7 @@ impl Semaphore {
     /// mirrors [`CqsFuture::wait`].
     pub fn acquire_blocking(&self) -> Result<SemaphoreGuard<'_>, Cancelled> {
         self.acquire().wait()?;
+        cqs_watch::acquired!(self.cqs.watch_id(), "semaphore.acquire", false);
         Ok(SemaphoreGuard { semaphore: self })
     }
 
@@ -186,6 +196,7 @@ impl Semaphore {
         timeout: std::time::Duration,
     ) -> Result<SemaphoreGuard<'_>, Cancelled> {
         self.acquire().wait_timeout(timeout)?;
+        cqs_watch::acquired!(self.cqs.watch_id(), "semaphore.acquire", false);
         Ok(SemaphoreGuard { semaphore: self })
     }
 
@@ -297,6 +308,7 @@ impl Semaphore {
     pub fn release(&self) {
         loop {
             let s = self.state.fetch_add(1, Ordering::SeqCst);
+            cqs_watch::gauge!(self.cqs.watch_id(), "state", s + 1);
             // In asynchronous mode every increment releases exactly one
             // permit, so overshooting the cap proves an excess release. In
             // synchronous mode this same loop also performs the Listing-16
@@ -333,6 +345,7 @@ pub struct SemaphoreGuard<'a> {
 
 impl Drop for SemaphoreGuard<'_> {
     fn drop(&mut self) {
+        cqs_watch::released!(self.semaphore.cqs.watch_id());
         self.semaphore.release();
     }
 }

@@ -51,7 +51,7 @@ fn main() {
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 // ... per-thread phase-1 work ...
-                barrier.arrive().wait();
+                barrier.arrive().wait().unwrap();
                 // Phase 2 starts only after all three arrived.
                 i
             })

@@ -30,7 +30,7 @@ impl Cache {
     }
 
     fn get(&self, key: u64) -> Option<u64> {
-        self.lock.read().wait();
+        self.lock.read().wait().unwrap();
         // SAFETY: shared access under the read lock.
         let value = unsafe { (*self.map.get()).get(&key).copied() };
         self.lock.read_unlock();
@@ -38,7 +38,7 @@ impl Cache {
     }
 
     fn refresh(&self, generation: u64) {
-        self.lock.write().wait();
+        self.lock.write().wait().unwrap();
         // SAFETY: exclusive access under the write lock.
         unsafe {
             let map = &mut *self.map.get();

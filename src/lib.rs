@@ -74,6 +74,20 @@ pub mod reclaim {
     pub use cqs_reclaim::{flush, pin, AtomicArc, Collector, Guard, LocalHandle};
 }
 
+/// Runtime-health watchdog: stall detection, wait-graph deadlock
+/// diagnostics, and abort-based recovery through CQS cancellation. Inert
+/// (and every registration site compiles to nothing) unless the `watch`
+/// feature is enabled; see `crates/watch`.
+pub mod watch {
+    pub use cqs_watch::{enabled, next_primitive_id, spawn_from_env, WaiterHandle, Watchdog};
+
+    #[cfg(feature = "watch")]
+    pub use cqs_watch::{
+        detect_cycles, dropped_registrations, live_waiters, CycleEdge, GaugeInfo, HolderInfo,
+        QueueDepth, ReportKind, Scanner, WaiterInfo, WatchConfig, WatchPolicy, WatchReport,
+    };
+}
+
 /// The baseline synchronizers the paper compares against (AQS port, CLH,
 /// MCS, blocking queues, the legacy Kotlin-style mutex).
 pub mod baseline {

@@ -58,8 +58,8 @@ impl<T: Send + 'static> RendezvousChannel<T> {
     pub fn new() -> Self {
         RendezvousChannel {
             balance: AtomicI64::new(0),
-            receivers: Cqs::new(CqsConfig::new(), SimpleCancellation),
-            senders: Cqs::new(CqsConfig::new(), SimpleCancellation),
+            receivers: Cqs::new(CqsConfig::new().label("channel.recv"), SimpleCancellation),
+            senders: Cqs::new(CqsConfig::new().label("channel.send"), SimpleCancellation),
         }
     }
 

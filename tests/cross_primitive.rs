@@ -41,7 +41,7 @@ fn work_crew_composition() {
                         in_scarce.fetch_sub(1, Ordering::SeqCst);
                     }
                     log.lock().unwrap().push((phase, w));
-                    phase_barrier.arrive().wait();
+                    phase_barrier.arrive().wait().unwrap();
                 }
             })
         })
@@ -189,7 +189,7 @@ fn barrier_with_semaphore_preamble() {
             std::thread::spawn(move || {
                 let _permit = semaphore.acquire_blocking().unwrap();
                 drop(_permit);
-                barrier.arrive().wait();
+                barrier.arrive().wait().unwrap();
                 past.fetch_add(1, Ordering::SeqCst);
             })
         })

@@ -22,7 +22,7 @@ fn rwlock_phase_fair_alternation() {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 while stop.load(Ordering::SeqCst) == 0 {
-                    lock.read().wait();
+                    lock.read().wait().unwrap();
                     std::hint::black_box(0u64);
                     lock.read_unlock();
                 }
@@ -35,7 +35,7 @@ fn rwlock_phase_fair_alternation() {
         let writer_ran = Arc::clone(&writer_ran);
         std::thread::spawn(move || {
             for _ in 0..50 {
-                lock.write().wait();
+                lock.write().wait().unwrap();
                 writer_ran.fetch_add(1, Ordering::SeqCst);
                 lock.write_unlock();
             }
@@ -67,12 +67,12 @@ fn rwlock_mixed_invariant_long() {
         joins.push(std::thread::spawn(move || {
             for i in 0..OPS {
                 if (t * 31 + i) % 5 == 0 {
-                    lock.write().wait();
+                    lock.write().wait().unwrap();
                     assert_eq!(occupancy.swap(-1, Ordering::SeqCst), 0);
                     occupancy.store(0, Ordering::SeqCst);
                     lock.write_unlock();
                 } else {
-                    lock.read().wait();
+                    lock.read().wait().unwrap();
                     assert!(occupancy.fetch_add(1, Ordering::SeqCst) >= 0);
                     occupancy.fetch_sub(1, Ordering::SeqCst);
                     lock.read_unlock();
@@ -172,14 +172,14 @@ fn rwlock_async_integration() {
     }
 
     let lock = Arc::new(RawRwLock::new());
-    lock.write().wait();
+    lock.write().wait().unwrap();
     let l2 = Arc::clone(&lock);
     let unlocker = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(20));
         l2.write_unlock();
     });
     block_on(async {
-        lock.read().await;
+        lock.read().await.unwrap();
     });
     unlocker.join().unwrap();
     lock.read_unlock();

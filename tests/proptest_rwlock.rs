@@ -97,7 +97,7 @@ impl Model {
 
 fn assert_ready(f: RwLockFuture) {
     // A granted future must complete without any further event.
-    f.wait();
+    f.wait().unwrap();
 }
 
 proptest! {

@@ -4,6 +4,7 @@
 //! ```text
 //! figures [--quick] [--threads a,b,c] [--warmup N] [--repeats N]
 //!         [--json out.json] [--baseline old.json] [--regression-pct X]
+//!         [--wait-spin N] [--wait-yields N]
 //!         (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment)
 //! ```
 //!
@@ -32,6 +33,34 @@ struct Options {
     baseline: Option<String>,
     regression_pct: f64,
 }
+
+const HELP: &str = "\
+figures — regenerate the paper's benchmark figures
+
+USAGE:
+    figures [OPTIONS] (--all | --fig N ... | --ablation NAME ...)
+
+FIGURE SELECTION:
+    --all                 every figure and ablation
+    --fig N               one of 5|6|7|8|13|14|15|a1|a2 (repeatable)
+    --ablation NAME       cancellation (a1) or segment (a2)
+
+MEASUREMENT:
+    --quick               reduced operation counts for smoke runs
+    --threads a,b,c       thread sweep (default: machine-derived)
+    --warmup N            warmup repetitions per point
+    --repeats N           timed repetitions per point (median reported)
+
+WAIT-LADDER TUNING (spin→yield→park; see cqs_core::WaitPolicy):
+    --wait-spin N         spin_loop() polls before yielding (default 64)
+    --wait-yields N       yield_now() calls before parking (default 16)
+
+REPORTING:
+    --json PATH           write a cqs-bench/v1 JSON report
+    --baseline PATH       compare medians against a previous report;
+                          exit non-zero on regression
+    --regression-pct X    slowdown tolerance for --baseline (default 25)
+";
 
 fn parse_args() -> Options {
     let mut scale = Scale::Full;
@@ -90,7 +119,29 @@ fn parse_args() -> Options {
                     other => panic!("unknown ablation {other}"),
                 });
             }
-            other => panic!("unknown argument {other} (try --all or --fig N)"),
+            "--wait-spin" => {
+                let spin = args
+                    .next()
+                    .expect("--wait-spin needs a count")
+                    .parse()
+                    .expect("bad spin count");
+                let p = cqs_core::default_wait_policy();
+                cqs_core::set_default_wait_policy(cqs_core::WaitPolicy::new(spin, p.yields()));
+            }
+            "--wait-yields" => {
+                let yields = args
+                    .next()
+                    .expect("--wait-yields needs a count")
+                    .parse()
+                    .expect("bad yield count");
+                let p = cqs_core::default_wait_policy();
+                cqs_core::set_default_wait_policy(cqs_core::WaitPolicy::new(p.spin(), yields));
+            }
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
         }
     }
     if figures.is_empty() {

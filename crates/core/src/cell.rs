@@ -13,9 +13,22 @@
 //!   clone the waiter concurrently with the cancellation handler removing
 //!   it.
 //!
-//! The state word is manipulated with sequentially consistent atomics; the
-//! paper's correctness argument assumes SC, and every payload access is
-//! ordered by an RMW on the state word.
+//! The state word uses acquire/release atomics, not SeqCst: every protocol
+//! in this file is a *single-variable* handoff — a party writes a payload
+//! slot, releases it with an RMW on `state`, and the counterparty acquires
+//! `state` before touching the slot. Acquire/release is exactly the fence
+//! structure such a handoff needs. The places where the paper's SC argument
+//! genuinely orders *independent* atomics against each other (suspension
+//! counters vs. cell claims, waiter installation vs. the close sweep) live
+//! in `cqs.rs` and keep their `SeqCst` there, each with an invariant
+//! comment.
+//!
+//! Convention used below on every compare-exchange: `AcqRel` on success
+//! (the release half publishes the slot writes made before the transition,
+//! the acquire half lets the winner consume slots released by the previous
+//! transition), `Acquire` on failure (the loser reacts to the transition
+//! that beat it — e.g. a resumer completing the waiter it lost to — so it
+//! must see that transition's writes).
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,7 +95,9 @@ impl<T: Send + 'static> CqsCell<T> {
     }
 
     pub(crate) fn state(&self) -> usize {
-        self.state.load(Ordering::SeqCst)
+        // Acquire: observing a state also publishes the slot writes that
+        // were released along with it.
+        self.state.load(Ordering::Acquire)
     }
 
     /// `EMPTY → VALUE`: the resumer publishes its value into an empty cell.
@@ -101,9 +116,12 @@ impl<T: Send + 'static> CqsCell<T> {
             *self.payload.get() = Some(value);
         }
         cqs_chaos::inject!("cell.publish.pre-cas");
+        // AcqRel/Acquire: Release publishes the payload written above to
+        // whoever acquires VALUE; Acquire on failure lets us act on the
+        // transition that beat us (e.g. complete an installed waiter).
         match self
             .state
-            .compare_exchange(EMPTY, VALUE, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(EMPTY, VALUE, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => Ok(()),
             // SAFETY: the value was never published; we still own the slot.
@@ -132,9 +150,12 @@ impl<T: Send + 'static> CqsCell<T> {
             *self.payload.get() = Some(value);
         }
         cqs_chaos::inject!("cell.delegate.pre-cas");
+        // AcqRel/Acquire: Release publishes the delegated payload to the
+        // cancellation handler's swap; Acquire on failure orders our
+        // payload take-back after the handler's transition.
         match self
             .state
-            .compare_exchange(REQUEST, VALUE, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(REQUEST, VALUE, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => {
                 // The cancelled waiter is no longer reachable through the
@@ -155,9 +176,14 @@ impl<T: Send + 'static> CqsCell<T> {
     pub(crate) fn try_install_waiter(&self, request: Arc<Request<T>>, guard: &Guard) -> bool {
         self.waiter.store(Some(request), guard);
         cqs_chaos::inject!("cell.install.pre-cas");
+        // AcqRel/Acquire: Release publishes the waiter slot store above —
+        // a resumer that acquires REQUEST is guaranteed to find the waiter
+        // when it loads the slot; Acquire on failure orders the slot
+        // rollback (and the caller's elimination path) after the racing
+        // resume's VALUE transition.
         match self
             .state
-            .compare_exchange(EMPTY, REQUEST, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(EMPTY, REQUEST, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => true,
             Err(_) => {
@@ -178,7 +204,10 @@ impl<T: Send + 'static> CqsCell<T> {
     /// Returns `None` if the cell had been broken by a synchronous resumer.
     pub(crate) fn take_for_elimination(&self) -> Option<T> {
         cqs_chaos::inject!("cell.eliminate.pre-swap");
-        let old = self.state.swap(TAKEN, Ordering::SeqCst);
+        // AcqRel: the acquire half pairs with the resumer's VALUE release
+        // so the payload read below is ordered; the release half publishes
+        // TAKEN to the synchronous resumer's `try_break` race.
+        let old = self.state.swap(TAKEN, Ordering::AcqRel);
         match old {
             // SAFETY: the swap observed VALUE, so the resumer published the
             // payload and only we (the unique suspender) consume it.
@@ -198,7 +227,10 @@ impl<T: Send + 'static> CqsCell<T> {
     /// clear the cell for reclamation.
     pub(crate) fn mark_resumed(&self, guard: &Guard) {
         cqs_chaos::inject!("cell.mark-resumed.pre-swap");
-        let old = self.state.swap(RESUMED, Ordering::SeqCst);
+        // AcqRel: acquire pairs with the suspender's REQUEST release (we
+        // are done with the waiter it installed), release publishes the
+        // terminal state to the cancelled-cell accounting in the segment.
+        let old = self.state.swap(RESUMED, Ordering::AcqRel);
         debug_assert_eq!(old, REQUEST, "mark_resumed from {}", state_name(old));
         self.waiter.store(None, guard);
     }
@@ -208,9 +240,12 @@ impl<T: Send + 'static> CqsCell<T> {
     /// racing `suspend()` took the value after all (state became `TAKEN`).
     pub(crate) fn try_break(&self) -> Option<T> {
         cqs_chaos::inject!("cell.break.pre-cas");
+        // AcqRel/Acquire: we published this VALUE ourselves, but Release
+        // still orders the break for the eliminating swap's acquire, and
+        // Acquire on failure orders our retreat after the TAKEN swap.
         match self
             .state
-            .compare_exchange(VALUE, BROKEN, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(VALUE, BROKEN, Ordering::AcqRel, Ordering::Acquire)
         {
             // SAFETY: we are the resumer that published this payload, and
             // the successful CAS proves nobody consumed it.
@@ -230,7 +265,11 @@ impl<T: Send + 'static> CqsCell<T> {
     pub(crate) fn cancel_swap(&self, new_state: usize, guard: &Guard) -> CancelSwap<T> {
         debug_assert!(new_state == CANCELLED || new_state == REFUSE);
         cqs_chaos::inject!("cell.cancel.pre-swap");
-        let old = self.state.swap(new_state, Ordering::SeqCst);
+        // AcqRel: acquire pairs with whichever release transition we
+        // displace (REQUEST's waiter store or VALUE's delegated payload),
+        // release publishes CANCELLED/REFUSE to resumers and the segment's
+        // cancelled-cell accounting.
+        let old = self.state.swap(new_state, Ordering::AcqRel);
         match old {
             REQUEST => {
                 self.waiter.store(None, guard);
@@ -255,6 +294,17 @@ impl<T: Send + 'static> CqsCell<T> {
     /// reference cycles of still-pending waiters.
     pub(crate) fn clear_waiter(&self, guard: &Guard) {
         self.waiter.store(None, guard);
+    }
+
+    /// Returns the cell to its pristine `EMPTY` state through exclusive
+    /// access, releasing any leftover payload or waiter reference
+    /// immediately. Segment recycling calls this on every cell of a
+    /// recycled segment; `&mut self` proves no concurrent party can still
+    /// be touching the cell, so no atomics or epoch deferral are needed.
+    pub(crate) fn reset(&mut self) {
+        *self.state.get_mut() = EMPTY;
+        *self.payload.get_mut() = None;
+        self.waiter.clear_mut();
     }
 }
 

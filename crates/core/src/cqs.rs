@@ -7,9 +7,10 @@ use std::sync::Arc;
 
 use cqs_future::{CancellationHandler, CqsFuture, Request};
 use cqs_reclaim::{pin, AtomicArc};
+use cqs_stats::CachePadded;
 
 use crate::cell::{self, CancelSwap};
-use crate::segment::{find_and_move_forward, Segment};
+use crate::segment::{find_and_move_forward, Segment, SegmentFreelist};
 use crate::{CancellationMode, CqsConfig, ResumeMode};
 
 /// User hooks for the *smart* cancellation mode (paper, Listing 3).
@@ -77,10 +78,18 @@ struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
     config: CqsConfig,
     /// Watchdog id of this queue (0 when the `watch` feature is off).
     watch_id: u64,
-    suspend_idx: AtomicU64,
-    resume_idx: AtomicU64,
-    suspend_segm: AtomicArc<Segment<T>>,
-    resume_segm: AtomicArc<Segment<T>>,
+    /// The suspension/resumption counters and their head pointers are each
+    /// cache-line padded: suspenders hammer `suspend_idx`/`suspend_segm`
+    /// while resumers hammer the other pair, and without padding all four
+    /// words share one or two lines and every counter bump steals the line
+    /// the opposite side needs next (classic false sharing).
+    suspend_idx: CachePadded<AtomicU64>,
+    resume_idx: CachePadded<AtomicU64>,
+    suspend_segm: CachePadded<AtomicArc<Segment<T>>>,
+    resume_segm: CachePadded<AtomicArc<Segment<T>>>,
+    /// Bounded recycling pool for fully-cancelled segments; segments link
+    /// back to it weakly (see [`SegmentFreelist`]).
+    freelist: Arc<SegmentFreelist<T>>,
     callbacks: C,
     /// Set by [`CqsInner::close`]; suspenders double-check it after
     /// installing their waiter and self-cancel, so no waiter can be parked
@@ -120,15 +129,17 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
     /// callbacks (use [`SimpleCancellation`] when the simple mode is
     /// configured).
     pub fn new(config: CqsConfig, callbacks: C) -> Self {
-        let first = Segment::new(0, config.get_segment_size(), 2);
+        let freelist = SegmentFreelist::new();
+        let first = Segment::new(0, config.get_segment_size(), 2, Arc::downgrade(&freelist));
         Cqs {
             inner: Arc::new(CqsInner {
                 watch_id: cqs_watch::next_primitive_id(config.get_label()),
                 config,
-                suspend_idx: AtomicU64::new(0),
-                resume_idx: AtomicU64::new(0),
-                suspend_segm: AtomicArc::new(Some(Arc::clone(&first))),
-                resume_segm: AtomicArc::new(Some(first)),
+                suspend_idx: CachePadded::new(AtomicU64::new(0)),
+                resume_idx: CachePadded::new(AtomicU64::new(0)),
+                suspend_segm: CachePadded::new(AtomicArc::new(Some(Arc::clone(&first)))),
+                resume_segm: CachePadded::new(AtomicArc::new(Some(first))),
+                freelist,
                 callbacks,
                 closed: AtomicBool::new(false),
             }),
@@ -194,7 +205,10 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
 
     /// Whether [`close`](Cqs::close) was called.
     pub fn is_closed(&self) -> bool {
-        self.inner.closed.load(Ordering::SeqCst)
+        // Acquire: a caller that observes the close also observes the state
+        // the closer settled before it. (The suspend-path double-check is
+        // the one that needs SeqCst; see `CqsInner::suspend`.)
+        self.inner.closed.load(Ordering::Acquire)
     }
 
     /// Watchdog id of this queue: keys its waiter records in cqs-watch
@@ -205,12 +219,21 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
 
     /// Current value of the suspension counter (diagnostics/tests).
     pub fn suspend_count(&self) -> u64 {
-        self.inner.suspend_idx.load(Ordering::SeqCst)
+        // Relaxed: a racy diagnostic snapshot, never used for ordering.
+        self.inner.suspend_idx.load(Ordering::Relaxed)
     }
 
     /// Current value of the resumption counter (diagnostics/tests).
     pub fn resume_count(&self) -> u64 {
-        self.inner.resume_idx.load(Ordering::SeqCst)
+        // Relaxed: a racy diagnostic snapshot, never used for ordering.
+        self.inner.resume_idx.load(Ordering::Relaxed)
+    }
+
+    /// The number of removed segments currently parked in this queue's
+    /// recycling freelist, waiting to be reused by the next tail append
+    /// (diagnostics; a racy snapshot).
+    pub fn recycling_queue_len(&self) -> usize {
+        self.inner.freelist.len()
     }
 
     /// The number of segments currently linked into the queue (diagnostics;
@@ -299,6 +322,11 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             .load(&guard)
             .expect("head pointers are never null");
         cqs_chaos::inject!("cqs.suspend.pre-counter");
+        // SeqCst (invariant): the paper's SC argument (Listing 14) orders
+        // this claim against the *other* atomics of the protocol — the head
+        // read above must precede it so the claimed cell stays reachable
+        // from `start`, and a concurrent resumer's own SeqCst claim decides
+        // unambiguously which side arrives at the cell first.
         let i = self.suspend_idx.fetch_add(1, Ordering::SeqCst);
         let id = i / n;
         cqs_chaos::inject!("cqs.suspend.pre-find");
@@ -334,10 +362,20 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             // winner). If it stored after, the install is ordered before
             // the store, so the closer's sweep observes and cancels this
             // waiter. Either way no waiter parks past a close.
+            //
+            // SeqCst (invariant): this load and `close`'s SeqCst swap form
+            // a Dekker/StoreLoad pair over two variables (waiter install
+            // vs. closed flag). With anything weaker, the install could be
+            // ordered after the closer's sweep *and* this load could miss
+            // the flag — a waiter parked forever on a closed queue.
             if self.closed.load(Ordering::SeqCst) {
                 request.cancel();
             }
-            return Suspend::Future(CqsFuture::suspended(request));
+            let future = match self.config.wait_policy() {
+                Some(policy) => CqsFuture::suspended(request).with_wait_policy(policy),
+                None => CqsFuture::suspended(request),
+            };
+            return Suspend::Future(future);
         }
         // A racing resume(..) reached the cell first: eliminate.
         match cell.take_for_elimination() {
@@ -364,6 +402,9 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 .load(&guard)
                 .expect("head pointers are never null");
             cqs_chaos::inject!("cqs.resume.pre-counter");
+            // SeqCst (invariant): mirror of the suspend-side claim — see
+            // the comment there; both counters' RMWs must stay in one SC
+            // order with the head reads/moves for cell reachability.
             let i = self.resume_idx.fetch_add(1, Ordering::SeqCst);
             let id = i / n;
             let segment = find_and_move_forward(
@@ -383,6 +424,10 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 }
                 // Smart cancellation: fast-forward the counter over the
                 // removed segments and retry (paper, Listing 15 line 12).
+                // SeqCst (invariant): stays in the resume counter's single
+                // SC protocol (see the claim above) — a weaker jump could
+                // be ordered around a concurrent claim and double-visit a
+                // skipped cell.
                 let _ = self.resume_idx.compare_exchange(
                     i + 1,
                     segment.id() * n,
@@ -488,6 +533,10 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
     /// Closes the queue and sweeps every linked segment, cancelling each
     /// still-parked waiter. See [`Cqs::close`] for the ordering argument.
     fn close(&self) {
+        // SeqCst (invariant): the closer's half of the Dekker pair with the
+        // suspend-path double-check (see `suspend`); the swap must be
+        // globally ordered against waiter installs so that every install is
+        // seen either by this sweep or by its own post-install check.
         if self.closed.swap(true, Ordering::SeqCst) {
             return; // the first closer performs the (single) sweep
         }

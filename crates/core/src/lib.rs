@@ -60,7 +60,10 @@ pub use config::{CancellationMode, CqsConfig, ResumeMode};
 pub use cqs::{Cqs, CqsCallbacks, SimpleCancellation, Suspend};
 
 // Re-export the future vocabulary so primitives only need one dependency.
-pub use cqs_future::{Cancelled, CqsFuture, FutureState, Request};
+pub use cqs_future::{
+    default_wait_policy, set_default_wait_policy, Cancelled, CqsFuture, FutureState, Request,
+    WaitPolicy,
+};
 
 #[cfg(test)]
 mod tests;

@@ -12,8 +12,8 @@
 //! pending request's cancellation handler — goes away (plus an epoch grace
 //! period for displaced link references).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use cqs_reclaim::{AtomicArc, Guard};
 
@@ -25,6 +25,119 @@ use crate::cell::CqsCell;
 const POINTER_UNIT: u64 = 1 << 32;
 const CANCELLED_MASK: u64 = POINTER_UNIT - 1;
 
+/// Capacity of the per-CQS segment freelist. Cancellation storms retire
+/// segments in bursts, but the append path consumes at most one recycled
+/// segment per new tail, so a handful of slots captures most of the reuse
+/// without pinning much memory.
+const FREELIST_SLOTS: usize = 4;
+
+/// A small, bounded, lock-free freelist of fully-cancelled segments.
+///
+/// `Segment::remove` offers each physically removed segment here (at most
+/// once, gated by `Segment::recycle_queued`) instead of letting it fall
+/// straight back to the allocator; `find_segment`'s tail-append path pops
+/// one and reuses its cell block when it can prove exclusive ownership.
+///
+/// # Epoch safety
+///
+/// A popped segment is reused only if `Arc::get_mut` succeeds, i.e. its
+/// strong count is exactly the freelist's own reference. Any thread that
+/// could still *reach* the segment — an in-flight traversal holding a
+/// clone, or a loader that read a stale link pointer while pinned (in
+/// which case the displaced link's epoch-deferred release has not run yet,
+/// so that reference is still counted) — keeps the count above one and
+/// vetoes the reuse. Exclusivity therefore cannot race with readers, and
+/// the reset needs no atomics at all.
+///
+/// The owning CQS holds the only `Arc<SegmentFreelist>`; segments point
+/// back with a `Weak` so the list never forms a reference cycle with the
+/// segment chain it feeds.
+pub(crate) struct SegmentFreelist<T: Send + 'static> {
+    /// Raw `Arc::into_raw` pointers; null means the slot is empty.
+    slots: [AtomicPtr<Segment<T>>; FREELIST_SLOTS],
+}
+
+impl<T: Send + 'static> SegmentFreelist<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(SegmentFreelist {
+            slots: Default::default(),
+        })
+    }
+
+    /// Offers a segment to the freelist. If every slot is taken the
+    /// reference is simply dropped and the segment reclaims normally.
+    fn push(&self, segment: Arc<Segment<T>>) {
+        let ptr = Arc::into_raw(segment) as *mut Segment<T>;
+        for slot in &self.slots {
+            // Release on success publishes the pushed reference to the
+            // popper's Acquire exchange below.
+            if slot
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    ptr,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Full: fall back to ordinary reclamation.
+        // SAFETY: `ptr` came from `Arc::into_raw` above and was never
+        // published into a slot.
+        drop(unsafe { Arc::from_raw(ptr) });
+    }
+
+    /// Number of segments currently parked in the list (racy; diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| !slot.load(Ordering::Relaxed).is_null())
+            .count()
+    }
+
+    /// Pops any stored segment, or `None` if the list is empty.
+    fn try_pop(&self) -> Option<Arc<Segment<T>>> {
+        for slot in &self.slots {
+            let ptr = slot.load(Ordering::Relaxed);
+            if ptr.is_null() {
+                continue;
+            }
+            // Acquire pairs with the push's Release; success transfers the
+            // slot's reference to us.
+            if slot
+                .compare_exchange(
+                    ptr,
+                    std::ptr::null_mut(),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                // SAFETY: the slot held a reference produced by
+                // `Arc::into_raw` in `push`, and the exchange made us its
+                // unique consumer.
+                return Some(unsafe { Arc::from_raw(ptr) });
+            }
+        }
+        None
+    }
+}
+
+impl<T: Send + 'static> Drop for SegmentFreelist<T> {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let ptr = *slot.get_mut();
+            if !ptr.is_null() {
+                // SAFETY: the slot owns this `Arc::into_raw` reference and
+                // `&mut self` excludes concurrent pops.
+                drop(unsafe { Arc::from_raw(ptr) });
+            }
+        }
+    }
+}
+
 pub(crate) struct Segment<T: Send + 'static> {
     id: u64,
     next: AtomicArc<Segment<T>>,
@@ -32,10 +145,21 @@ pub(crate) struct Segment<T: Send + 'static> {
     /// `pointers << 32 | cancelled`.
     ctr: AtomicU64,
     cells: Box<[CqsCell<T>]>,
+    /// Back-reference to the owning CQS's freelist (`Weak` to avoid a
+    /// cycle; dangling for detached segments, e.g. in unit tests).
+    freelist: Weak<SegmentFreelist<T>>,
+    /// Whether this segment has already been offered to the freelist;
+    /// `remove` can run several times per segment but must push only once.
+    recycle_queued: AtomicBool,
 }
 
 impl<T: Send + 'static> Segment<T> {
-    pub(crate) fn new(id: u64, size: usize, initial_pointers: u64) -> Arc<Self> {
+    pub(crate) fn new(
+        id: u64,
+        size: usize,
+        initial_pointers: u64,
+        freelist: Weak<SegmentFreelist<T>>,
+    ) -> Arc<Self> {
         cqs_stats::bump!(segments_allocated);
         let cells = (0..size).map(|_| CqsCell::new()).collect();
         Arc::new(Segment {
@@ -44,6 +168,8 @@ impl<T: Send + 'static> Segment<T> {
             prev: AtomicArc::null(),
             ctr: AtomicU64::new(initial_pointers * POINTER_UNIT),
             cells,
+            freelist,
+            recycle_queued: AtomicBool::new(false),
         })
     }
 
@@ -76,8 +202,15 @@ impl<T: Send + 'static> Segment<T> {
 
     /// Whether the segment is logically removed: every cell cancelled and no
     /// head pointer referencing it.
+    ///
+    /// Ordering note: the whole removal protocol lives on the single `ctr`
+    /// word, whose RMWs form one total modification order — every decision
+    /// ("did *my* update make it removed?") is taken from an RMW's return
+    /// value, never from a plain load, so no SeqCst is needed anywhere on
+    /// `ctr`. Acquire here (and AcqRel on the RMWs) orders the link surgery
+    /// that follows a removal verdict against the updates that produced it.
     pub(crate) fn removed(&self) -> bool {
-        let ctr = self.ctr.load(Ordering::SeqCst);
+        let ctr = self.ctr.load(Ordering::Acquire);
         (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0
     }
 
@@ -85,7 +218,10 @@ impl<T: Send + 'static> Segment<T> {
     /// it became logically removed (paper, `onCancelledCell`).
     pub(crate) fn on_cancelled_cell(self: &Arc<Self>, guard: &Guard) {
         cqs_chaos::inject!("segment.on-cancelled-cell.pre-count");
-        let ctr = self.ctr.fetch_add(1, Ordering::SeqCst) + 1;
+        // AcqRel: see `removed` — the return value decides removal, and the
+        // release half publishes the cancelled cell's terminal state to
+        // whoever later observes the count.
+        let ctr = self.ctr.fetch_add(1, Ordering::AcqRel) + 1;
         debug_assert!(
             (ctr & CANCELLED_MASK) as usize <= self.cells.len(),
             "more cancellations than cells"
@@ -98,16 +234,19 @@ impl<T: Send + 'static> Segment<T> {
     /// Increments the head-pointer count unless the segment is already
     /// logically removed.
     fn try_inc_pointers(&self) -> bool {
-        let mut ctr = self.ctr.load(Ordering::SeqCst);
+        let mut ctr = self.ctr.load(Ordering::Acquire);
         loop {
             if (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0 {
                 return false; // logically removed
             }
+            // AcqRel/Acquire: the successful increment is what blocks a
+            // racing remover (its own RMW then sees pointers != 0); failure
+            // merely retries with the freshly observed value.
             match self.ctr.compare_exchange(
                 ctr,
                 ctr + POINTER_UNIT,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             ) {
                 Ok(_) => return true,
                 Err(actual) => ctr = actual,
@@ -118,7 +257,8 @@ impl<T: Send + 'static> Segment<T> {
     /// Decrements the head-pointer count; returns `true` if the segment
     /// became logically removed.
     fn dec_pointers(&self) -> bool {
-        let ctr = self.ctr.fetch_sub(POINTER_UNIT, Ordering::SeqCst) - POINTER_UNIT;
+        // AcqRel: the return value is the removal verdict (see `removed`).
+        let ctr = self.ctr.fetch_sub(POINTER_UNIT, Ordering::AcqRel) - POINTER_UNIT;
         debug_assert!(ctr >> 32 < u32::MAX as u64, "pointer count underflow");
         (ctr & CANCELLED_MASK) as usize == self.cells.len() && ctr >> 32 == 0
     }
@@ -153,8 +293,48 @@ impl<T: Send + 'static> Segment<T> {
                     continue;
                 }
             }
+            self.offer_for_recycling();
             return;
         }
+    }
+
+    /// Offers this (physically removed) segment to the owning CQS's
+    /// freelist, at most once per segment lifetime.
+    ///
+    /// Stale links may still lead traversals through us afterwards; that is
+    /// fine — reuse is vetoed at pop time unless the freelist holds the
+    /// *only* reference (see [`SegmentFreelist`]).
+    fn offer_for_recycling(self: &Arc<Self>) {
+        // AcqRel gate: exactly one caller of `remove` wins the right to
+        // push; everyone else sees `true` and leaves the list alone.
+        if self
+            .recycle_queued
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        if let Some(freelist) = self.freelist.upgrade() {
+            cqs_chaos::inject!("segment.recycle.pre-push");
+            freelist.push(Arc::clone(self));
+        }
+    }
+
+    /// Rebuilds a popped freelist segment into a pristine tail segment with
+    /// identity `id`. Requires exclusive ownership (`Arc::get_mut`), which
+    /// the epoch argument on [`SegmentFreelist`] turns into freedom from
+    /// racing readers — so every reset below is a plain write.
+    fn reset_for_reuse(&mut self, id: u64) {
+        self.id = id;
+        *self.ctr.get_mut() = 0;
+        for cell in self.cells.iter_mut() {
+            cell.reset();
+        }
+        // Dropping the stale links releases our references to the old
+        // neighbours immediately (no deferral needed under `&mut`).
+        self.next.clear_mut();
+        self.prev.clear_mut();
+        *self.recycle_queued.get_mut() = false;
     }
 
     /// First non-removed segment to the left, or `None` if all are removed
@@ -230,8 +410,10 @@ pub(crate) fn find_segment<T: Send + 'static>(
         let next = match cur.next.load(guard) {
             Some(next) => next,
             None => {
-                // Create and append a new tail segment.
-                let fresh = Segment::new(cur.id + 1, segment_size, 0);
+                // Create (or recycle) and append a new tail segment.
+                let fresh = recycled_tail(&cur, segment_size).unwrap_or_else(|| {
+                    Segment::new(cur.id + 1, segment_size, 0, cur.freelist.clone())
+                });
                 cqs_chaos::inject!("segment.append.pre-cas");
                 match cur.next.compare_exchange_null(Arc::clone(&fresh), guard) {
                     Ok(()) => {
@@ -254,6 +436,37 @@ pub(crate) fn find_segment<T: Send + 'static>(
         cur = next;
     }
     cur
+}
+
+/// Pops a segment off the owning CQS's freelist and rebuilds it as the
+/// tail successor of `cur`, or returns `None` (freelist empty, segment
+/// still referenced elsewhere, or detached segment with no freelist) so
+/// the caller allocates fresh.
+fn recycled_tail<T: Send + 'static>(
+    cur: &Arc<Segment<T>>,
+    segment_size: usize,
+) -> Option<Arc<Segment<T>>> {
+    let freelist = cur.freelist.upgrade()?;
+    let mut segment = freelist.try_pop()?;
+    match Arc::get_mut(&mut segment) {
+        Some(exclusive) => {
+            debug_assert_eq!(
+                exclusive.cells.len(),
+                segment_size,
+                "freelist is per-CQS, so cell counts always match"
+            );
+            exclusive.reset_for_reuse(cur.id + 1);
+            cqs_stats::bump!(segments_recycled);
+            Some(segment)
+        }
+        None => {
+            // An in-flight traversal or a not-yet-collected displaced link
+            // still references the segment: put it back for later and
+            // allocate fresh this time.
+            freelist.push(segment);
+            None
+        }
+    }
 }
 
 /// Moves the head pointer `pointer` forward to `to` unless it is already at
@@ -318,7 +531,7 @@ mod tests {
 
     fn chain(len: usize, size: usize) -> Vec<Arc<Segment<u32>>> {
         let guard = pin();
-        let first: Arc<Segment<u32>> = Segment::new(0, size, 2);
+        let first: Arc<Segment<u32>> = Segment::new(0, size, 2, Weak::new());
         let mut all = vec![Arc::clone(&first)];
         let mut cur = first;
         for _ in 1..len {

@@ -36,11 +36,95 @@ use std::cell::UnsafeCell;
 use std::error::Error;
 use std::fmt;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::task::{Context, Poll};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
+
+/// How [`CqsFuture::wait`] burns time before parking the thread.
+///
+/// Parking is a syscall on both sides (a futex wait for the waiter, a futex
+/// wake for the resumer). When completions arrive within the latency of a
+/// handoff — a semaphore permit bouncing between threads, a mutex with a
+/// short critical section — it is cheaper to poll briefly first:
+///
+/// 1. **spin**: up to `spin` iterations of [`std::hint::spin_loop`],
+///    re-checking the request between iterations. Catches completions that
+///    are a few cache misses away.
+/// 2. **yield**: up to `yields` calls to [`std::thread::yield_now`].
+///    On an oversubscribed machine this donates the timeslice to the
+///    resumer instead of paying a park/unpark round trip.
+/// 3. **park**: the classic register-recheck-park loop, unbounded.
+///
+/// A `WaitPolicy` of `(0, 0)` degenerates to pure parking (the pre-ladder
+/// behaviour). Policies only change *how* a waiter waits, never *what* it
+/// observes: results and cancellation semantics are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WaitPolicy {
+    spin: u32,
+    yields: u32,
+}
+
+impl WaitPolicy {
+    /// Default spin bound before the ladder starts yielding.
+    pub const DEFAULT_SPIN: u32 = 64;
+    /// Default yield bound before the ladder parks.
+    pub const DEFAULT_YIELDS: u32 = 16;
+
+    /// A policy spinning `spin` times, then yielding `yields` times, then
+    /// parking.
+    pub const fn new(spin: u32, yields: u32) -> Self {
+        WaitPolicy { spin, yields }
+    }
+
+    /// The pre-ladder behaviour: park immediately, no polling.
+    pub const fn park_only() -> Self {
+        WaitPolicy::new(0, 0)
+    }
+
+    /// The spin bound.
+    pub const fn spin(&self) -> u32 {
+        self.spin
+    }
+
+    /// The yield bound.
+    pub const fn yields(&self) -> u32 {
+        self.yields
+    }
+
+    fn pack(self) -> u64 {
+        (u64::from(self.spin) << 32) | u64::from(self.yields)
+    }
+
+    fn unpack(packed: u64) -> Self {
+        WaitPolicy::new((packed >> 32) as u32, packed as u32)
+    }
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        WaitPolicy::new(Self::DEFAULT_SPIN, Self::DEFAULT_YIELDS)
+    }
+}
+
+/// Packed process-wide default `WaitPolicy` (spin in the high 32 bits,
+/// yields in the low 32). A single word so readers pay one relaxed load.
+static DEFAULT_WAIT_POLICY: AtomicU64 =
+    AtomicU64::new((WaitPolicy::DEFAULT_SPIN as u64) << 32 | WaitPolicy::DEFAULT_YIELDS as u64);
+
+/// Sets the process-wide default [`WaitPolicy`], used by every
+/// [`CqsFuture::wait`] whose future carries no explicit override (see
+/// [`CqsFuture::with_wait_policy`]). Benchmarks expose this as
+/// `--wait-spin` / `--wait-yields`.
+pub fn set_default_wait_policy(policy: WaitPolicy) {
+    DEFAULT_WAIT_POLICY.store(policy.pack(), Ordering::Relaxed);
+}
+
+/// The current process-wide default [`WaitPolicy`].
+pub fn default_wait_policy() -> WaitPolicy {
+    WaitPolicy::unpack(DEFAULT_WAIT_POLICY.load(Ordering::Relaxed))
+}
 
 /// The operation was aborted by [`CqsFuture::cancel`] before completion.
 ///
@@ -321,6 +405,8 @@ enum Inner<T> {
 /// ([`on_ready`](Self::on_ready)) or awaited as a [`std::future::Future`].
 pub struct CqsFuture<T> {
     inner: Inner<T>,
+    /// `None` = resolve the process-wide default at wait time.
+    policy: Option<WaitPolicy>,
 }
 
 impl<T> CqsFuture<T> {
@@ -328,6 +414,7 @@ impl<T> CqsFuture<T> {
     pub fn immediate(value: T) -> Self {
         CqsFuture {
             inner: Inner::Immediate(Some(value)),
+            policy: None,
         }
     }
 
@@ -335,7 +422,22 @@ impl<T> CqsFuture<T> {
     pub fn suspended(request: Arc<Request<T>>) -> Self {
         CqsFuture {
             inner: Inner::Suspended(request),
+            policy: None,
         }
+    }
+
+    /// Overrides the [`WaitPolicy`] for this future's [`wait`](Self::wait),
+    /// instead of resolving [`default_wait_policy`] at wait time.
+    #[must_use]
+    pub fn with_wait_policy(mut self, policy: WaitPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The wait policy this future's [`wait`](Self::wait) will use right
+    /// now: its override if set, the process-wide default otherwise.
+    pub fn wait_policy(&self) -> WaitPolicy {
+        self.policy.unwrap_or_else(default_wait_policy)
     }
 
     /// An already-cancelled future: every observation reports
@@ -395,6 +497,33 @@ impl<T> CqsFuture<T> {
             Inner::Suspended(r) => Arc::clone(r),
             Inner::Immediate(_) => unreachable!("immediate futures are always ready"),
         };
+        // Spin → yield → park ladder. The polling phases touch only the
+        // request's state word, so a completion landing mid-ladder is
+        // observed without ever registering a thread or parking.
+        let policy = self.policy.unwrap_or_else(default_wait_policy);
+        if policy.spin() > 0 {
+            cqs_chaos::inject!("future.wait.spin-phase");
+            for _ in 0..policy.spin() {
+                std::hint::spin_loop();
+                match self.try_get() {
+                    FutureState::Ready(v) => return Ok(v),
+                    FutureState::Cancelled => return Err(Cancelled),
+                    FutureState::Pending => {}
+                }
+            }
+        }
+        if policy.yields() > 0 {
+            cqs_chaos::inject!("future.wait.yield-phase");
+            for _ in 0..policy.yields() {
+                std::thread::yield_now();
+                match self.try_get() {
+                    FutureState::Ready(v) => return Ok(v),
+                    FutureState::Cancelled => return Err(Cancelled),
+                    FutureState::Pending => {}
+                }
+            }
+        }
+        cqs_chaos::inject!("future.wait.park-phase");
         loop {
             {
                 let mut slot = request.waker.lock().unwrap();

@@ -174,6 +174,21 @@ impl<T: Send + Sync + 'static> AtomicArc<T> {
     pub fn take(&self, guard: &Guard) -> Option<Arc<T>> {
         self.swap(None, guard)
     }
+
+    /// Empties the cell through exclusive access, releasing the stored
+    /// reference immediately.
+    ///
+    /// Unlike [`AtomicArc::store`] this needs no guard and defers nothing:
+    /// `&mut self` proves no concurrent loader can be racing the release.
+    /// Segment recycling uses this to reset link cells without feeding the
+    /// epoch engine.
+    pub fn clear_mut(&mut self) {
+        let p = std::mem::replace(self.ptr.get_mut(), ptr::null_mut());
+        if !p.is_null() {
+            // SAFETY: exclusive access; the cell owns this reference.
+            unsafe { drop(Arc::from_raw(p)) }
+        }
+    }
 }
 
 fn defer_release<T: Send + Sync + 'static>(old: *mut T, guard: &Guard) {

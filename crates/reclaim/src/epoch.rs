@@ -13,6 +13,7 @@
 //! pointer churn, both of which are orders of magnitude rarer than
 //! `suspend`/`resume` themselves.
 
+use cqs_stats::CachePadded;
 use std::cell::Cell;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -29,7 +30,11 @@ const COLLECT_THRESHOLD: usize = 64;
 
 /// Participant state: `(epoch << 1) | pinned`.
 struct Participant {
-    state: AtomicUsize,
+    /// Cache-line padded: this word is stored on every `pin`/`unpin` by its
+    /// owning thread while `try_advance` scans every participant's word, so
+    /// padding keeps one thread's pin traffic from bouncing the line that
+    /// holds a neighbouring slot (or this slot's own `active` flag).
+    state: CachePadded<AtomicUsize>,
     /// Participants of exited threads stay registered but inactive; they are
     /// ignored when deciding whether the epoch may advance.
     active: AtomicUsize,
@@ -38,7 +43,7 @@ struct Participant {
 impl Participant {
     fn new() -> Self {
         Participant {
-            state: AtomicUsize::new(0),
+            state: CachePadded::new(AtomicUsize::new(0)),
             active: AtomicUsize::new(1),
         }
     }
@@ -73,12 +78,22 @@ impl Global {
     /// Attempts to advance the global epoch. Succeeds only if every active,
     /// pinned participant has observed the current epoch.
     fn try_advance(&self) -> bool {
+        // SeqCst (invariant): this read must be globally ordered before the
+        // participant scan below so that a pin we fail to observe has, via
+        // its own SeqCst fence, necessarily observed an epoch at least this
+        // new — the scan-side half of the Dekker pairing with `pin`.
         let global_epoch = self.epoch.load(Ordering::SeqCst);
         {
             let mut participants = self.participants.lock().unwrap();
             // Compact participants of exited threads while we are here.
             participants.retain(|p| p.active.load(Ordering::Relaxed) == 1);
             for p in participants.iter() {
+                // SeqCst (invariant): pairs with the SeqCst fence in
+                // `LocalHandle::pin` (StoreLoad). If this scan misses a
+                // concurrent pin's publish store, the pin's re-validation
+                // load — ordered after its fence — must see our CAS below
+                // and re-publish under the new epoch. Weaker orderings let
+                // both sides miss each other and free live garbage.
                 let state = p.state.load(Ordering::SeqCst);
                 let pinned = state & 1 == 1;
                 let epoch = state >> 1;
@@ -89,6 +104,9 @@ impl Global {
         }
         // Multiple threads may race here; CAS ensures a single increment.
         cqs_chaos::inject!("epoch.advance.pre-cas");
+        // SeqCst (invariant): the epoch bump must not be reordered before
+        // the participant scan above, and it is the very write the pin-side
+        // re-validation load races against in the Dekker pairing.
         self.epoch
             .compare_exchange(
                 global_epoch,
@@ -108,8 +126,12 @@ impl Global {
             let mut bags = self.bags.lock().unwrap();
             // Read the epoch *under the lock*: concurrent defers also bin
             // under this lock with a fresh epoch read, so the bin we drain
-            // cannot receive same-epoch garbage concurrently.
-            let epoch = self.epoch.load(Ordering::SeqCst);
+            // cannot receive same-epoch garbage concurrently. Relaxed is
+            // enough: every earlier critical section's epoch read happens-
+            // before ours (mutex), so read-read coherence makes our value
+            // at least as new as any value used to bin garbage — a stale
+            // read only ever drains an *older* (still safe) bin.
+            let epoch = self.epoch.load(Ordering::Relaxed);
             // Bins `epoch % 3` and `(epoch - 1) % 3` may still be referenced
             // by pinned threads; bin `(epoch + 1) % 3` holds garbage retired
             // at epochs <= epoch - 2 and is safe to drain.
@@ -128,7 +150,10 @@ impl Global {
         cqs_chaos::inject!("epoch.defer.pre-bin");
         let collect_now = {
             let mut bags = self.bags.lock().unwrap();
-            let epoch = self.epoch.load(Ordering::SeqCst);
+            // Relaxed under the bags lock, mirroring `collect`: coherence
+            // bounds how stale this read can be, and binning under an older
+            // epoch only delays reclamation by one round, never frees early.
+            let epoch = self.epoch.load(Ordering::Relaxed);
             bags.bins[epoch % EPOCH_BINS].push(deferred);
             bags.since_collect += 1;
             bags.since_collect >= COLLECT_THRESHOLD
@@ -231,14 +256,24 @@ impl LocalHandle {
             // moved between our read and our store, other threads may not
             // have seen us pinned in the old epoch, so re-publish with the
             // new one until it is stable.
-            let mut epoch = self.global.epoch.load(Ordering::SeqCst);
+            //
+            // Relaxed here and on both sides of the loop: the SeqCst fence
+            // between the publish store and the re-validation load is the
+            // only ordering this protocol needs, and a stale initial read
+            // merely costs one extra loop iteration.
+            let mut epoch = self.global.epoch.load(Ordering::Relaxed);
             loop {
                 cqs_chaos::inject!("epoch.pin.publish-window");
                 self.participant
                     .state
-                    .store((epoch << 1) | 1, Ordering::SeqCst);
+                    .store((epoch << 1) | 1, Ordering::Relaxed);
+                // SeqCst fence (invariant): orders the publish store before
+                // the re-validation load (StoreLoad, which Release/Acquire
+                // cannot provide) and pairs with `try_advance`'s SeqCst
+                // participant scan — either the scan observes our pin, or
+                // this load observes the advanced epoch and we re-publish.
                 fence(Ordering::SeqCst);
-                let current = self.global.epoch.load(Ordering::SeqCst);
+                let current = self.global.epoch.load(Ordering::Relaxed);
                 if current == epoch {
                     break;
                 }
@@ -257,7 +292,18 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
-        self.participant.active.store(0, Ordering::SeqCst);
+        // If this handle is the one cached by the free `pin()` fast path,
+        // drop the cached pointer before the handle goes away. `try_with`
+        // tolerates running during TLS destruction.
+        let _ = LOCAL_PTR.try_with(|cached| {
+            if std::ptr::eq(cached.get(), self) {
+                cached.set(std::ptr::null());
+            }
+        });
+        // Release so a scan that observes us inactive also observes our
+        // final unpin; a delayed read merely keeps the dead slot one extra
+        // round, which is harmless.
+        self.participant.active.store(0, Ordering::Release);
     }
 }
 
@@ -289,7 +335,19 @@ impl Drop for Guard<'_> {
         let count = self.local.pin_count.get();
         self.local.pin_count.set(count - 1);
         if count == 1 {
-            self.local.participant.state.fetch_and(!1, Ordering::SeqCst);
+            // Unpin with a plain release store instead of the former
+            // `fetch_and(!1, SeqCst)`: only the owning thread ever writes
+            // its own state word (reentrancy is tracked in the non-atomic
+            // `pin_count`), so no read-modify-write atomicity is needed —
+            // we re-read our own last store and clear the pinned bit.
+            // Release (invariant): everything this thread read while
+            // pinned happens-before a `try_advance` scan that observes the
+            // unpin, and therefore before any reclamation it unlocks.
+            let state = self.local.participant.state.load(Ordering::Relaxed);
+            self.local
+                .participant
+                .state
+                .store(state & !1, Ordering::Release);
         }
     }
 }
@@ -307,6 +365,12 @@ fn default_collector() -> &'static Collector {
 
 thread_local! {
     static LOCAL: LocalHandle = default_collector().register();
+
+    /// Participant-pointer cache for the free [`pin`] fast path: a
+    /// const-initialized slot is a plain TLS read with no lazy-init branch
+    /// and no `OnceLock` round-trip, so a hot re-pin skips straight to the
+    /// handle. Cleared by `LocalHandle::drop` so it can never dangle.
+    static LOCAL_PTR: Cell<*const LocalHandle> = const { Cell::new(std::ptr::null()) };
 }
 
 /// Aggressively drains the default collector's garbage. See
@@ -317,16 +381,38 @@ pub fn flush() {
 
 /// Pins the current thread in the default (process-global) collector.
 ///
+/// The first pin on a thread registers it with the default collector and
+/// caches the participant pointer in a const-initialized thread-local;
+/// every later pin is a single TLS read plus [`LocalHandle::pin`].
+///
 /// # Panics
 ///
 /// Panics if called while the thread's TLS is being destroyed.
 pub fn pin() -> Guard<'static> {
+    let cached = LOCAL_PTR.try_with(Cell::get).unwrap_or(std::ptr::null());
+    if !cached.is_null() {
+        // SAFETY: `LOCAL_PTR` only ever holds a pointer to this thread's
+        // live `LOCAL` handle — `LocalHandle::drop` nulls it out before the
+        // handle is destroyed — so the pointee is valid here. The 'static
+        // extension is sound for the same reason as in `pin_slow`.
+        let local: &'static LocalHandle = unsafe { &*cached };
+        return local.pin();
+    }
+    pin_slow()
+}
+
+/// Registration path for the first [`pin`] on a thread (and for pins during
+/// TLS destruction, where the cache is unavailable).
+#[cold]
+fn pin_slow() -> Guard<'static> {
     LOCAL.with(|local| {
+        let ptr = local as *const LocalHandle;
+        let _ = LOCAL_PTR.try_with(|cached| cached.set(ptr));
         // SAFETY: the thread-local lives until thread exit, strictly longer
         // than any guard created on this thread's stack. Guards are neither
         // `Send` nor storable beyond the stack of the creating thread, so
         // extending the borrow to 'static is sound.
-        let local: &'static LocalHandle = unsafe { &*(local as *const LocalHandle) };
+        let local: &'static LocalHandle = unsafe { &*ptr };
         local.pin()
     })
 }
@@ -413,6 +499,82 @@ mod tests {
         drop(g);
         let g2 = pin();
         drop(g2);
+    }
+
+    #[test]
+    fn unpin_release_store_tracks_reentrancy_depth() {
+        let c = Collector::new();
+        // Move the epoch off zero so the state word has live epoch bits the
+        // unpin store must preserve.
+        assert!(c.global.try_advance());
+        assert!(c.global.try_advance());
+        let h = c.register();
+
+        let outer = h.pin();
+        let published = h.participant.state.load(Ordering::Relaxed);
+        assert_eq!(published & 1, 1, "outermost pin must publish");
+        let epoch_bits = published >> 1;
+        assert_eq!(epoch_bits, c.global.epoch.load(Ordering::Relaxed));
+
+        let middle = h.pin();
+        let inner = h.pin();
+        assert_eq!(h.pin_count.get(), 3);
+        // Dropping inner guards only decrements the depth; the published
+        // word must stay pinned (nested pins share the outermost epoch).
+        drop(middle);
+        assert_eq!(h.pin_count.get(), 2);
+        assert_eq!(h.participant.state.load(Ordering::Relaxed), published);
+        drop(inner);
+        assert_eq!(h.pin_count.get(), 1);
+        assert_eq!(h.participant.state.load(Ordering::Relaxed), published);
+
+        // The outermost drop takes the single-release-store fast path: the
+        // pinned bit clears, the epoch bits survive.
+        drop(outer);
+        assert_eq!(h.pin_count.get(), 0);
+        let state = h.participant.state.load(Ordering::Relaxed);
+        assert_eq!(state & 1, 0, "pinned bit must clear on outermost drop");
+        assert_eq!(state >> 1, epoch_bits, "unpin must not disturb epoch bits");
+
+        // And the fast path must round-trip: a fresh pin republishes.
+        let again = h.pin();
+        assert_eq!(h.participant.state.load(Ordering::Relaxed) & 1, 1);
+        drop(again);
+    }
+
+    #[test]
+    fn cached_participant_pointer_is_reused_and_survives_thread_churn() {
+        // The free `pin()` caches the participant pointer after the first
+        // call; later pins on the same thread must reuse the same handle.
+        let first = LOCAL_PTR.with(Cell::get);
+        let g = pin();
+        drop(g);
+        let cached = LOCAL_PTR.with(Cell::get);
+        assert!(!cached.is_null(), "first pin must populate the cache");
+        if !first.is_null() {
+            assert_eq!(first, cached, "cache must be stable across pins");
+        }
+        let g2 = pin();
+        assert_eq!(
+            LOCAL_PTR.with(Cell::get),
+            cached,
+            "re-pin must not re-register"
+        );
+        drop(g2);
+
+        // Short-lived threads register, cache, pin and exit; their handle
+        // drop clears the cache without disturbing other threads.
+        for _ in 0..8 {
+            std::thread::spawn(|| {
+                let g = pin();
+                g.defer(|| {});
+                drop(g);
+                assert!(!LOCAL_PTR.with(Cell::get).is_null());
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(LOCAL_PTR.with(Cell::get), cached);
     }
 
     #[test]

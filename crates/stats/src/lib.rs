@@ -26,6 +26,67 @@
 //! assert_eq!(delta.suspends, 0); // feature off: always zero
 //! ```
 
+/// Pads and aligns a value to 64 bytes — one cache line on every target we
+/// run on — so that two independently updated atomics never share a line
+/// and therefore never false-share: a core bumping one counter does not
+/// steal the line a different core needs for an unrelated counter.
+///
+/// The type is a plain transparent-feeling wrapper: `Deref`/`DerefMut`
+/// expose the inner value, construction is `const`, and it carries no
+/// feature gate — primitives embed their hot state words in it
+/// unconditionally (`cqs-core`'s suspension counters, `cqs-sync`'s
+/// semaphore/rwlock state words, the epoch participants) while the counter
+/// statics below use it only when the `stats` feature compiles them in.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use cqs_stats::CachePadded;
+///
+/// static COUNTER: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
+/// COUNTER.fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(COUNTER.load(Ordering::Relaxed), 1);
+/// assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`, rounding its size and alignment up to a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
 /// Defines the counter set exactly once; both the live statics and the
 /// [`CqsStats`] snapshot struct are generated from this list so they cannot
 /// drift apart.
@@ -33,13 +94,20 @@ macro_rules! define_counters {
     ($($(#[doc = $doc:expr])+ $name:ident,)+) => {
         /// The live counters behind [`bump!`]; present only with the
         /// `stats` feature.
+        ///
+        /// Each counter is individually [`CachePadded`](super::CachePadded)
+        /// so that two threads bumping *different* counters never contend
+        /// on the same cache line ([`bump!`] call sites are unchanged:
+        /// `Deref` forwards `fetch_add`/`load` to the inner `AtomicU64`).
         #[cfg(feature = "stats")]
         #[allow(non_upper_case_globals)]
         pub mod counters {
+            use super::CachePadded;
             use std::sync::atomic::AtomicU64;
             $(
                 $(#[doc = $doc])+
-                pub static $name: AtomicU64 = AtomicU64::new(0);
+                pub static $name: CachePadded<AtomicU64> =
+                    CachePadded::new(AtomicU64::new(0));
             )+
         }
 
@@ -124,6 +192,9 @@ define_counters! {
     segments_allocated,
     /// Segments physically reclaimed (deallocated after unlinking).
     segments_reclaimed,
+    /// Removed segments reset and reused from the per-CQS freelist instead
+    /// of being deallocated and re-allocated.
+    segments_recycled,
     /// Threads parked while waiting on a `CqsFuture`.
     parks,
     /// Parked threads woken by a completion or cancellation.
@@ -162,6 +233,43 @@ pub const fn enabled() -> bool {
     cfg!(feature = "stats")
 }
 
+#[cfg(test)]
+mod padding_tests {
+    use super::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_value_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // Alignment must hold for wider payloads too (packed state words).
+        assert_eq!(std::mem::align_of::<CachePadded<[AtomicU64; 4]>>(), 64);
+    }
+
+    #[test]
+    fn padded_value_derefs_to_inner() {
+        static PADDED: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(7));
+        PADDED.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(PADDED.load(Ordering::Relaxed), 8);
+        let mut owned = CachePadded::new(41u64);
+        *owned += 1;
+        assert_eq!(owned.into_inner(), 42);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn live_counters_do_not_share_cache_lines() {
+        // Adjacent statics from the `define_counters!` block must sit at
+        // least a cache line apart now that each is padded.
+        let a = &super::counters::suspends as *const _ as usize;
+        let b = &super::counters::resumes as *const _ as usize;
+        assert!(
+            a.abs_diff(b) >= 64,
+            "counters {a:#x} and {b:#x} share a line"
+        );
+    }
+}
+
 #[cfg(all(test, feature = "stats"))]
 mod tests {
     use super::CqsStats;
@@ -195,6 +303,18 @@ mod tests {
         let snapshot = CqsStats::snapshot();
         assert!(snapshot.is_zero());
         assert!(!super::enabled());
+    }
+
+    #[test]
+    fn disabled_macro_is_independent_of_the_padded_backing_type() {
+        // With the feature off there is no `counters` module at all — the
+        // padded statics are compiled out entirely, so `bump!` cannot even
+        // name them. This expansion proves the macro emits no expression.
+        #[allow(clippy::let_unit_value)]
+        let nothing: () = {
+            crate::bump!(segments_recycled);
+        };
+        nothing
     }
 
     #[test]

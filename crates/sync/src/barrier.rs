@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Duration;
 
 use cqs_core::{Cancelled, Cqs, CqsConfig, CqsFuture, SimpleCancellation};
+use cqs_stats::CachePadded;
 
 /// A single-use barrier for a fixed number of parties.
 ///
@@ -42,7 +43,8 @@ use cqs_core::{Cancelled, Cqs, CqsConfig, CqsFuture, SimpleCancellation};
 #[derive(Debug)]
 pub struct Barrier {
     parties: usize,
-    remaining: AtomicI64,
+    /// Cache-line padded: every arriving party decrements this word.
+    remaining: CachePadded<AtomicI64>,
     cqs: Cqs<(), SimpleCancellation>,
 }
 
@@ -56,7 +58,7 @@ impl Barrier {
         assert!(parties > 0, "a barrier needs at least one party");
         Barrier {
             parties,
-            remaining: AtomicI64::new(parties as i64),
+            remaining: CachePadded::new(AtomicI64::new(parties as i64)),
             cqs: Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),
         }
     }
@@ -193,7 +195,8 @@ impl std::future::Future for BarrierFuture {
 pub struct CyclicBarrier {
     parties: usize,
     /// Arrivals counted across all generations; generation = count / parties.
-    arrivals: AtomicI64,
+    /// Cache-line padded: every arriving party increments this word.
+    arrivals: CachePadded<AtomicI64>,
     queues: [Cqs<(), SimpleCancellation>; 2],
 }
 
@@ -207,7 +210,7 @@ impl CyclicBarrier {
         assert!(parties > 0, "a barrier needs at least one party");
         CyclicBarrier {
             parties,
-            arrivals: AtomicI64::new(0),
+            arrivals: CachePadded::new(AtomicI64::new(0)),
             queues: [
                 Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),
                 Cqs::new(CqsConfig::new().label("barrier.arrive"), SimpleCancellation),

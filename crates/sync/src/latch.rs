@@ -14,12 +14,13 @@ use std::sync::Arc;
 use cqs_core::{
     CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, SimpleCancellation,
 };
+use cqs_stats::CachePadded;
 
 const DONE_BIT: u64 = 1 << 63;
 
 #[derive(Debug)]
 struct LatchCallbacks {
-    waiters: Arc<AtomicU64>,
+    waiters: Arc<CachePadded<AtomicU64>>,
 }
 
 impl CqsCallbacks<()> for LatchCallbacks {
@@ -60,8 +61,11 @@ impl CqsCallbacks<()> for LatchCallbacks {
 /// ```
 #[derive(Debug)]
 pub struct CountDownLatch {
-    count: AtomicI64,
-    waiters: Arc<AtomicU64>,
+    /// Cache-line padded: `count` takes a decrement per completed task while
+    /// `waiters` takes one per new waiter; padding keeps the two traffic
+    /// streams off each other's line.
+    count: CachePadded<AtomicI64>,
+    waiters: Arc<CachePadded<AtomicU64>>,
     cqs: Cqs<(), LatchCallbacks>,
 }
 
@@ -69,7 +73,7 @@ impl CountDownLatch {
     /// Creates a latch that opens after `count` calls to
     /// [`count_down`](Self::count_down).
     pub fn new(count: usize) -> Self {
-        let waiters = Arc::new(AtomicU64::new(0));
+        let waiters = Arc::new(CachePadded::new(AtomicU64::new(0)));
         let cqs = Cqs::new(
             CqsConfig::new()
                 .cancellation_mode(CancellationMode::Smart)
@@ -79,7 +83,7 @@ impl CountDownLatch {
             },
         );
         CountDownLatch {
-            count: AtomicI64::new(count as i64),
+            count: CachePadded::new(AtomicI64::new(count as i64)),
             waiters,
             cqs,
         }
@@ -166,8 +170,8 @@ impl CountDownLatch {
 /// "the simplest way to support cancellation is to do nothing").
 #[derive(Debug)]
 pub struct SimpleCancelLatch {
-    count: AtomicI64,
-    waiters: Arc<AtomicU64>,
+    count: CachePadded<AtomicI64>,
+    waiters: Arc<CachePadded<AtomicU64>>,
     cqs: Cqs<(), SimpleCancellation>,
 }
 
@@ -176,8 +180,8 @@ impl SimpleCancelLatch {
     /// [`count_down`](Self::count_down).
     pub fn new(count: usize) -> Self {
         SimpleCancelLatch {
-            count: AtomicI64::new(count as i64),
-            waiters: Arc::new(AtomicU64::new(0)),
+            count: CachePadded::new(AtomicI64::new(count as i64)),
+            waiters: Arc::new(CachePadded::new(AtomicU64::new(0))),
             cqs: Cqs::new(CqsConfig::new().label("latch.wait"), SimpleCancellation),
         }
     }

@@ -22,6 +22,7 @@ use std::time::Duration;
 use cqs_core::{
     CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
 };
+use cqs_stats::CachePadded;
 
 /// Error returned by [`Mutex::lock`] and [`Mutex::lock_timeout`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,7 +53,7 @@ impl From<Cancelled> for LockError {
 
 #[derive(Debug)]
 struct MutexCallbacks {
-    state: Arc<AtomicI64>,
+    state: Arc<CachePadded<AtomicI64>>,
 }
 
 impl CqsCallbacks<()> for MutexCallbacks {
@@ -86,14 +87,16 @@ impl CqsCallbacks<()> for MutexCallbacks {
 /// ```
 #[derive(Debug)]
 pub struct RawMutex {
-    state: Arc<AtomicI64>,
+    /// Cache-line padded like the semaphore's state word (every lock and
+    /// unlock from every thread lands here).
+    state: Arc<CachePadded<AtomicI64>>,
     cqs: Cqs<(), MutexCallbacks>,
 }
 
 impl RawMutex {
     /// Creates an unlocked mutex.
     pub fn new() -> Self {
-        let state = Arc::new(AtomicI64::new(1));
+        let state = Arc::new(CachePadded::new(AtomicI64::new(1)));
         let cqs = Cqs::new(
             CqsConfig::new()
                 .resume_mode(ResumeMode::Synchronous)

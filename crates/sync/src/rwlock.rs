@@ -38,6 +38,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use cqs_core::{CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, Suspend};
+use cqs_stats::CachePadded;
 
 const READER_BITS: u32 = 20;
 const FIELD_MASK: u64 = (1 << READER_BITS) - 1;
@@ -78,7 +79,10 @@ impl State {
 
 #[derive(Debug)]
 struct RwShared {
-    state: AtomicU64,
+    /// Cache-line padded: the packed reader/writer word is the single
+    /// hottest atomic of the lock and must not share a line with the two
+    /// queue headers below.
+    state: CachePadded<AtomicU64>,
     readers: Cqs<(), ReaderCallbacks>,
     writers: Cqs<(), WriterCallbacks>,
 }
@@ -344,7 +348,7 @@ impl RawRwLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
         let shared = Arc::new_cyclic(|weak: &Weak<RwShared>| RwShared {
-            state: AtomicU64::new(0),
+            state: CachePadded::new(AtomicU64::new(0)),
             readers: Cqs::new(
                 CqsConfig::new()
                     .cancellation_mode(CancellationMode::Smart)

@@ -10,13 +10,14 @@ use std::sync::Arc;
 use cqs_core::{
     CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
 };
+use cqs_stats::CachePadded;
 
 /// Semaphore state shared with the smart-cancellation callbacks:
 /// `state >= 0` is the number of available permits, `state < 0` the negated
 /// number of waiters.
 #[derive(Debug)]
 struct SemaphoreCallbacks {
-    state: Arc<AtomicI64>,
+    state: Arc<CachePadded<AtomicI64>>,
 }
 
 impl CqsCallbacks<()> for SemaphoreCallbacks {
@@ -59,7 +60,10 @@ impl CqsCallbacks<()> for SemaphoreCallbacks {
 /// ```
 #[derive(Debug)]
 pub struct Semaphore {
-    state: Arc<AtomicI64>,
+    /// Cache-line padded: acquirers and releasers from every thread hammer
+    /// this one word; padding keeps it from false-sharing with whatever the
+    /// allocator places next to it.
+    state: Arc<CachePadded<AtomicI64>>,
     cqs: Cqs<(), SemaphoreCallbacks>,
     permits: usize,
     sync_mode: bool,
@@ -101,7 +105,7 @@ impl Semaphore {
 
     fn with_mode(permits: usize, mode: ResumeMode, spin_limit: Option<usize>) -> Self {
         assert!(permits > 0, "a semaphore needs at least one permit");
-        let state = Arc::new(AtomicI64::new(permits as i64));
+        let state = Arc::new(CachePadded::new(AtomicI64::new(permits as i64)));
         let mut config = CqsConfig::new()
             .resume_mode(mode)
             .cancellation_mode(CancellationMode::Smart)

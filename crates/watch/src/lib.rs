@@ -1418,4 +1418,24 @@ mod tests {
         assert_eq!(crate::next_primitive_id("never.recorded"), 0);
         assert!(crate::spawn_from_env().is_none());
     }
+
+    #[test]
+    fn disabled_macros_are_independent_of_the_padded_counter_type() {
+        // The stats crate's counters moved to a cache-line-padded backing
+        // type; an off-feature `gauge!`/`register_waiter!` call whose
+        // argument expressions read such a counter must still expand to
+        // nothing — the padded load below is never evaluated.
+        use cqs_stats::CachePadded;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static PADDED: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
+        crate::gauge!(0u64, "padded", PADDED.load(Ordering::Relaxed));
+        crate::register_waiter!(
+            PADDED.load(Ordering::Relaxed),
+            "padded",
+            unreachable!("never evaluated")
+        );
+        // Deref still forwards to the inner atomic for real (evaluated)
+        // reads, so macro call sites need no `.0` adjustments either way.
+        assert_eq!(PADDED.load(Ordering::Relaxed), 0);
+    }
 }

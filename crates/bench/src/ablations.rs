@@ -7,6 +7,9 @@
 //!   "Limitations" / §4.2).
 //! * **A2 — segment size**: suspension/resumption throughput as a function
 //!   of `SEGM_SIZE`.
+//! * **A3 — batched resumption**: a multi-waiter wake as a loop of
+//!   `Cqs::resume()` calls versus one `Cqs::resume_n` traversal, as a
+//!   function of waiters-per-wake.
 
 use std::time::Instant;
 
@@ -78,6 +81,62 @@ pub fn cancellation_mode(scale: Scale, repeats: Repeats) -> Vec<Series> {
         );
     }
     vec![smart, simple]
+}
+
+/// A3: cost of waking `x` suspended waiters, as a loop of sequential
+/// `resume()` calls versus a single batched `resume_n` traversal. The
+/// waiters are un-parked futures (no thread blocked), so the series
+/// isolates the queue-side cost the batch removes: per-waiter resume
+/// counter claims and `AtomicArc` head re-reads.
+pub fn batch_resume(scale: Scale, repeats: Repeats) -> Vec<Series> {
+    let rounds = match scale {
+        Scale::Quick => 2_000u64,
+        Scale::Full => 20_000,
+    };
+    let mut looped = Series::new("looped resume");
+    let mut batched = Series::new("batched resume_n");
+
+    for x in [1u64, 4, 8, 16] {
+        looped.push(
+            x,
+            timed_repeats(repeats, || {
+                let cqs: Cqs<u64> = Cqs::new(CqsConfig::new(), SimpleCancellation);
+                let mut total = 0f64;
+                for _ in 0..rounds {
+                    let futures: Vec<_> = (0..x).map(|_| cqs.suspend().expect_future()).collect();
+                    let begin = Instant::now();
+                    for v in 0..x {
+                        cqs.resume(v).unwrap();
+                    }
+                    total += begin.elapsed().as_nanos() as f64;
+                    for (v, f) in futures.into_iter().enumerate() {
+                        assert_eq!(f.wait(), Ok(v as u64));
+                    }
+                }
+                total / rounds as f64
+            }),
+        );
+
+        batched.push(
+            x,
+            timed_repeats(repeats, || {
+                let cqs: Cqs<u64> = Cqs::new(CqsConfig::new(), SimpleCancellation);
+                let mut total = 0f64;
+                for _ in 0..rounds {
+                    let futures: Vec<_> = (0..x).map(|_| cqs.suspend().expect_future()).collect();
+                    let begin = Instant::now();
+                    let failed = cqs.resume_n(0..x, x as usize);
+                    total += begin.elapsed().as_nanos() as f64;
+                    assert!(failed.is_empty());
+                    for (v, f) in futures.into_iter().enumerate() {
+                        assert_eq!(f.wait(), Ok(v as u64));
+                    }
+                }
+                total / rounds as f64
+            }),
+        );
+    }
+    vec![looped, batched]
 }
 
 /// A2: uncontended suspend+resume round-trip cost per segment size.

@@ -5,7 +5,7 @@
 //! figures [--quick] [--threads a,b,c] [--warmup N] [--repeats N]
 //!         [--json out.json] [--baseline old.json] [--regression-pct X]
 //!         [--wait-spin N] [--wait-yields N]
-//!         (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment)
+//!         (--all | --fig 5|6|7|8|13|14|15 | --ablation cancellation|segment|batch-resume)
 //! ```
 //!
 //! All numbers are nanoseconds per operation (lower is better) except the
@@ -42,8 +42,8 @@ USAGE:
 
 FIGURE SELECTION:
     --all                 every figure and ablation
-    --fig N               one of 5|6|7|8|13|14|15|a1|a2 (repeatable)
-    --ablation NAME       cancellation (a1) or segment (a2)
+    --fig N               one of 5|6|7|8|13|14|15|a1|a2|a3 (repeatable)
+    --ablation NAME       cancellation (a1), segment (a2) or batch-resume (a3)
 
 MEASUREMENT:
     --quick               reduced operation counts for smoke runs
@@ -106,7 +106,7 @@ fn parse_args() -> Options {
                     .expect("bad percentage");
             }
             "--all" => {
-                figures = ["5", "6", "7", "8", "13", "14", "15", "a1", "a2"]
+                figures = ["5", "6", "7", "8", "13", "14", "15", "a1", "a2", "a3"]
                     .map(String::from)
                     .to_vec();
             }
@@ -116,6 +116,7 @@ fn parse_args() -> Options {
                 figures.push(match which.as_str() {
                     "cancellation" => "a1".to_string(),
                     "segment" => "a2".to_string(),
+                    "batch-resume" => "a3".to_string(),
                     other => panic!("unknown ablation {other}"),
                 });
             }
@@ -158,6 +159,15 @@ fn parse_args() -> Options {
     }
 }
 
+/// Runs a figure's measurement closure, reporting how long the whole
+/// figure took wall-clock (warmup and drains included, so it measures the
+/// cost of *producing* the figure, not the per-op medians inside it).
+fn timed(run: impl FnOnce() -> Vec<Series>) -> (Vec<Series>, f64) {
+    let begin = std::time::Instant::now();
+    let series = run();
+    (series, begin.elapsed().as_secs_f64() * 1e3)
+}
+
 /// Prints a figure's table and records it for the JSON report under a
 /// stable name (the baseline-comparison key, so parameterized variants get
 /// distinct names: `fig5_work100`, `fig7_permits4`, ...).
@@ -166,13 +176,14 @@ fn emit(
     name: String,
     title: String,
     x_label: &str,
-    series: Vec<Series>,
+    (series, wall_clock_ms): (Vec<Series>, f64),
 ) {
     print_figure(&title, x_label, &series);
     report.push(FigureReport {
         name,
         title,
         x_label: x_label.to_string(),
+        wall_clock_ms,
         series,
     });
 }
@@ -202,7 +213,7 @@ fn main() {
                         format!("fig5_work{work}"),
                         format!("Figure 5: barrier, work = {work}"),
                         "threads",
-                        fig5_barrier::run(scale, work, threads, repeats),
+                        timed(|| fig5_barrier::run(scale, work, threads, repeats)),
                     );
                 }
             }
@@ -213,7 +224,7 @@ fn main() {
                         format!("fig6_work{work}"),
                         format!("Figure 6: count-down latch, work = {work}"),
                         "threads",
-                        fig6_latch::run(scale, work, threads, repeats),
+                        timed(|| fig6_latch::run(scale, work, threads, repeats)),
                     );
                 }
             }
@@ -224,7 +235,7 @@ fn main() {
                         format!("fig7_permits{permits}"),
                         format!("Figure 7: semaphore, permits = {permits}"),
                         "threads",
-                        fig7_semaphore::run(scale, permits, threads, repeats),
+                        timed(|| fig7_semaphore::run(scale, permits, threads, repeats)),
                     );
                 }
             }
@@ -235,20 +246,21 @@ fn main() {
                         format!("fig8_elements{elements}"),
                         format!("Figure 8: blocking pools, elements = {elements}"),
                         "threads",
-                        fig8_pools::run(scale, elements, threads, repeats),
+                        timed(|| fig8_pools::run(scale, elements, threads, repeats)),
                     );
                 }
             }
             "13" => {
                 for coroutines in [1_000usize, 10_000] {
-                    let raw = fig13_coroutine_mutex::run(scale, coroutines, threads, repeats);
-                    let speedups = fig13_coroutine_mutex::speedups(&raw);
+                    let (raw, raw_ms) =
+                        timed(|| fig13_coroutine_mutex::run(scale, coroutines, threads, repeats));
+                    let (speedups, speedup_ms) = timed(|| fig13_coroutine_mutex::speedups(&raw));
                     emit(
                         &mut figures,
                         format!("fig13_coroutines{coroutines}"),
                         format!("Figure 13: coroutine mutex, {coroutines} coroutines (ns/op)"),
                         "threads",
-                        raw,
+                        (raw, raw_ms),
                     );
                     emit(
                         &mut figures,
@@ -257,7 +269,7 @@ fn main() {
                             "Figure 13: speedup vs legacy mutex, {coroutines} coroutines (x1000)"
                         ),
                         "threads",
-                        speedups,
+                        (speedups, speedup_ms),
                     );
                 }
             }
@@ -268,7 +280,7 @@ fn main() {
                         format!("fig14_permits{permits}"),
                         format!("Figure 14: semaphore (extended), permits = {permits}"),
                         "threads",
-                        fig7_semaphore::run(scale, permits, threads, repeats),
+                        timed(|| fig7_semaphore::run(scale, permits, threads, repeats)),
                     );
                 }
             }
@@ -279,7 +291,7 @@ fn main() {
                         format!("fig15_elements{elements}"),
                         format!("Figure 15: blocking pools (extended), elements = {elements}"),
                         "threads",
-                        fig8_pools::run(scale, elements, threads, repeats),
+                        timed(|| fig8_pools::run(scale, elements, threads, repeats)),
                     );
                 }
             }
@@ -290,7 +302,7 @@ fn main() {
                     "Ablation A1: final wake-up cost after N cancelled waiters (total ns)"
                         .to_string(),
                     "cancelled",
-                    ablations::cancellation_mode(scale, repeats),
+                    timed(|| ablations::cancellation_mode(scale, repeats)),
                 );
             }
             "a2" => {
@@ -299,17 +311,30 @@ fn main() {
                     "a2_segment_size".to_string(),
                     "Ablation A2: uncontended suspend+resume vs segment size (ns/op)".to_string(),
                     "SEGM_SIZE",
-                    ablations::segment_size(scale, repeats),
+                    timed(|| ablations::segment_size(scale, repeats)),
+                );
+            }
+            "a3" => {
+                emit(
+                    &mut figures,
+                    "a3_batch_resume".to_string(),
+                    "Ablation A3: wake of N waiters, looped resume vs batched resume_n (ns/wake)"
+                        .to_string(),
+                    "waiters per wake",
+                    timed(|| ablations::batch_resume(scale, repeats)),
                 );
             }
             other => eprintln!("unknown figure {other}"),
         }
     }
 
-    let report = BenchReport {
+    let mut report = BenchReport {
         meta: RunMeta::current(scale.label(), threads, repeats),
         figures,
     };
+    // The harness crate does not depend on cqs-future, so the spill count
+    // is filled in here, once every figure has run.
+    report.meta.wake_batch_spills = cqs_future::wake_batch_spill_count();
 
     if let Some(path) = &options.json {
         let json = report.to_json();

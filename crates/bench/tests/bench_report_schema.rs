@@ -33,6 +33,7 @@ fn fresh_report() -> BenchReport {
             name: "schema_smoke".to_string(),
             title: "schema smoke figure".to_string(),
             x_label: "threads".to_string(),
+            wall_clock_ms: 0.0,
             series: vec![series],
         }],
     }

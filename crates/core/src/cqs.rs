@@ -5,12 +5,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cqs_future::{CancellationHandler, CqsFuture, Request};
-use cqs_reclaim::{pin, AtomicArc};
+use cqs_future::{CancellationHandler, CqsFuture, Request, WakeBatch};
+use cqs_reclaim::{pin, AtomicArc, Guard};
 use cqs_stats::CachePadded;
 
 use crate::cell::{self, CancelSwap};
-use crate::segment::{find_and_move_forward, Segment, SegmentFreelist};
+use crate::segment::{find_and_move_forward, find_segment, move_forward, Segment, SegmentFreelist};
 use crate::{CancellationMode, CqsConfig, ResumeMode};
 
 /// User hooks for the *smart* cancellation mode (paper, Listing 3).
@@ -95,6 +95,15 @@ struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
     /// installing their waiter and self-cancel, so no waiter can be parked
     /// past a close.
     closed: AtomicBool,
+    /// Resumption claims that delivered nothing: smart-mode skips over
+    /// cancelled cells, fast-forward jumps over removed segments, failed
+    /// simple-mode resumptions and broken rendezvous.
+    /// [`Cqs::completed_resumes`] is derived as `resume_idx - missed`, so
+    /// the *success* path never touches this word — only the (already
+    /// expensive) cancellation/breakage paths pay the extra RMW. Kept
+    /// independent of the `stats` feature so `completed_resumes` always
+    /// works; padded to keep the cold write off the hot counters' lines.
+    missed: CachePadded<AtomicU64>,
 }
 
 /// A `CancellableQueueSynchronizer`: a FIFO queue of waiters with efficient
@@ -142,6 +151,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
                 freelist,
                 callbacks,
                 closed: AtomicBool::new(false),
+                missed: CachePadded::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -188,6 +198,85 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
         self.inner.resume(value)
     }
 
+    /// Resumes the next `n` waiters in one batch: the `n` target cells are
+    /// claimed with a **single** `fetch_add(n)` on the resumption counter
+    /// and visited in a **single** segment-list traversal that follows
+    /// `next` links locally instead of re-reading the head pointer per
+    /// waiter. Per-cell outcomes (value elimination, cancelled-cell skips,
+    /// refusals, broken rendezvous) are handled exactly as `n` sequential
+    /// [`resume`](Cqs::resume) calls would.
+    ///
+    /// **Deferred-wake guarantee:** completed waiters are *not* woken
+    /// inline. Their wake-ups (thread unparks, executor callbacks, task
+    /// wakers) are collected into an on-stack [`cqs_future::WakeBatch`] and
+    /// fired only after the traversal ends and the resumer has released its
+    /// segment pin — a woken thread can never contend with the resumer's
+    /// own traversal, and no user callback runs inside it.
+    ///
+    /// Value accounting follows the cancellation mode:
+    ///
+    /// * [`CancellationMode::Smart`]: cancelled cells are skipped without
+    ///   consuming a value; the batch claims replacement cells until all
+    ///   `n` values found a target (mirroring the sequential smart retry
+    ///   loop). With asynchronous resumption the returned vector is always
+    ///   empty; with [`ResumeMode::Synchronous`] it holds the values of
+    ///   rendezvous that timed out and broke.
+    /// * [`CancellationMode::Simple`]: exactly `n` cells are claimed and
+    ///   the `k`-th value targets the `k`-th cell; values aimed at
+    ///   cancelled cells come back in the returned vector, exactly like
+    ///   `n` independent `resume` calls returning `Err`.
+    ///
+    /// Returns the undelivered values (empty in the smart + asynchronous
+    /// configuration, where resumption cannot fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` yields fewer values than the batch needs (`n`
+    /// in every mode — cells that fail a delivery still consume their
+    /// value into the returned vector).
+    pub fn resume_n(&self, values: impl IntoIterator<Item = T>, n: usize) -> Vec<T> {
+        let mut iter = values.into_iter();
+        if n == 1 {
+            // A batch of one gains nothing from the batched claim but would
+            // still pay its traversal setup (head re-anchor, prev unlink,
+            // wake-batch bookkeeping) — measurably slower on the ablation's
+            // x=1 point. The sequential path is observationally identical
+            // at n = 1, including the wake ordering (one wake fires after
+            // the cell settles either way).
+            let value = iter
+                .next()
+                .expect("resume_n: values iterator yielded fewer values than the batch needs");
+            return match self.inner.resume(value) {
+                Ok(()) => Vec::new(),
+                Err(v) => vec![v],
+            };
+        }
+        self.inner.resume_n(&mut || iter.next(), n as u64)
+    }
+
+    /// Resumes every waiter currently in the queue with a clone of `value`,
+    /// in one batched traversal (see [`resume_n`](Cqs::resume_n) for the
+    /// single-claim / single-traversal / deferred-wake mechanics). Returns
+    /// the number of deliveries made.
+    ///
+    /// "Currently" means the span between the suspension and resumption
+    /// counters at the moment of the call: every waiter whose `suspend()`
+    /// *happened before* this call is covered. Waiters that suspend
+    /// concurrently may or may not be included; cells claimed ahead of
+    /// their suspender receive a parked clone the incoming `suspend()`
+    /// eliminates against (the standard CQS resume-before-suspend
+    /// behaviour). Primitives that need exact waiter accounting should
+    /// track the count themselves and call `resume_n` (see
+    /// `CountDownLatch`); `resume_all` fits terminal sweeps like a latch
+    /// whose gate can never close again, or broadcast-style wakeups where
+    /// an extra parked clone is harmless.
+    pub fn resume_all(&self, value: T) -> usize
+    where
+        T: Clone,
+    {
+        self.inner.resume_all(value) as usize
+    }
+
     /// Closes the queue: every currently parked waiter is cancelled (its
     /// future reports [`cqs_future::Cancelled`]) and any `suspend()` that
     /// races with or follows the close self-cancels, so no waiter can park
@@ -224,9 +313,38 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
     }
 
     /// Current value of the resumption counter (diagnostics/tests).
+    ///
+    /// This counts resume *attempts* — every claimed cell — not deliveries:
+    /// smart-mode resumptions that skip cancelled cells claim (and count) a
+    /// cell per skip, refused resumptions count even though the waiter was
+    /// gone, and failed simple-mode or broken-rendezvous resumptions count
+    /// too. The counter can therefore run ahead of the number of values
+    /// actually handed to waiters; use
+    /// [`completed_resumes`](Cqs::completed_resumes) for that.
     pub fn resume_count(&self) -> u64 {
         // Relaxed: a racy diagnostic snapshot, never used for ordering.
         self.inner.resume_idx.load(Ordering::Relaxed)
+    }
+
+    /// The number of resumptions that actually delivered their value: the
+    /// waiter was completed, the value was parked for an incoming
+    /// suspender (elimination), delegated to a concurrent canceller, or
+    /// consumed through `complete_refused_resume`. Unlike
+    /// [`resume_count`](Cqs::resume_count), this never counts smart-mode
+    /// skips over cancelled cells, failed simple-mode resumptions, or
+    /// broken rendezvous.
+    ///
+    /// Backed by a dedicated miss counter (`resume_idx - missed`),
+    /// independent of the `stats` feature, so the resume *success* path
+    /// pays nothing for it. The difference is exact at quiescence; while
+    /// resumptions are in flight it may transiently count a claimed but
+    /// not-yet-settled cell as completed (racy diagnostic, like every
+    /// counter here).
+    pub fn completed_resumes(&self) -> u64 {
+        // Relaxed: racy diagnostic snapshots, never used for ordering.
+        let attempts = self.inner.resume_idx.load(Ordering::Relaxed);
+        let missed = self.inner.missed.load(Ordering::Relaxed);
+        attempts.saturating_sub(missed)
     }
 
     /// The number of removed segments currently parked in this queue's
@@ -390,7 +508,20 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         }
     }
 
-    fn resume(&self, mut value: T) -> Result<(), T> {
+    fn resume(&self, value: T) -> Result<(), T> {
+        match self.resume_value(value) {
+            Ok(()) => Ok(()),
+            Err(v) => {
+                // Miss bookkeeping for `Cqs::completed_resumes`
+                // (stats-independent); every `Err` consumed exactly one
+                // claim. Relaxed: diagnostic counter.
+                self.missed.fetch_add(1, Ordering::Relaxed);
+                Err(v)
+            }
+        }
+    }
+
+    fn resume_value(&self, mut value: T) -> Result<(), T> {
         cqs_stats::bump!(resumes);
         let n = self.segment_size();
         let simple = self.config.get_cancellation_mode() == CancellationMode::Simple;
@@ -428,12 +559,22 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 // SC protocol (see the claim above) — a weaker jump could
                 // be ordered around a concurrent claim and double-visit a
                 // skipped cell.
-                let _ = self.resume_idx.compare_exchange(
+                match self.resume_idx.compare_exchange(
                     i + 1,
                     segment.id() * n,
                     Ordering::SeqCst,
                     Ordering::SeqCst,
-                );
+                ) {
+                    // The jump left [i+1, segment.id()*n) forever unclaimed;
+                    // together with our abandoned claim `i`, all of those
+                    // attempts missed (see `completed_resumes`).
+                    Ok(_) => self
+                        .missed
+                        .fetch_add(segment.id() * n - i, Ordering::Relaxed),
+                    // Someone else moved the counter: only our own claim is
+                    // abandoned here.
+                    Err(_) => self.missed.fetch_add(1, Ordering::Relaxed),
+                };
                 continue 'operation;
             }
             let cell = segment.cell((i % n) as usize);
@@ -514,7 +655,9 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                         if simple {
                             return Err(value);
                         }
-                        // Smart: skip this cell and take the next index.
+                        // Smart: skip this cell and take the next index. The
+                        // abandoned claim is a miss (see `completed_resumes`).
+                        self.missed.fetch_add(1, Ordering::Relaxed);
                         continue 'operation;
                     }
                     cell::REFUSE => {
@@ -530,6 +673,328 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         }
     }
 
+    /// Batched resumption entry point: see [`Cqs::resume_n`].
+    fn resume_n(&self, next_value: &mut dyn FnMut() -> Option<T>, n: u64) -> Vec<T> {
+        if n == 0 {
+            return Vec::new();
+        }
+        cqs_stats::bump!(resumes, n);
+        cqs_stats::bump!(batch_resumes);
+        // Smart mode conserves values: cancelled-cell skips claim
+        // replacement cells until all `n` values land.
+        let reclaim = self.config.get_cancellation_mode() == CancellationMode::Smart;
+        let mut wakes = WakeBatch::new();
+        let (delivered, failed) = {
+            let guard = pin();
+            self.resume_batch(next_value, n, reclaim, &mut wakes, &guard)
+        };
+        // The guard is dropped: fire the collected wake-ups outside the
+        // segment pin (the deferred-wake guarantee).
+        cqs_stats::bump!(batch_waiters, delivered);
+        let _ = delivered; // counted only under the `stats` feature
+        cqs_chaos::inject!("cqs.resume-n.pre-fire");
+        wakes.fire();
+        failed
+    }
+
+    /// Batched broadcast: see [`Cqs::resume_all`].
+    fn resume_all(&self, value: T) -> u64
+    where
+        T: Clone,
+    {
+        // Snapshot the live-waiter span. SeqCst (invariant): both loads
+        // must observe any suspend-side claim that happened before this
+        // call (the caller's happens-before contract) — with weaker loads
+        // a just-installed waiter's claim could be missed and the waiter
+        // left out of the sweep.
+        let suspended = self.suspend_idx.load(Ordering::SeqCst);
+        let resumed = self.resume_idx.load(Ordering::SeqCst);
+        let n = suspended.saturating_sub(resumed);
+        if n == 0 {
+            return 0;
+        }
+        cqs_stats::bump!(resumes, n);
+        cqs_stats::bump!(batch_resumes);
+        let mut wakes = WakeBatch::new();
+        let (delivered, failed) = {
+            let guard = pin();
+            // Cell-coverage semantics: exactly `n` claims, clones minted on
+            // demand, skipped cells simply don't mint one — never re-claim
+            // (`reclaim = false`), or a broadcast racing cancellations
+            // would chase the suspension counter forever.
+            self.resume_batch(&mut || Some(value.clone()), n, false, &mut wakes, &guard)
+        };
+        // Failures only arise from cancelled cells (simple mode) or broken
+        // rendezvous (synchronous mode) — and either way they hold clones,
+        // which are disposable.
+        debug_assert!(
+            failed.is_empty()
+                || self.config.get_cancellation_mode() == CancellationMode::Simple
+                || self.config.get_resume_mode() == ResumeMode::Synchronous
+        );
+        drop(failed);
+        cqs_stats::bump!(batch_waiters, delivered);
+        cqs_chaos::inject!("cqs.resume-n.pre-fire");
+        wakes.fire();
+        delivered
+    }
+
+    /// The single-traversal core of [`Cqs::resume_n`] / [`Cqs::resume_all`]:
+    /// claims `n` consecutive cells with one `fetch_add(n)` and walks them
+    /// with a local segment cursor, deferring every wake-up into `wakes`.
+    ///
+    /// `next_value` supplies values on demand; a value is pulled only when a
+    /// cell can consume one (smart-mode skips pull nothing). With `reclaim`
+    /// set, cells skipped without consuming a value are replaced by extra
+    /// claims until `n` values have been consumed (delivered or failed).
+    ///
+    /// Returns `(delivered, failed)`: the number of deliveries made and the
+    /// values that consumed a claim but failed (cancelled cells in simple
+    /// mode, broken rendezvous in synchronous mode).
+    fn resume_batch(
+        &self,
+        next_value: &mut dyn FnMut() -> Option<T>,
+        n: u64,
+        reclaim: bool,
+        wakes: &mut WakeBatch,
+        guard: &Guard,
+    ) -> (u64, Vec<T>) {
+        /// Pulls the in-flight value (handed back by a failed cell CAS) or
+        /// the next one from the source.
+        fn take<T>(stash: &mut Option<T>, next: &mut dyn FnMut() -> Option<T>) -> T {
+            stash
+                .take()
+                .or_else(next)
+                .expect("resume_n: values iterator yielded fewer values than the batch needs")
+        }
+
+        let n_cells = self.segment_size();
+        let segment_size = self.config.get_segment_size();
+        let simple = self.config.get_cancellation_mode() == CancellationMode::Simple;
+        let sync = self.config.get_resume_mode() == ResumeMode::Synchronous;
+
+        let mut delivered: u64 = 0;
+        let mut failed: Vec<T> = Vec::new();
+        let mut stash: Option<T> = None;
+
+        // Read the head *before* claiming, as the sequential path does: the
+        // claimed cells are then guaranteed reachable from `start`.
+        let start = self
+            .resume_segm
+            .load(guard)
+            .expect("head pointers are never null");
+        cqs_chaos::inject!("cqs.resume-n.pre-counter");
+        // SeqCst (invariant): the batch's single claim plays the same role
+        // as the sequential per-resume claim (see `resume_value`) — it must
+        // stay in one SC order with the head read above and with every
+        // concurrent suspend/resume claim, so the n claimed cells are
+        // unambiguously owned by this batch.
+        let mut first = self.resume_idx.fetch_add(n, Ordering::SeqCst);
+        let mut end = first + n;
+        // Total claims this batch is responsible for (initial + extras +
+        // fast-forward jumps); `claims - delivered` are the misses.
+        let mut claims = n;
+        // Advance the resume head once, to the batch's first segment; every
+        // further segment is reached by walking `next` links locally.
+        let mut segment = find_and_move_forward(
+            &self.resume_segm,
+            start,
+            first / n_cells,
+            segment_size,
+            guard,
+        );
+        segment.clear_prev(guard);
+
+        'claims: loop {
+            let mut i = first;
+            while i < end {
+                let id = i / n_cells;
+                if segment.id() < id {
+                    cqs_chaos::inject!("cqs.resume-n.pre-advance");
+                    segment = find_segment(Arc::clone(&segment), id, segment_size, guard);
+                    // Links to already-processed segments are not needed
+                    // any more (mirrors the sequential path).
+                    segment.clear_prev(guard);
+                }
+                if segment.id() > id {
+                    // Every id between the cursor's previous position and
+                    // `segment` was removed: those cells were all
+                    // cancelled. Simple mode pairs each with (and fails)
+                    // its value; smart mode skips them for free.
+                    let skip_to = end.min(segment.id() * n_cells);
+                    if simple {
+                        while i < skip_to {
+                            failed.push(take(&mut stash, next_value));
+                            i += 1;
+                        }
+                    } else {
+                        i = skip_to;
+                    }
+                    continue;
+                }
+                let cell = segment.cell((i % n_cells) as usize);
+                'cell: loop {
+                    match cell.state() {
+                        cell::EMPTY => {
+                            let value = take(&mut stash, next_value);
+                            match cell.try_publish_value(value) {
+                                Err(v) => {
+                                    stash = Some(v);
+                                    continue 'cell;
+                                }
+                                Ok(()) => {
+                                    if !sync {
+                                        delivered += 1;
+                                        break 'cell;
+                                    }
+                                    // Synchronous rendezvous: bounded wait
+                                    // for the value to be taken.
+                                    let mut taken = false;
+                                    for _ in 0..self.config.get_spin_limit() {
+                                        if cell.state() == cell::TAKEN {
+                                            taken = true;
+                                            break;
+                                        }
+                                        std::hint::spin_loop();
+                                    }
+                                    if taken {
+                                        delivered += 1;
+                                    } else {
+                                        match cell.try_break() {
+                                            Some(v) => failed.push(v),
+                                            None => delivered += 1, // taken after all
+                                        }
+                                    }
+                                    break 'cell;
+                                }
+                            }
+                        }
+                        cell::REQUEST => {
+                            let Some(request) = cell.peek_waiter(guard) else {
+                                // The cancellation handler removed the
+                                // waiter between our state read and the
+                                // peek.
+                                continue 'cell;
+                            };
+                            cqs_chaos::inject!("cqs.resume-n.pre-complete");
+                            let value = take(&mut stash, next_value);
+                            match request.complete_deferred(value) {
+                                Ok(wake) => {
+                                    cqs_chaos::inject!("cqs.resume-n.pre-mark-resumed");
+                                    cell.mark_resumed(guard);
+                                    wakes.push(wake);
+                                    delivered += 1;
+                                    break 'cell;
+                                }
+                                Err(v) => {
+                                    // The waiter was cancelled.
+                                    if simple {
+                                        failed.push(v);
+                                        break 'cell;
+                                    }
+                                    stash = Some(v);
+                                    if sync {
+                                        // Never leave the value unattended:
+                                        // wait for the handler to decide
+                                        // CANCELLED or REFUSE.
+                                        let mut spins = 0u32;
+                                        while cell.state() == cell::REQUEST {
+                                            spins += 1;
+                                            if spins.is_multiple_of(128) {
+                                                std::thread::yield_now();
+                                            } else {
+                                                std::hint::spin_loop();
+                                            }
+                                        }
+                                        continue 'cell;
+                                    }
+                                    // Smart + async: delegate the rest of
+                                    // this resumption to the handler.
+                                    let value = take(&mut stash, next_value);
+                                    match cell.try_delegate_value(value, guard) {
+                                        Ok(()) => {
+                                            delivered += 1;
+                                            break 'cell;
+                                        }
+                                        Err(v) => {
+                                            stash = Some(v);
+                                            continue 'cell;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        cell::CANCELLED => {
+                            if simple {
+                                failed.push(take(&mut stash, next_value));
+                            }
+                            // Smart: the skip consumes the claim only; a
+                            // replacement cell is claimed below if needed.
+                            break 'cell;
+                        }
+                        cell::REFUSE => {
+                            self.callbacks
+                                .complete_refused_resume(take(&mut stash, next_value));
+                            delivered += 1;
+                            break 'cell;
+                        }
+                        other => unreachable!(
+                            "resume_n observed cell in state {}",
+                            cell::state_name(other)
+                        ),
+                    }
+                }
+                i += 1;
+            }
+            let consumed = delivered + failed.len() as u64;
+            if !reclaim || consumed >= n {
+                break 'claims;
+            }
+            // Smart-mode value conservation: skipped cells consumed claims
+            // without values; claim replacements and keep walking from the
+            // current cursor.
+            if segment.id() * n_cells > end {
+                // The remaining prefix is wholly removed: fast-forward the
+                // counter over it, as the sequential smart path does.
+                // SeqCst (invariant): stays in the resume counter's single
+                // SC protocol (see the batch claim above).
+                if self
+                    .resume_idx
+                    .compare_exchange(
+                        end,
+                        segment.id() * n_cells,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    // The jumped-over span is forever unclaimed: account its
+                    // attempts as misses (mirrors the sequential path).
+                    claims += segment.id() * n_cells - end;
+                }
+            }
+            let extra = n - consumed;
+            claims += extra;
+            cqs_chaos::inject!("cqs.resume-n.pre-extra-claim");
+            // SeqCst (invariant): same claim protocol as above.
+            first = self.resume_idx.fetch_add(extra, Ordering::SeqCst);
+            end = first + extra;
+        }
+        // Publish the cursor as the new resume head so later resumers
+        // start where the batch ended instead of re-walking it. (A failure
+        // only means the head already moved past — or the cursor got
+        // removed — both harmless.)
+        let _ = move_forward(&self.resume_segm, &segment, guard);
+        // Miss bookkeeping for `Cqs::completed_resumes` (see `resume`):
+        // every claim that did not deliver — failed values, cancelled-cell
+        // skips, jumped spans — in one cold-path RMW.
+        let misses = claims - delivered;
+        if misses > 0 {
+            self.missed.fetch_add(misses, Ordering::Relaxed);
+        }
+        (delivered, failed)
+    }
+
     /// Closes the queue and sweeps every linked segment, cancelling each
     /// still-parked waiter. See [`Cqs::close`] for the ordering argument.
     fn close(&self) {
@@ -541,26 +1006,44 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             return; // the first closer performs the (single) sweep
         }
         cqs_chaos::inject!("cqs.close.pre-sweep");
-        let guard = pin();
-        // Any waiter installed before the `closed` store above is reachable
-        // from the earlier of the two heads (resumers never move their head
-        // past a still-pending waiter); one installed after observes
-        // `closed` in its post-install double-check and self-cancels.
-        let resume_head = self.resume_segm.load(&guard);
-        let suspend_head = self.suspend_segm.load(&guard);
-        let mut cur = match (resume_head, suspend_head) {
-            (Some(r), Some(s)) => Some(if r.id() <= s.id() { r } else { s }),
-            (r, s) => r.or(s),
-        };
-        while let Some(segment) = cur {
-            for index in 0..segment.len() {
-                if let Some(request) = segment.cell(index).peek_waiter(&guard) {
-                    cqs_chaos::inject!("cqs.close.pre-cancel");
-                    request.cancel();
+        let mut wakes = WakeBatch::new();
+        let mut cancelled: u64 = 0;
+        {
+            let guard = pin();
+            // Any waiter installed before the `closed` store above is
+            // reachable from the earlier of the two heads (resumers never
+            // move their head past a still-pending waiter); one installed
+            // after observes `closed` in its post-install double-check and
+            // self-cancels.
+            let resume_head = self.resume_segm.load(&guard);
+            let suspend_head = self.suspend_segm.load(&guard);
+            let mut cur = match (resume_head, suspend_head) {
+                (Some(r), Some(s)) => Some(if r.id() <= s.id() { r } else { s }),
+                (r, s) => r.or(s),
+            };
+            while let Some(segment) = cur {
+                for index in 0..segment.len() {
+                    if let Some(request) = segment.cell(index).peek_waiter(&guard) {
+                        cqs_chaos::inject!("cqs.close.pre-cancel");
+                        // The cancellation handler runs inline (cell
+                        // bookkeeping must precede further traversals) but
+                        // the wake-up is deferred past the sweep.
+                        if let Some(wake) = request.cancel_deferred() {
+                            wakes.push(wake);
+                            cancelled += 1;
+                        }
+                    }
                 }
+                cur = segment.next(&guard);
             }
-            cur = segment.next(&guard);
         }
+        // The guard is dropped: the sweep is one batched traversal too —
+        // fire every cancellation wake-up outside the segment pin.
+        cqs_stats::bump!(batch_resumes);
+        cqs_stats::bump!(batch_waiters, cancelled);
+        let _ = cancelled; // read only by the stats feature
+        cqs_chaos::inject!("cqs.close.pre-fire");
+        wakes.fire();
     }
 
     /// The cell-side part of cancellation, invoked by `Request::cancel`

@@ -727,6 +727,300 @@ fn recycled_segments_are_reused_and_preserve_fifo() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Batched resumption (`resume_n` / `resume_all`)
+// ---------------------------------------------------------------------
+
+/// One `resume_n` call delivers to `n` waiters in FIFO order, across
+/// segment boundaries (segment_size = 2, 16 waiters = 8 segments).
+#[test]
+fn resume_n_delivers_fifo_across_segments() {
+    let cqs = simple();
+    let futures: Vec<_> = (0..16).map(|_| cqs.suspend().expect_future()).collect();
+    let failed = cqs.resume_n(0..16u64, 16);
+    assert!(failed.is_empty(), "no cancelled cells: nothing may fail");
+    for (expected, f) in futures.into_iter().enumerate() {
+        assert_eq!(f.wait(), Ok(expected as u64), "FIFO order violated");
+    }
+    assert_eq!(cqs.resume_count(), 16);
+    assert_eq!(cqs.completed_resumes(), 16);
+}
+
+/// Simple mode pairs the k-th value with the k-th claimed cell: values
+/// aimed at cancelled cells come back in the failed vector.
+#[test]
+fn resume_n_simple_mode_fails_values_of_cancelled_cells() {
+    let cqs = simple();
+    let futures: Vec<_> = (0..4).map(|_| cqs.suspend().expect_future()).collect();
+    assert!(futures[0].cancel());
+    assert!(futures[2].cancel());
+    let failed = cqs.resume_n(0..4u64, 4);
+    assert_eq!(
+        failed,
+        vec![0, 2],
+        "values paired with cancelled cells fail"
+    );
+    let mut futures = futures.into_iter();
+    let _doomed0 = futures.next().unwrap();
+    assert_eq!(futures.next().unwrap().wait(), Ok(1));
+    let _doomed2 = futures.next().unwrap();
+    assert_eq!(futures.next().unwrap().wait(), Ok(3));
+    // Satellite-1 semantics: `resume_count` counts *attempts* (all four
+    // claims), `completed_resumes` only the two deliveries.
+    assert_eq!(cqs.resume_count(), 4);
+    assert_eq!(cqs.completed_resumes(), 2);
+}
+
+/// Smart mode conserves values: cancelled cells consume claims but no
+/// values, and the batch keeps claiming until every value lands.
+#[test]
+fn resume_n_smart_mode_skips_cancelled_and_conserves_values() {
+    let callbacks = CountingCallbacks::new();
+    callbacks.state.store(-6, Ordering::SeqCst);
+    let cqs: Cqs<u64, Arc<CountingCallbacks>> = Cqs::new(
+        CqsConfig::new()
+            .segment_size(2)
+            .cancellation_mode(CancellationMode::Smart),
+        Arc::clone(&callbacks),
+    );
+    let futures: Vec<_> = (0..6).map(|_| cqs.suspend().expect_future()).collect();
+    for f in &futures[..4] {
+        assert!(f.cancel());
+    }
+    // Two values, two live waiters behind four cancelled cells: one batch.
+    let failed = cqs.resume_n([10, 11], 2);
+    assert!(failed.is_empty(), "smart mode re-claims instead of failing");
+    let mut futures = futures.into_iter().skip(4);
+    assert_eq!(futures.next().unwrap().wait(), Ok(10));
+    assert_eq!(futures.next().unwrap().wait(), Ok(11));
+    assert_eq!(cqs.completed_resumes(), 2);
+    assert!(
+        cqs.resume_count() >= 2,
+        "attempt counter covers the extra claims too"
+    );
+}
+
+/// `resume_n` past the live waiters parks values for future suspenders
+/// (the ordinary resume-before-suspend elimination, batched).
+#[test]
+fn resume_n_parks_values_for_future_suspenders() {
+    let cqs = simple();
+    let f = cqs.suspend().expect_future();
+    let failed = cqs.resume_n(0..3u64, 3);
+    assert!(failed.is_empty());
+    assert_eq!(f.wait(), Ok(0));
+    for v in 1..3u64 {
+        let g = cqs.suspend().expect_future();
+        assert!(g.is_immediate(), "parked value must eliminate");
+        assert_eq!(g.wait(), Ok(v));
+    }
+}
+
+/// Synchronous mode: a batched resume aimed at absent suspenders breaks
+/// the rendezvous and returns the values instead of blocking forever.
+#[test]
+fn resume_n_sync_mode_returns_broken_rendezvous_values() {
+    let cqs: Cqs<u64> = Cqs::new(
+        CqsConfig::new()
+            .resume_mode(ResumeMode::Synchronous)
+            .spin_limit(10),
+        SimpleCancellation,
+    );
+    let failed = cqs.resume_n([7, 8], 2);
+    assert_eq!(failed, vec![7, 8], "no suspender: both rendezvous break");
+    assert_eq!(cqs.completed_resumes(), 0);
+    // The suspenders that eventually arrive observe the broken cells.
+    for _ in 0..2 {
+        match cqs.suspend() {
+            Suspend::Broken => {}
+            Suspend::Future(_) => panic!("expected broken cell"),
+        }
+    }
+}
+
+/// `resume_n` with `n == 0` touches nothing.
+#[test]
+fn resume_n_zero_is_a_noop() {
+    let cqs = simple();
+    let _f = cqs.suspend().expect_future();
+    assert!(cqs.resume_n(std::iter::empty(), 0).is_empty());
+    assert_eq!(cqs.resume_count(), 0);
+}
+
+/// A short values iterator is a caller bug: claimed-but-unfulfilled cells
+/// would strand waiters, so the call panics loudly instead.
+#[test]
+#[should_panic(expected = "fewer values")]
+fn resume_n_panics_on_short_iterator() {
+    let cqs = simple();
+    let _f1 = cqs.suspend().expect_future();
+    let _f2 = cqs.suspend().expect_future();
+    let _ = cqs.resume_n([1u64], 2);
+}
+
+/// `resume_all` wakes every currently-suspended waiter with a clone of the
+/// value and reports how many it delivered to.
+#[test]
+fn resume_all_covers_every_live_waiter() {
+    let cqs: Cqs<u64> = Cqs::new(CqsConfig::new().segment_size(2), SimpleCancellation);
+    let futures: Vec<_> = (0..9).map(|_| cqs.suspend().expect_future()).collect();
+    assert_eq!(cqs.resume_all(42), 9);
+    for f in futures {
+        assert_eq!(f.wait(), Ok(42));
+    }
+    assert_eq!(cqs.completed_resumes(), 9);
+    // The broadcast is spent: a fresh waiter stays pending.
+    let mut f = cqs.suspend().expect_future();
+    assert_eq!(f.try_get(), FutureState::Pending);
+    f.cancel();
+}
+
+/// `resume_all` on an empty queue is free — no claims, no counter motion.
+#[test]
+fn resume_all_without_waiters_is_a_noop() {
+    let cqs = simple();
+    assert_eq!(cqs.resume_all(1), 0);
+    assert_eq!(cqs.resume_count(), 0);
+    // ...and a later suspender is NOT eliminated by a stale broadcast.
+    let mut f = cqs.suspend().expect_future();
+    assert_eq!(f.try_get(), FutureState::Pending);
+    f.cancel();
+}
+
+/// `resume_all` skips cancelled waiters without spending clones on them
+/// (cell-coverage semantics: claims are bounded by the snapshot).
+#[test]
+fn resume_all_skips_cancelled_waiters() {
+    let cqs = simple();
+    let futures: Vec<_> = (0..6).map(|_| cqs.suspend().expect_future()).collect();
+    assert!(futures[1].cancel());
+    assert!(futures[4].cancel());
+    assert_eq!(cqs.resume_all(5), 4);
+    for (i, f) in futures.into_iter().enumerate() {
+        if i != 1 && i != 4 {
+            assert_eq!(f.wait(), Ok(5));
+        }
+    }
+}
+
+/// `completed_resumes` tracks deliveries through the sequential path too,
+/// and stays behind `resume_count` whenever attempts fail.
+#[test]
+fn completed_resumes_is_attempts_minus_failures() {
+    let cqs = simple();
+    let f = cqs.suspend().expect_future();
+    assert!(f.cancel());
+    assert_eq!(cqs.resume(9), Err(9));
+    assert_eq!(cqs.resume_count(), 1, "the failed attempt still counts");
+    assert_eq!(cqs.completed_resumes(), 0, "nothing was delivered");
+    let g = cqs.suspend().expect_future();
+    cqs.resume(1).unwrap();
+    assert_eq!(g.wait(), Ok(1));
+    assert_eq!(cqs.resume_count(), 2);
+    assert_eq!(cqs.completed_resumes(), 1);
+}
+
+/// Batched resumes racing concurrent suspenders: every value is received
+/// exactly once (the batched analogue of `concurrent_value_conservation`).
+#[test]
+fn concurrent_batched_value_conservation() {
+    const SUSPENDERS: usize = 4;
+    const BATCHES: usize = 500;
+    const BATCH: usize = 8;
+
+    let cqs: Arc<Cqs<u64>> = Arc::new(Cqs::new(
+        CqsConfig::new().segment_size(4),
+        SimpleCancellation,
+    ));
+    let received_sum = Arc::new(AtomicUsize::new(0));
+    let received_count = Arc::new(AtomicUsize::new(0));
+
+    let mut joins = Vec::new();
+    for _ in 0..SUSPENDERS {
+        let cqs = Arc::clone(&cqs);
+        let sum = Arc::clone(&received_sum);
+        let count = Arc::clone(&received_count);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..BATCHES * BATCH / SUSPENDERS {
+                let v = cqs.suspend().expect_future().wait().unwrap();
+                sum.fetch_add(v as usize, Ordering::SeqCst);
+                count.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    joins.push({
+        let cqs = Arc::clone(&cqs);
+        std::thread::spawn(move || {
+            for b in 0..BATCHES as u64 {
+                let base = b * BATCH as u64;
+                let failed = cqs.resume_n(base..base + BATCH as u64, BATCH);
+                assert!(failed.is_empty(), "no cancellations in this test");
+            }
+        })
+    });
+    for j in joins {
+        j.join().unwrap();
+    }
+    let n = BATCHES * BATCH;
+    assert_eq!(received_count.load(Ordering::SeqCst), n);
+    assert_eq!(
+        received_sum.load(Ordering::SeqCst),
+        n * (n - 1) / 2,
+        "values lost or duplicated by batched resumption"
+    );
+}
+
+/// Several `resume_n` batches in flight at once (the semaphore
+/// `release_n` shape): claims must partition cleanly between batches.
+#[test]
+fn concurrent_competing_batch_resumers() {
+    const RESUMERS: usize = 4;
+    const SUSPENDERS: usize = 4;
+    const BATCHES: usize = 250;
+    const BATCH: usize = 4;
+
+    let cqs: Arc<Cqs<u64>> = Arc::new(Cqs::new(
+        CqsConfig::new().segment_size(4),
+        SimpleCancellation,
+    ));
+    let received_sum = Arc::new(AtomicUsize::new(0));
+    let received_count = Arc::new(AtomicUsize::new(0));
+
+    let mut joins = Vec::new();
+    for _ in 0..SUSPENDERS {
+        let cqs = Arc::clone(&cqs);
+        let sum = Arc::clone(&received_sum);
+        let count = Arc::clone(&received_count);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..RESUMERS * BATCHES * BATCH / SUSPENDERS {
+                let v = cqs.suspend().expect_future().wait().unwrap();
+                sum.fetch_add(v as usize, Ordering::SeqCst);
+                count.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    for t in 0..RESUMERS {
+        let cqs = Arc::clone(&cqs);
+        joins.push(std::thread::spawn(move || {
+            for b in 0..BATCHES as u64 {
+                let base = (t as u64 * BATCHES as u64 + b) * BATCH as u64;
+                let failed = cqs.resume_n(base..base + BATCH as u64, BATCH);
+                assert!(failed.is_empty(), "no cancellations in this test");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let n = RESUMERS * BATCHES * BATCH;
+    assert_eq!(received_count.load(Ordering::SeqCst), n);
+    assert_eq!(
+        received_sum.load(Ordering::SeqCst),
+        n * (n - 1) / 2,
+        "values lost or duplicated across competing batches"
+    );
+}
+
 /// `CqsConfig::wait_spin`/`wait_yields` are stamped onto minted futures;
 /// untouched configs defer to the process-wide default.
 #[test]

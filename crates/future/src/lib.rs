@@ -181,6 +181,147 @@ struct WakerSlot {
     task_waker: Option<std::task::Waker>,
 }
 
+/// A wake-up extracted from a completed (or cancelled) [`Request`] but not
+/// fired yet.
+///
+/// The batched resumption path in `cqs-core` completes many requests in one
+/// segment traversal; running wakers inline there would execute arbitrary
+/// user callbacks (and `unpark` syscalls) while the resumer still holds an
+/// epoch pin. Instead, [`Request::complete_deferred`] /
+/// [`Request::cancel_deferred`] return the extracted handles as a
+/// `PendingWake`, collected into a [`WakeBatch`] and fired after the
+/// traversal ends.
+///
+/// The request itself is already in its terminal state by the time a
+/// `PendingWake` exists — only the *notification* is deferred. A waiter
+/// that polls (or re-checks after registering) observes the completion
+/// immediately; deferral can never turn a completed request back into a
+/// pending one.
+#[derive(Default)]
+pub struct PendingWake {
+    thread: Option<Thread>,
+    callback: Option<Box<dyn FnOnce() + Send>>,
+    task_waker: Option<std::task::Waker>,
+}
+
+impl PendingWake {
+    /// Whether there is nothing to wake (no thread parked, no callback or
+    /// task waker registered at extraction time).
+    pub fn is_empty(&self) -> bool {
+        self.thread.is_none() && self.callback.is_none() && self.task_waker.is_none()
+    }
+
+    /// Fires the extracted wake-ups: unparks the thread, runs the callback,
+    /// wakes the task — whichever were registered.
+    pub fn fire(self) {
+        if let Some(t) = self.thread {
+            cqs_stats::bump!(unparks);
+            t.unpark();
+        }
+        if let Some(cb) = self.callback {
+            cb();
+        }
+        if let Some(w) = self.task_waker {
+            w.wake();
+        }
+    }
+}
+
+impl fmt::Debug for PendingWake {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingWake")
+            .field("thread", &self.thread.is_some())
+            .field("callback", &self.callback.is_some())
+            .field("task_waker", &self.task_waker.is_some())
+            .finish()
+    }
+}
+
+/// Inline capacity of a [`WakeBatch`]; batches beyond this many non-empty
+/// wakes spill to the heap (counted by [`wake_batch_spill_count`]).
+pub const WAKE_BATCH_INLINE: usize = 8;
+
+/// Count of `WakeBatch`es that outgrew their inline capacity and allocated.
+/// Always compiled (independent of the `stats` feature): the benchmark
+/// report uses it to flag runs whose batches overflow to heap.
+static WAKE_BATCH_SPILLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`WakeBatch`]es that spilled past [`WAKE_BATCH_INLINE`] onto
+/// the heap since the process started (one increment per batch, however far
+/// it spilled).
+pub fn wake_batch_spill_count() -> u64 {
+    WAKE_BATCH_SPILLS.load(Ordering::Relaxed)
+}
+
+/// An on-stack collection of [`PendingWake`]s, fired together after a batch
+/// traversal completes.
+///
+/// Holds up to [`WAKE_BATCH_INLINE`] wakes without allocating; larger
+/// batches spill into a `Vec` (counted once per batch by
+/// [`wake_batch_spill_count`]). Dropping a non-empty batch fires the
+/// remaining wakes — a panic mid-traversal must not strand waiters whose
+/// requests were already completed.
+#[derive(Default, Debug)]
+pub struct WakeBatch {
+    inline: [Option<PendingWake>; WAKE_BATCH_INLINE],
+    inline_len: usize,
+    spill: Vec<PendingWake>,
+}
+
+impl WakeBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WakeBatch::default()
+    }
+
+    /// Adds a wake to the batch. Empty wakes (nobody registered yet — the
+    /// waiter will observe the terminal state on its next poll) are dropped
+    /// instead of occupying a slot.
+    pub fn push(&mut self, wake: PendingWake) {
+        if wake.is_empty() {
+            return;
+        }
+        if self.inline_len < WAKE_BATCH_INLINE {
+            self.inline[self.inline_len] = Some(wake);
+            self.inline_len += 1;
+        } else {
+            if self.spill.is_empty() {
+                WAKE_BATCH_SPILLS.fetch_add(1, Ordering::Relaxed);
+            }
+            self.spill.push(wake);
+        }
+    }
+
+    /// Number of pending wakes held.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// Whether no wakes are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fires every held wake, in insertion order, leaving the batch empty.
+    pub fn fire(&mut self) {
+        for slot in self.inline.iter_mut().take(self.inline_len) {
+            if let Some(wake) = slot.take() {
+                wake.fire();
+            }
+        }
+        self.inline_len = 0;
+        for wake in self.spill.drain(..) {
+            wake.fire();
+        }
+    }
+}
+
+impl Drop for WakeBatch {
+    fn drop(&mut self) {
+        self.fire();
+    }
+}
+
 /// A suspended request: the waiter object stored in a CQS cell (paper,
 /// Listing 9 `Request<R>`).
 ///
@@ -274,6 +415,37 @@ impl<T> Request<T> {
         Ok(())
     }
 
+    /// Like [`complete`](Request::complete), but instead of waking the
+    /// waiter inline, returns its extracted wake handles as a
+    /// [`PendingWake`] for the caller to [`fire`](PendingWake::fire) later
+    /// (typically via a [`WakeBatch`]).
+    ///
+    /// The request is fully `COMPLETED` when this returns — a polling
+    /// waiter can take the value immediately; only the notification is
+    /// deferred.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the request was already cancelled or
+    /// completed.
+    pub fn complete_deferred(&self, value: T) -> Result<PendingWake, T> {
+        cqs_chaos::inject!("future.complete.pre-cas");
+        if self
+            .state
+            .compare_exchange(PENDING, COMPLETING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(value);
+        }
+        cqs_chaos::inject!("future.complete.completing-window");
+        // SAFETY: the CAS above made us the unique completer; no one reads
+        // the slot until they observe COMPLETED.
+        unsafe { *self.value.get() = Some(value) };
+        self.state.store(COMPLETED, Ordering::Release);
+        cqs_chaos::inject!("future.complete.pre-extract-wake");
+        Ok(self.extract_wake())
+    }
+
     /// Atomically aborts the request if it is still pending. On success the
     /// cancellation handler (if any) is invoked on the calling thread.
     ///
@@ -292,6 +464,27 @@ impl<T> Request<T> {
         self.run_handler_once();
         self.wake();
         true
+    }
+
+    /// Like [`cancel`](Request::cancel), but defers the waiter wake-up: on
+    /// success the cancellation handler still runs inline (its cell-state
+    /// bookkeeping must happen before anyone else traverses the queue), and
+    /// the extracted wake handles come back as a [`PendingWake`].
+    ///
+    /// Used by the batched `Cqs::close()` sweep, which cancels every queued
+    /// waiter in one traversal and fires the wakes afterwards.
+    pub fn cancel_deferred(&self) -> Option<PendingWake> {
+        cqs_chaos::inject!("future.cancel.pre-cas");
+        if self
+            .state
+            .compare_exchange(PENDING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        cqs_chaos::inject!("future.cancel.pre-handler");
+        self.run_handler_once();
+        Some(self.extract_wake())
     }
 
     /// Whether the request reached a terminal state.
@@ -335,23 +528,18 @@ impl<T> Request<T> {
     }
 
     fn wake(&self) {
-        let (thread, callback, task_waker) = {
-            let mut slot = self.waker.lock().unwrap();
-            (
-                slot.thread.take(),
-                slot.callback.take(),
-                slot.task_waker.take(),
-            )
-        };
-        if let Some(t) = thread {
-            cqs_stats::bump!(unparks);
-            t.unpark();
-        }
-        if let Some(cb) = callback {
-            cb();
-        }
-        if let Some(w) = task_waker {
-            w.wake();
+        self.extract_wake().fire();
+    }
+
+    /// Empties the waker slot into a [`PendingWake`]. A waiter registering
+    /// *after* this extraction re-checks the (already terminal) state before
+    /// parking, so an empty extraction can never strand it.
+    fn extract_wake(&self) -> PendingWake {
+        let mut slot = self.waker.lock().unwrap();
+        PendingWake {
+            thread: slot.thread.take(),
+            callback: slot.callback.take(),
+            task_waker: slot.task_waker.take(),
         }
     }
 }
@@ -936,5 +1124,127 @@ mod edge_tests {
         drop(f);
         r.complete("late".to_string()).unwrap();
         assert!(r.is_terminated());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// `complete_deferred` fully completes the request (a poller takes the
+    /// value) but does not run the registered callback until `fire()`.
+    #[test]
+    fn complete_deferred_separates_completion_from_wake() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let fired2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        let wake = r.complete_deferred(5u32).unwrap();
+        assert!(!wake.is_empty());
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "wake ran before fire()");
+        assert!(r.is_terminated());
+        wake.fire();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(f.wait(), Ok(5));
+    }
+
+    /// `complete_deferred` loses the race against cancel just like
+    /// `complete` does.
+    #[test]
+    fn complete_deferred_respects_cancel() {
+        let r: Request<u32> = Request::new();
+        assert!(r.cancel());
+        assert_eq!(r.complete_deferred(9).unwrap_err(), 9);
+    }
+
+    /// `cancel_deferred` runs the cancellation handler inline but defers
+    /// the waiter notification.
+    #[test]
+    fn cancel_deferred_runs_handler_inline() {
+        let handler_runs = Arc::new(AtomicUsize::new(0));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let h = Arc::clone(&handler_runs);
+        r.set_cancellation_handler(Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let fired2 = Arc::clone(&fired);
+        f.on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        let wake = r.cancel_deferred().expect("first cancel wins");
+        assert_eq!(handler_runs.load(Ordering::SeqCst), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        wake.fire();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(r.cancel_deferred().is_none(), "second cancel loses");
+    }
+
+    /// A deferred completion never strands a parked waiter: the thread
+    /// either sees COMPLETED on its post-registration re-check or is
+    /// unparked by the later `fire()`.
+    #[test]
+    fn deferred_wake_reaches_parked_waiter() {
+        let r = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let waiter = std::thread::spawn(move || f.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        let wake = r.complete_deferred(7u32).unwrap();
+        wake.fire();
+        assert_eq!(waiter.join().unwrap(), Ok(7));
+    }
+
+    /// Non-empty wakes past the inline capacity spill to the heap and bump
+    /// the global spill counter exactly once per batch.
+    #[test]
+    fn wake_batch_spills_past_inline_capacity() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let before = wake_batch_spill_count();
+        let mut batch = WakeBatch::new();
+        for _ in 0..WAKE_BATCH_INLINE + 3 {
+            let r: Arc<Request<u32>> = Arc::new(Request::new());
+            let fired2 = Arc::clone(&fired);
+            CqsFuture::suspended(Arc::clone(&r)).on_ready(move || {
+                fired2.fetch_add(1, Ordering::SeqCst);
+            });
+            batch.push(r.complete_deferred(0).unwrap());
+        }
+        assert_eq!(batch.len(), WAKE_BATCH_INLINE + 3);
+        assert_eq!(wake_batch_spill_count(), before + 1);
+        batch.fire();
+        assert!(batch.is_empty());
+        assert_eq!(fired.load(Ordering::SeqCst), WAKE_BATCH_INLINE + 3);
+    }
+
+    /// Empty wakes do not occupy batch slots (and cannot cause spills).
+    #[test]
+    fn empty_wakes_are_dropped() {
+        let mut batch = WakeBatch::new();
+        for _ in 0..100 {
+            let r: Arc<Request<u32>> = Arc::new(Request::new());
+            batch.push(r.complete_deferred(0).unwrap());
+        }
+        assert!(batch.is_empty(), "nobody registered, nothing to wake");
+    }
+
+    /// Dropping a batch fires its remaining wakes (panic-safety net).
+    #[test]
+    fn dropping_a_batch_fires_it() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut batch = WakeBatch::new();
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let fired2 = Arc::clone(&fired);
+        CqsFuture::suspended(Arc::clone(&r)).on_ready(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        batch.push(r.complete_deferred(0).unwrap());
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        drop(batch);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 }

@@ -13,8 +13,9 @@
 //!   "schema": "cqs-bench/v1",
 //!   "meta": { "scale": "quick", "threads": [1, 2], "vcpus": 8,
 //!             "git_rev": "abc1234", "chaos": false, "stats": true,
-//!             "warmup": 1, "timed": 5 },
+//!             "warmup": 1, "timed": 5, "wake_batch_spills": 0 },
 //!   "figures": [ { "name": "fig5", "title": "...", "x_label": "threads",
+//!     "wall_clock_ms": 1234.5,
 //!     "series": [ { "name": "cqs-barrier", "points": [
 //!       { "x": 1, "median_ns": 103.0, "min_ns": 99.0, "max_ns": 120.0,
 //!         "p95_ns": 120.0, "rel_iqr": 0.04, "noisy": false,
@@ -50,6 +51,13 @@ pub struct RunMeta {
     pub warmup: usize,
     /// Timed runs per point.
     pub timed: usize,
+    /// How many times a deferred-wake batch overflowed its inline buffer
+    /// and spilled to the heap during the run (`cqs-future` keeps the
+    /// process-wide count). The harness crate does not depend on
+    /// `cqs-future`, so [`RunMeta::current`] initializes this to zero and
+    /// the bench binary fills it in after the figures have run. Old
+    /// reports without the field still validate.
+    pub wake_batch_spills: u64,
 }
 
 impl RunMeta {
@@ -77,6 +85,7 @@ impl RunMeta {
             stats: cqs_stats::enabled(),
             warmup: repeats.warmup,
             timed: repeats.timed,
+            wake_batch_spills: 0,
         }
     }
 }
@@ -91,6 +100,10 @@ pub struct FigureReport {
     pub title: String,
     /// Label of the sweep variable.
     pub x_label: String,
+    /// Wall-clock time spent producing this figure, in milliseconds
+    /// (warmup runs and drains included — the cost of regenerating the
+    /// figure, not a per-op statistic).
+    pub wall_clock_ms: f64,
     /// The measured series.
     pub series: Vec<Series>,
 }
@@ -190,8 +203,12 @@ impl BenchReport {
         escape_json(&self.meta.git_rev, &mut out);
         let _ = write!(
             out,
-            ",\"chaos\":{},\"stats\":{},\"warmup\":{},\"timed\":{}}}",
-            self.meta.chaos, self.meta.stats, self.meta.warmup, self.meta.timed
+            ",\"chaos\":{},\"stats\":{},\"warmup\":{},\"timed\":{},\"wake_batch_spills\":{}}}",
+            self.meta.chaos,
+            self.meta.stats,
+            self.meta.warmup,
+            self.meta.timed,
+            self.meta.wake_batch_spills
         );
         out.push_str(",\"figures\":[");
         for (i, fig) in self.figures.iter().enumerate() {
@@ -204,6 +221,8 @@ impl BenchReport {
             escape_json(&fig.title, &mut out);
             out.push_str(",\"x_label\":");
             escape_json(&fig.x_label, &mut out);
+            out.push_str(",\"wall_clock_ms\":");
+            number(fig.wall_clock_ms, &mut out);
             out.push_str(",\"series\":[");
             for (j, s) in fig.series.iter().enumerate() {
                 if j > 0 {
@@ -668,6 +687,16 @@ pub fn validate_report(doc: &Json) -> Vec<String> {
                     err(format!("meta.{key} must be a number"));
                 }
             }
+            // Added in v1 reports from PR 5; absent in older files, so only
+            // type-checked when present.
+            if let Some(v) = meta.get("wake_batch_spills") {
+                match v.as_f64() {
+                    Some(n) if n.is_finite() && n >= 0.0 => {}
+                    other => err(format!(
+                        "meta.wake_batch_spills must be a non-negative number, got {other:?}"
+                    )),
+                }
+            }
             match meta.get("threads").and_then(Json::as_arr) {
                 None => err("meta.threads must be an array".to_string()),
                 Some(threads) => {
@@ -708,6 +737,16 @@ pub fn validate_report(doc: &Json) -> Vec<String> {
         for key in ["title", "x_label"] {
             if fig.get(key).and_then(Json::as_str).is_none() {
                 err(format!("figure {fig_name}: {key} must be a string"));
+            }
+        }
+        // Also a PR 5 addition — tolerated missing for older reports.
+        if let Some(v) = fig.get("wall_clock_ms") {
+            match v.as_f64() {
+                Some(n) if n.is_finite() && n >= 0.0 => {}
+                other => err(format!(
+                    "figure {fig_name}: wall_clock_ms must be a non-negative number, \
+                     got {other:?}"
+                )),
             }
         }
         let series = match fig.get("series").and_then(Json::as_arr) {
@@ -918,11 +957,13 @@ mod tests {
                 stats: false,
                 warmup: 1,
                 timed: 3,
+                wake_batch_spills: 0,
             },
             figures: vec![FigureReport {
                 name: "fig5".to_string(),
                 title: "Fig 5 \"barrier\"".to_string(),
                 x_label: "threads".to_string(),
+                wall_clock_ms: 42.5,
                 series: vec![s],
             }],
         }
@@ -949,6 +990,46 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap();
         assert_eq!(title, "Fig 5 \"barrier\"");
+    }
+
+    #[test]
+    fn new_metadata_fields_survive_the_round_trip() {
+        let mut report = sample_report();
+        report.meta.wake_batch_spills = 7;
+        let doc = Json::parse(&report.to_json()).unwrap();
+        assert!(validate_report(&doc).is_empty());
+        assert_eq!(
+            doc.get("meta")
+                .and_then(|m| m.get("wake_batch_spills"))
+                .and_then(Json::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            doc.get("figures").and_then(Json::as_arr).unwrap()[0]
+                .get("wall_clock_ms")
+                .and_then(Json::as_f64),
+            Some(42.5)
+        );
+    }
+
+    #[test]
+    fn reports_without_new_metadata_fields_still_validate() {
+        // A pre-PR-5 report: no wake_batch_spills, no wall_clock_ms.
+        let json = r#"{"schema":"cqs-bench/v1",
+            "meta":{"scale":"quick","threads":[1],"vcpus":1,"git_rev":"x",
+                    "chaos":false,"stats":false,"warmup":0,"timed":1},
+            "figures":[{"name":"f","title":"t","x_label":"x",
+              "series":[{"name":"s","points":[
+                {"x":1,"median_ns":1.0,"min_ns":1.0,"max_ns":1.0,"p95_ns":1.0,
+                 "rel_iqr":0.0,"noisy":false,"samples_ns":[1.0],"counters":{}}]}]}]}"#;
+        let doc = Json::parse(json).unwrap();
+        assert!(validate_report(&doc).is_empty());
+        // But a present-and-malformed field is rejected.
+        let bad = json.replace("\"timed\":1", "\"timed\":1,\"wake_batch_spills\":-1");
+        let doc = Json::parse(&bad).unwrap();
+        assert!(validate_report(&doc)
+            .iter()
+            .any(|e| e.contains("wake_batch_spills")));
     }
 
     #[test]

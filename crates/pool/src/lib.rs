@@ -160,6 +160,17 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
         self.shared.put(element);
     }
 
+    /// Returns a whole batch of elements at once: a single `fetch_add` on
+    /// the size word, and every waiting taker the batch covers is served in
+    /// **one** batched CQS traversal ([`cqs_core::Cqs::resume_n`]) whose
+    /// wake-ups fire only after the sweep. Leftover elements are stored in
+    /// the backend. The bulk analogue of calling [`put`](Self::put) per
+    /// element — useful when refilling a drained pool (e.g. re-seeding
+    /// connections after a reconnect) with many takers parked.
+    pub fn put_many(&self, elements: impl IntoIterator<Item = E>) {
+        self.shared.put_many(elements.into_iter().collect());
+    }
+
     /// Retrieves an element: immediately if one is stored, otherwise the
     /// returned future completes when a [`put`](Self::put) hands one over
     /// (FIFO among waiting takers). Cancel the future to abort waiting.
@@ -225,6 +236,33 @@ impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
                 // A racing take() discovered our increment but broke the
                 // slot; its decrement and our increment cancel out, restart.
                 Err(e) => element = e,
+            }
+        }
+    }
+
+    fn put_many(&self, elements: Vec<E>) {
+        let k = elements.len() as i64;
+        if k == 0 {
+            return;
+        }
+        let s = self.size.fetch_add(k, Ordering::SeqCst);
+        cqs_watch::gauge!(self.cqs.watch_id(), "size", s + k);
+        // Exactly the increments that landed below zero belong to waiting
+        // takers; serve them all in one batched traversal.
+        let to_waiters = (-s).clamp(0, k) as usize;
+        let mut elements = elements.into_iter();
+        if to_waiters > 0 {
+            let failed = self
+                .cqs
+                .resume_n(elements.by_ref().take(to_waiters), to_waiters);
+            debug_assert!(failed.is_empty(), "smart async resume cannot fail");
+        }
+        for element in elements {
+            // The remaining increments announced stored elements; insert
+            // them. A broken slot means a racing take() absorbed this
+            // element's increment — `put` restarts with a fresh one.
+            if let Err(e) = self.backend.try_insert(element) {
+                self.put(e);
             }
         }
     }
@@ -387,6 +425,60 @@ mod tests {
             back.insert(pool.take().wait().unwrap());
         }
         assert_eq!(back.len(), ELEMENTS as usize, "elements lost or duplicated");
+    }
+
+    /// `put_many` serves every parked taker in one batched traversal and
+    /// stores the leftovers.
+    #[test]
+    fn put_many_serves_waiters_and_stores_the_rest() {
+        let pool: QueuePool<u64> = QueuePool::new();
+        let f1 = pool.take();
+        let f2 = pool.take();
+        pool.put_many([10, 11, 12, 13]);
+        assert_eq!(f1.wait(), Ok(10), "takers are FIFO");
+        assert_eq!(f2.wait(), Ok(11));
+        assert_eq!(pool.len(), 2, "leftovers are stored");
+        let mut rest = HashSet::new();
+        rest.insert(pool.take().wait().unwrap());
+        rest.insert(pool.take().wait().unwrap());
+        assert_eq!(rest, HashSet::from([12, 13]));
+        pool.put_many(std::iter::empty()); // no-op
+        assert!(pool.is_empty());
+    }
+
+    /// Batched refills racing concurrent takers never lose or duplicate an
+    /// element.
+    #[test]
+    fn put_many_conserves_elements_under_concurrency() {
+        const TAKERS: usize = 4;
+        const ROUNDS: usize = 250;
+        const BATCH: usize = 8;
+        let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
+        let mut joins = Vec::new();
+        for _ in 0..TAKERS {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for _ in 0..ROUNDS * BATCH / TAKERS {
+                    sum += pool.take().wait().unwrap();
+                }
+                sum
+            }));
+        }
+        let putter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for r in 0..ROUNDS as u64 {
+                    let base = r * BATCH as u64;
+                    pool.put_many(base..base + BATCH as u64);
+                }
+            })
+        };
+        putter.join().unwrap();
+        let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let n = (ROUNDS * BATCH) as u64;
+        assert_eq!(total, n * (n - 1) / 2, "elements lost or duplicated");
+        assert!(pool.is_empty());
     }
 
     #[test]

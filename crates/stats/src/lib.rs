@@ -203,6 +203,13 @@ define_counters! {
     epoch_defers,
     /// Deferred destructors actually executed by the epoch engine.
     epoch_collects,
+    /// Batched resumption traversals (`Cqs::resume_n` / `resume_all` /
+    /// the batched `close()` sweep) — one per traversal, however many
+    /// cells it visited.
+    batch_resumes,
+    /// Waiters completed (or close-cancelled) by batched traversals; the
+    /// ratio to `batch_resumes` is the realized batch width.
+    batch_waiters,
 }
 
 /// Increments a named counter from the block above.
@@ -215,6 +222,9 @@ macro_rules! bump {
     ($name:ident) => {
         $crate::counters::$name.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     };
+    ($name:ident, $n:expr) => {
+        $crate::counters::$name.fetch_add($n as u64, std::sync::atomic::Ordering::Relaxed);
+    };
 }
 
 /// Increments a named counter from the block above.
@@ -225,6 +235,7 @@ macro_rules! bump {
 #[macro_export]
 macro_rules! bump {
     ($name:ident) => {};
+    ($name:ident, $n:expr) => {};
 }
 
 /// Whether the `stats` feature was compiled in (i.e. whether [`bump!`]

@@ -95,15 +95,15 @@ impl Barrier {
                 inner: self.cqs.suspend().expect_future(),
             };
         }
-        // Last arrival: wake everyone who suspended before us. A resume
-        // landing on the cell of a party that stopped waiting (timeout, or
-        // a close racing with this sweep) fails in simple-cancellation
-        // style; that party needs no wake-up, so the failure is simply
-        // dropped — each resume still consumes exactly one cell, keeping
-        // the counters balanced.
-        for _ in 0..self.parties - 1 {
-            let _ = self.cqs.resume(());
-        }
+        // Last arrival: wake everyone who suspended before us, in one
+        // batched traversal (single counter claim, wake-ups fired after
+        // the sweep). A value landing on the cell of a party that stopped
+        // waiting (timeout, or a close racing with this sweep) comes back
+        // in the failed vector; that party needs no wake-up, so the
+        // failures are dropped — each claim still consumed exactly one
+        // cell, keeping the counters balanced.
+        let n = self.parties - 1;
+        let _ = self.cqs.resume_n(std::iter::repeat_n((), n), n);
         BarrierFuture {
             inner: CqsFuture::immediate(()),
         }
@@ -248,11 +248,11 @@ impl CyclicBarrier {
                 inner: cqs.suspend().expect_future(),
             };
         }
-        // See `Barrier::arrive`: a failed resume belongs to a party that
-        // stopped waiting and is dropped on purpose.
-        for _ in 0..self.parties - 1 {
-            let _ = cqs.resume(());
-        }
+        // See `Barrier::arrive`: one batched traversal; a failed value
+        // belongs to a party that stopped waiting and is dropped on
+        // purpose.
+        let n = self.parties - 1;
+        let _ = cqs.resume_n(std::iter::repeat_n((), n), n);
         BarrierFuture {
             inner: CqsFuture::immediate(()),
         }

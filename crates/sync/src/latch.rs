@@ -153,11 +153,16 @@ impl CountDownLatch {
                 .compare_exchange(w, w | DONE_BIT, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                for _ in 0..w {
-                    self.cqs
-                        .resume(())
-                        .unwrap_or_else(|_| unreachable!("smart resume cannot fail"));
-                }
+                // One batched traversal for all `w` registered waiters.
+                // `resume_n` (not `resume_all`) because waiters register in
+                // `waiters` *before* suspending in the queue: a snapshot of
+                // the suspension counter could miss a registered-but-not-
+                // yet-suspended waiter, while `w` claims are parked for it.
+                // Smart mode conserves tokens, so no token can fail.
+                let failed = self
+                    .cqs
+                    .resume_n(std::iter::repeat_n((), w as usize), w as usize);
+                assert!(failed.is_empty(), "smart resume cannot fail");
                 return;
             }
         }
@@ -200,11 +205,12 @@ impl SimpleCancelLatch {
                     .compare_exchange(w, w | DONE_BIT, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    for _ in 0..w {
-                        // Simple cancellation: resumes targeting cancelled
-                        // waiters fail; that is fine, the token is void.
-                        let _ = self.cqs.resume(());
-                    }
+                    // One batched traversal. Simple cancellation: tokens
+                    // paired with cancelled waiters come back in the
+                    // failed vector; that is fine, the token is void.
+                    let _ = self
+                        .cqs
+                        .resume_n(std::iter::repeat_n((), w as usize), w as usize);
                     return;
                 }
             }

@@ -217,11 +217,15 @@ impl RwShared {
             s
         });
         if old.waiting_readers > 0 {
-            for _ in 0..old.waiting_readers {
-                self.readers
-                    .resume(())
-                    .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
-            }
+            // Batch-grant the whole reader cohort in one traversal; the
+            // wake-ups fire only after the sweep, so no freshly-granted
+            // reader runs while we hold a segment pin. `resume_n` (not
+            // `resume_all`): the grant count is the state word's
+            // `waiting_readers`, registered before each reader suspends,
+            // so a queue-counter snapshot could undercount.
+            let n = old.waiting_readers as usize;
+            let failed = self.readers.resume_n(std::iter::repeat_n((), n), n);
+            assert!(failed.is_empty(), "smart async resume cannot fail");
         } else if new.writer_active {
             self.writers
                 .resume(())

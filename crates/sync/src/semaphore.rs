@@ -338,6 +338,46 @@ impl Semaphore {
             std::thread::yield_now();
         }
     }
+
+    /// Returns `k` permits at once: one `fetch_add(k)` on the state word,
+    /// and the waiters those permits uncover are resumed in a **single
+    /// batched traversal** ([`Cqs::resume_n`]) whose wake-ups fire only
+    /// after the sweep — the bulk analogue of calling
+    /// [`release`](Semaphore::release) `k` times, minus `k − 1` counter
+    /// round-trips. Used by `BlockingPool` teardown to hand every parked
+    /// worker its shutdown permit at once.
+    pub fn release_n(&self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let k = k as i64;
+        let s = self.state.fetch_add(k, Ordering::SeqCst);
+        cqs_watch::gauge!(self.cqs.watch_id(), "state", s + k);
+        // See `release` for why the overshoot bound only holds in
+        // asynchronous mode.
+        debug_assert!(
+            self.sync_mode || s + k <= self.permits as i64,
+            "released more permits than were acquired"
+        );
+        // Exactly the increments that landed below zero belong to waiters;
+        // the rest are banked as free permits.
+        let waiters = (-s).clamp(0, k) as usize;
+        if waiters == 0 {
+            return;
+        }
+        let failed = self.cqs.resume_n(std::iter::repeat_n((), waiters), waiters);
+        debug_assert!(
+            failed.is_empty() || self.sync_mode,
+            "smart async resume cannot fail"
+        );
+        for _ in failed {
+            // Synchronous mode: this token's rendezvous broke. `release`'s
+            // own loop performs the Listing-16 refund increment and
+            // retries, which is exactly the per-permit recovery we need.
+            std::thread::yield_now();
+            self.release();
+        }
+    }
 }
 
 /// RAII guard returned by [`Semaphore::acquire_blocking`]; releases the
@@ -388,6 +428,84 @@ mod tests {
     #[should_panic(expected = "at least one permit")]
     fn zero_permits_rejected() {
         let _ = Semaphore::new(0);
+    }
+
+    /// `release_n` splits its permits between parked waiters (one batched
+    /// traversal) and the free-permit bank.
+    #[test]
+    fn release_n_serves_waiters_then_banks_the_rest() {
+        let s = Semaphore::new(8);
+        for _ in 0..8 {
+            s.acquire().wait().unwrap();
+        }
+        let parked: Vec<_> = (0..3).map(|_| s.acquire()).collect();
+        assert_eq!(s.available_permits(), 0);
+        // 5 permits: 3 wake the parked waiters, 2 go to the bank.
+        s.release_n(5);
+        for f in parked {
+            f.wait().unwrap();
+        }
+        assert_eq!(s.available_permits(), 2);
+        s.release_n(0); // no-op
+        assert_eq!(s.available_permits(), 2);
+    }
+
+    /// `release_n(k)` is observationally the same as `k` single releases,
+    /// under concurrent acquirers. Releasers only return permits that were
+    /// actually acquired (tracked through a credit counter), honouring the
+    /// semaphore's cap contract, so acquirers routinely park and get woken
+    /// by batched releases.
+    #[test]
+    fn release_n_conserves_permits_under_contention() {
+        const PERMITS: usize = 8;
+        const ACQUIRERS: usize = 4;
+        const RELEASERS: usize = 4;
+        const BATCH: usize = 4;
+        const PER_ACQUIRER: usize = 1_200; // divisible by BATCH * RELEASERS
+        let s = Arc::new(Semaphore::new(PERMITS));
+        let credits = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..ACQUIRERS {
+            let s = Arc::clone(&s);
+            let credits = Arc::clone(&credits);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..PER_ACQUIRER {
+                    s.acquire().wait().unwrap();
+                    credits.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        let total = ACQUIRERS * PER_ACQUIRER;
+        for _ in 0..RELEASERS {
+            let s = Arc::clone(&s);
+            let credits = Arc::clone(&credits);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..total / RELEASERS / BATCH {
+                    loop {
+                        let c = credits.load(Ordering::SeqCst);
+                        if c >= BATCH as i64
+                            && credits
+                                .compare_exchange(
+                                    c,
+                                    c - BATCH as i64,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                )
+                                .is_ok()
+                        {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    s.release_n(BATCH);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Every acquired permit was batch-released back: the bank is full.
+        assert_eq!(s.available_permits(), PERMITS);
     }
 
     /// Deterministic replay of the synchronous-mode interleaving in which

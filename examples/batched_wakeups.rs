@@ -1,0 +1,124 @@
+//! Demonstrates the batched wakeup paths: `Cqs::resume_n` delivers n
+//! values in one traversal (with the deferred-wake guarantee),
+//! `Cqs::resume_all` broadcasts to every live waiter, and the built-on
+//! primitives — `Semaphore::release_n`, pool `put_many`, the final
+//! `CountDownLatch::count_down` — release whole cohorts with one call.
+//!
+//! Run with `--features chaos` (optionally `CQS_CHAOS_SEED=<n>`) to
+//! stretch the batch-traversal race windows with fault injection.
+
+use cqs::{CountDownLatch, Cqs, CqsConfig, QueuePool, Semaphore, SimpleCancellation};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!(
+        "chaos injection: enabled={} (fired so far: {})",
+        cqs_chaos::is_enabled(),
+        cqs_chaos::fired_count()
+    );
+
+    // --- resume_n: one fetch_add + one traversal for n waiters ---------
+    let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+        CqsConfig::new().segment_size(4),
+        SimpleCancellation,
+    ));
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let waiters: Vec<_> = (0..6)
+        .map(|i| {
+            let cqs = Arc::clone(&cqs);
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || {
+                let got = cqs.suspend().expect_future().wait().unwrap();
+                delivered.fetch_add(1, Ordering::SeqCst);
+                println!("  waiter {i}: received {got}");
+                got
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50)); // let all six park
+    let failed = cqs.resume_n(100..106, 6);
+    assert!(failed.is_empty(), "no cell was cancelled: {failed:?}");
+    let mut got: Vec<u64> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        (100..106).collect::<Vec<_>>(),
+        "each value exactly once"
+    );
+    println!(
+        "resume_n(100..106, 6): all 6 delivered; completed_resumes = {}",
+        cqs.completed_resumes()
+    );
+    assert_eq!(cqs.completed_resumes(), 6);
+    assert_eq!(cqs.resume_count(), 6);
+
+    // --- resume_all: broadcast one cloned value to every live waiter ---
+    let bcast: Arc<Cqs<&'static str, SimpleCancellation>> =
+        Arc::new(Cqs::new(CqsConfig::new(), SimpleCancellation));
+    let listeners: Vec<_> = (0..4)
+        .map(|i| {
+            let bcast = Arc::clone(&bcast);
+            std::thread::spawn(move || {
+                let msg = bcast.suspend().expect_future().wait().unwrap();
+                println!("  listener {i}: {msg}");
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let woken = bcast.resume_all("shutdown imminent");
+    println!("resume_all woke {woken} listeners in one traversal");
+    assert_eq!(woken, 4);
+    for l in listeners {
+        l.join().unwrap();
+    }
+
+    // --- Semaphore::release_n: hand back a cohort of permits -----------
+    let sem = Arc::new(Semaphore::new(8));
+    for _ in 0..8 {
+        sem.acquire().wait().unwrap(); // drain every permit
+    }
+    let blocked: Vec<_> = (0..5)
+        .map(|_| {
+            let sem = Arc::clone(&sem);
+            std::thread::spawn(move || sem.acquire().wait().is_ok())
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    sem.release_n(5); // one call serves all five queued acquirers
+    assert!(blocked.into_iter().all(|t| t.join().unwrap()));
+    println!("release_n(5) served 5 queued acquirers with one traversal");
+
+    // --- put_many: refill a pool under waiting takers -------------------
+    let pool: Arc<QueuePool<u32>> = Arc::new(QueuePool::new());
+    let takers: Vec<_> = (0..3)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.take().wait().unwrap())
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    pool.put_many([7, 8, 9]);
+    let mut served: Vec<u32> = takers.into_iter().map(|t| t.join().unwrap()).collect();
+    served.sort_unstable();
+    assert_eq!(served, vec![7, 8, 9]);
+    println!("put_many([7, 8, 9]) fed 3 parked takers");
+
+    // --- the final count_down releases the whole cohort -----------------
+    let latch = Arc::new(CountDownLatch::new(1));
+    let parked: Vec<_> = (0..4)
+        .map(|_| {
+            let latch = Arc::clone(&latch);
+            std::thread::spawn(move || latch.wait())
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    latch.count_down(); // gate opens: every waiter released in one batch
+    for p in parked {
+        p.join().unwrap().unwrap();
+    }
+    println!("final count_down released 4 latch waiters at once");
+
+    println!("done (chaos points fired: {})", cqs_chaos::fired_count());
+}

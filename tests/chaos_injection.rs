@@ -193,6 +193,153 @@ mod enabled {
         cqs_chaos::disable();
     }
 
+    /// Batched resumption racing suspend and cancel: one resumer pushes
+    /// every value through `resume_n` while suspenders keep arriving and a
+    /// third of them try to abort. The batch path must neither lose a
+    /// wakeup (every non-cancelled waiter gets a value within the
+    /// deadline) nor double-resume (no value delivered twice), and each
+    /// value must end up in exactly one place — a waiter's hands or the
+    /// resumer's failed-value vector (simple mode returns the values of
+    /// cancelled cells).
+    #[test]
+    fn batch_resume_storm_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        const SUSPENDERS: usize = 3;
+        const PER_THREAD: usize = 12;
+        const K: usize = 4;
+        const TOTAL: usize = SUSPENDERS * PER_THREAD; // == ROUNDS * K
+        const ROUNDS: usize = TOTAL / K;
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+                CqsConfig::new().segment_size(4),
+                SimpleCancellation,
+            ));
+            let seen: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..TOTAL).map(|_| AtomicUsize::new(0)).collect());
+            let waiters: Vec<_> = (0..SUSPENDERS)
+                .map(|t| {
+                    let cqs = Arc::clone(&cqs);
+                    let seen = Arc::clone(&seen);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let f = cqs.suspend().expect_future();
+                            if (i + t) % 3 == 0 && f.cancel() {
+                                continue;
+                            }
+                            let v = f.wait_timeout(DEADLINE)?;
+                            let hits = seen[v as usize].fetch_add(1, Ordering::SeqCst) + 1;
+                            assert_eq!(hits, 1, "value {v} delivered {hits} times");
+                        }
+                        Ok::<(), Cancelled>(())
+                    })
+                })
+                .collect();
+            let resumer = {
+                let cqs = Arc::clone(&cqs);
+                std::thread::spawn(move || {
+                    let mut failed = Vec::new();
+                    for round in 0..ROUNDS {
+                        let base = (round * K) as u64;
+                        failed.extend(cqs.resume_n(base..base + K as u64, K));
+                    }
+                    failed
+                })
+            };
+            for j in waiters {
+                match j.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(Cancelled)) => {
+                        panic!("lost wakeup under seed {seed}: replay with CQS_CHAOS_SEED={seed}")
+                    }
+                    Err(_) => {
+                        panic!("double resume under seed {seed}: replay with CQS_CHAOS_SEED={seed}")
+                    }
+                }
+            }
+            let failed = resumer.join().expect("resumer panicked");
+            for v in &failed {
+                assert_eq!(
+                    seen[*v as usize].load(Ordering::SeqCst),
+                    0,
+                    "value {v} both delivered and returned as failed under seed {seed}: \
+                     replay with CQS_CHAOS_SEED={seed}"
+                );
+            }
+            let delivered = seen
+                .iter()
+                .filter(|s| s.load(Ordering::SeqCst) == 1)
+                .count();
+            assert_eq!(
+                delivered + failed.len(),
+                TOTAL,
+                "value conservation violated under seed {seed}: replay with \
+                 CQS_CHAOS_SEED={seed}"
+            );
+        }
+        cqs_chaos::disable();
+    }
+
+    /// `resume_all` racing `close()`: with W parked waiters, one thread
+    /// broadcasts while another closes the queue. Every waiter must settle
+    /// — a value from the broadcast or a cancellation from the close — and
+    /// the broadcast's delivered count must match the waiters that got the
+    /// value. Nobody may be stranded parked.
+    #[test]
+    fn batch_broadcast_vs_close_storm_across_seeds() {
+        let _serial = storm_lock().lock().unwrap();
+        const WAITERS: usize = 4;
+        for seed in seeds() {
+            cqs_chaos::set_seed(seed);
+            let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+                CqsConfig::new().segment_size(2),
+                SimpleCancellation,
+            ));
+            let futures: Vec<_> = (0..WAITERS)
+                .map(|_| cqs.suspend().expect_future())
+                .collect();
+            let joins: Vec<_> = futures
+                .into_iter()
+                .map(|f| std::thread::spawn(move || f.wait_timeout(DEADLINE)))
+                .collect();
+            let broadcaster = {
+                let cqs = Arc::clone(&cqs);
+                std::thread::spawn(move || cqs.resume_all(7))
+            };
+            let closer = {
+                let cqs = Arc::clone(&cqs);
+                std::thread::spawn(move || cqs.close())
+            };
+            let delivered = broadcaster.join().expect("broadcaster panicked");
+            closer.join().expect("closer panicked");
+            let got_value = joins
+                .into_iter()
+                .map(|j| {
+                    j.join().unwrap_or_else(|_| {
+                        panic!(
+                            "waiter panicked under seed {seed}: replay with \
+                             CQS_CHAOS_SEED={seed}"
+                        )
+                    })
+                })
+                .filter(|r| match r {
+                    Ok(v) => {
+                        assert_eq!(*v, 7, "wrong broadcast value under seed {seed}");
+                        true
+                    }
+                    Err(Cancelled) => false,
+                })
+                .count();
+            assert_eq!(
+                got_value, delivered,
+                "broadcast delivered {delivered} but {got_value} waiters got the value \
+                 under seed {seed}: replay with CQS_CHAOS_SEED={seed}"
+            );
+            assert!(cqs.is_closed());
+        }
+        cqs_chaos::disable();
+    }
+
     /// Close racing a storm of suspenders: every acquirer must either get a
     /// permit or an error — nobody may park forever on a closed semaphore.
     #[test]

@@ -1,0 +1,187 @@
+//! Property-based tests for the batched resume paths: random interleavings
+//! of `suspend`, `resume_n` and `cancel` executed against the same
+//! sequential reference model as `proptest_invariants.rs`, checking that a
+//! batch of n values behaves exactly like n sequential resumes — FIFO
+//! delivery, exactly-once completion, and failed values reported in claim
+//! order — and that a final `resume_all` covers precisely the live
+//! waiters.
+
+use proptest::prelude::*;
+
+use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, SimpleCancellation};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Suspend,
+    /// Resume a batch of this many fresh, distinct values.
+    ResumeN(usize),
+    /// Cancel the pending future with this (wrapped) index.
+    Cancel(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => Just(Op::Suspend),
+            3 => (1usize..7).prop_map(Op::ResumeN),
+            2 => (0usize..64).prop_map(Op::Cancel),
+        ],
+        0..100,
+    )
+}
+
+/// The sequential model: an infinite cell array walked by two counters
+/// (mirrors `CqsModel` in proptest_invariants.rs). `resume_n(values)` is
+/// *defined* as n sequential resumes — the property under test is that the
+/// real single-traversal batch is indistinguishable from that.
+#[derive(Debug, Default)]
+struct Model {
+    cells: Vec<Cell>,
+    suspend_idx: usize,
+    resume_idx: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Cell {
+    Empty,
+    Value(u64),
+    Waiter,
+    Cancelled,
+    Done,
+}
+
+impl Model {
+    fn cell(&mut self, i: usize) -> &mut Cell {
+        if self.cells.len() <= i {
+            self.cells.resize(i + 1, Cell::Empty);
+        }
+        &mut self.cells[i]
+    }
+
+    /// `Some(value)` for an immediate result, `None` for a suspension.
+    fn suspend(&mut self) -> Option<u64> {
+        let i = self.suspend_idx;
+        self.suspend_idx += 1;
+        match self.cell(i).clone() {
+            Cell::Empty => {
+                *self.cell(i) = Cell::Waiter;
+                None
+            }
+            Cell::Value(v) => {
+                *self.cell(i) = Cell::Done;
+                Some(v)
+            }
+            other => unreachable!("suspend hit {other:?}"),
+        }
+    }
+
+    /// One sequential resume: `Ok(Some(cell))` completed a waiter,
+    /// `Ok(None)` parked the value, `Err(())` hit a cancelled cell.
+    fn resume(&mut self, v: u64) -> Result<Option<usize>, ()> {
+        let i = self.resume_idx;
+        self.resume_idx += 1;
+        match self.cell(i).clone() {
+            Cell::Empty => {
+                *self.cell(i) = Cell::Value(v);
+                Ok(None)
+            }
+            Cell::Waiter => {
+                *self.cell(i) = Cell::Done;
+                Ok(Some(i))
+            }
+            Cell::Cancelled => Err(()),
+            other => unreachable!("resume hit {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A `resume_n` batch is observationally equal to n sequential
+    /// resumes: same completions (FIFO, exactly-once, k-th value to the
+    /// k-th claimed cell), same parked values, and the same failed values
+    /// in the same order.
+    #[test]
+    fn resume_n_matches_n_sequential_resumes(ops in ops()) {
+        let cqs: Cqs<u64> = Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        );
+        let mut model = Model::default();
+        let mut pending: Vec<(usize, CqsFuture<u64>)> = Vec::new();
+        let mut next_value = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Suspend => {
+                    let cell = model.suspend_idx;
+                    let expected = model.suspend();
+                    let mut f = cqs.suspend().expect_future();
+                    match expected {
+                        Some(v) => {
+                            prop_assert!(f.is_immediate());
+                            prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                        }
+                        None => {
+                            prop_assert!(!f.is_immediate());
+                            pending.push((cell, f));
+                        }
+                    }
+                }
+                Op::ResumeN(n) => {
+                    let values: Vec<u64> =
+                        (next_value..next_value + n as u64).collect();
+                    next_value += n as u64;
+                    // Run the model n times, recording what each value
+                    // should do.
+                    let mut expected_failed = Vec::new();
+                    let mut expected_completions = Vec::new();
+                    for &v in &values {
+                        match model.resume(v) {
+                            Ok(Some(cell)) => expected_completions.push((cell, v)),
+                            Ok(None) => {}
+                            Err(()) => expected_failed.push(v),
+                        }
+                    }
+                    let failed = cqs.resume_n(values, n);
+                    prop_assert_eq!(failed, expected_failed);
+                    for (cell, v) in expected_completions {
+                        let (_, mut f) = pending
+                            .iter()
+                            .position(|(c, _)| *c == cell)
+                            .map(|i| pending.remove(i))
+                            .expect("completed waiter must be tracked");
+                        prop_assert_eq!(f.try_get(), FutureState::Ready(v));
+                    }
+                }
+                Op::Cancel(k) => {
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let (cell, f) = pending.remove(k % pending.len());
+                    prop_assert!(f.cancel());
+                    *model.cell(cell) = Cell::Cancelled;
+                }
+            }
+        }
+
+        // Anything not completed or cancelled is still pending — a batch
+        // must never wake a waiter it did not deliver a value to.
+        for (_, f) in &mut pending {
+            prop_assert_eq!(f.try_get(), FutureState::Pending);
+        }
+
+        // Finally, a broadcast covers exactly the live waiters: the cells
+        // in [resume_idx, suspend_idx) still holding a Waiter.
+        let live = model.cells[model.resume_idx.min(model.cells.len())..]
+            .iter()
+            .filter(|c| **c == Cell::Waiter)
+            .count();
+        let delivered = cqs.resume_all(u64::MAX);
+        prop_assert_eq!(delivered, live);
+        for (_, mut f) in pending {
+            prop_assert_eq!(f.try_get(), FutureState::Ready(u64::MAX));
+        }
+    }
+}

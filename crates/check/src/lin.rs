@@ -1,0 +1,373 @@
+//! A Wing–Gong linearizability checker.
+//!
+//! Takes a concurrent operation history — invoke/response event pairs
+//! recorded through the `cqs_chaos::record!` seam during a chaos storm —
+//! and searches for a *linearization*: a sequential order of the completed
+//! operations that (a) a sequential reference model ([`LinModel`]) accepts
+//! with exactly the observed results and (b) respects real time (if
+//! operation A responded before operation B was invoked, A comes first).
+//!
+//! The search is the classical Wing–Gong depth-first enumeration of
+//! minimal operations, with the Lowe-style memoization refinement: a
+//! (linearized-set, model-state) pair that already failed is never
+//! re-explored, which keeps the storm-sized histories (~100–200 ops)
+//! tractable.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+use cqs_chaos::{OpEvent, OpPhase};
+
+/// A sequential reference state machine for the checker.
+///
+/// `step` consumes a *completed* operation together with its observed
+/// result and returns the successor state, or `None` when the observed
+/// result is impossible in this state (the candidate linearization order
+/// is wrong there).
+pub trait LinModel: Clone + Eq + Hash {
+    /// Applies `op`; `None` means the op's observed result is illegal in
+    /// this state.
+    fn step(&self, op: &Operation) -> Option<Self>;
+}
+
+/// A completed operation: one invoke/response pair from the event log.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Recording thread ordinal.
+    pub thread: u64,
+    /// Primitive instance the operation targets.
+    pub instance: u64,
+    /// Operation name (shared with the model, e.g. `"sem.acquire"`).
+    pub op: &'static str,
+    /// Payload recorded at the invoke edge (e.g. the element a put
+    /// carries).
+    pub invoke_value: u64,
+    /// Payload recorded at the response edge (e.g. the element a take
+    /// received, or [`RESP_CANCELLED`][crate::models::RESP_CANCELLED]).
+    pub response_value: u64,
+    /// Global sequence stamp of the invoke edge.
+    pub invoked: u64,
+    /// Global sequence stamp of the response edge.
+    pub responded: u64,
+}
+
+/// Why a history could not be turned into operations or linearized.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LinError {
+    /// An invoke had no matching response on its thread (or vice versa);
+    /// the recording harness must close every operation it opens.
+    UnbalancedHistory {
+        /// The thread with the dangling event.
+        thread: u64,
+        /// The op name involved.
+        op: String,
+    },
+    /// No valid linearization exists: the history is not linearizable
+    /// with respect to the model.
+    NotLinearizable {
+        /// Distinct search states visited before concluding.
+        states_explored: usize,
+        /// Number of operations in the history.
+        operations: usize,
+    },
+}
+
+impl fmt::Display for LinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinError::UnbalancedHistory { thread, op } => {
+                write!(
+                    f,
+                    "unbalanced history: dangling `{op}` event on thread {thread}"
+                )
+            }
+            LinError::NotLinearizable {
+                states_explored,
+                operations,
+            } => write!(
+                f,
+                "history of {operations} operations is NOT linearizable \
+                 ({states_explored} search states explored)"
+            ),
+        }
+    }
+}
+
+/// Pairs a raw event log (already filtered to one primitive instance)
+/// into completed [`Operation`]s.
+///
+/// Events must be sequence-ordered (as [`cqs_chaos::take_history`]
+/// returns them). Each thread is sequential — its events alternate
+/// invoke/response for one open operation at a time, which is exactly how
+/// the recording seam is used (a storm worker finishes or cancels its
+/// pending future, records the response, then moves on).
+pub fn pair_history(events: &[OpEvent]) -> Result<Vec<Operation>, LinError> {
+    // Open operation per thread: (index into `ops`, op name).
+    let mut open: Vec<(u64, usize)> = Vec::new();
+    let mut ops: Vec<Operation> = Vec::new();
+    for event in events {
+        match event.phase {
+            OpPhase::Invoke => {
+                if open.iter().any(|(t, _)| *t == event.thread) {
+                    return Err(LinError::UnbalancedHistory {
+                        thread: event.thread,
+                        op: event.op.to_string(),
+                    });
+                }
+                open.push((event.thread, ops.len()));
+                ops.push(Operation {
+                    thread: event.thread,
+                    instance: event.instance,
+                    op: event.op,
+                    invoke_value: event.value,
+                    response_value: 0,
+                    invoked: event.seq,
+                    responded: u64::MAX,
+                });
+            }
+            OpPhase::Response => {
+                let slot = open.iter().position(|(t, _)| *t == event.thread);
+                let Some(slot) = slot else {
+                    return Err(LinError::UnbalancedHistory {
+                        thread: event.thread,
+                        op: event.op.to_string(),
+                    });
+                };
+                let (_, idx) = open.swap_remove(slot);
+                let op = &mut ops[idx];
+                if op.op != event.op {
+                    return Err(LinError::UnbalancedHistory {
+                        thread: event.thread,
+                        op: event.op.to_string(),
+                    });
+                }
+                op.response_value = event.value;
+                op.responded = event.seq;
+            }
+        }
+    }
+    if let Some((thread, idx)) = open.first() {
+        return Err(LinError::UnbalancedHistory {
+            thread: *thread,
+            op: ops[*idx].op.to_string(),
+        });
+    }
+    Ok(ops)
+}
+
+/// Bitset over operation indices (histories are storm-sized, so a small
+/// `Vec<u64>` is plenty).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Done(Vec<u64>);
+
+impl Done {
+    fn new(n: usize) -> Self {
+        Done(vec![0; n.div_ceil(64)])
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+}
+
+/// Searches for a valid linearization of `ops` against `initial`.
+///
+/// Returns the linearization as indices into `ops` (one witness order; in
+/// general many exist), or [`LinError::NotLinearizable`].
+pub fn check_linearizable<M: LinModel>(
+    initial: M,
+    ops: &[Operation],
+) -> Result<Vec<usize>, LinError> {
+    let n = ops.len();
+    let mut done = Done::new(n);
+    let mut order = Vec::with_capacity(n);
+    let mut seen: HashSet<(Done, M)> = HashSet::new();
+    if dfs(&initial, ops, &mut done, &mut order, &mut seen) {
+        Ok(order)
+    } else {
+        Err(LinError::NotLinearizable {
+            states_explored: seen.len(),
+            operations: n,
+        })
+    }
+}
+
+fn dfs<M: LinModel>(
+    model: &M,
+    ops: &[Operation],
+    done: &mut Done,
+    order: &mut Vec<usize>,
+    seen: &mut HashSet<(Done, M)>,
+) -> bool {
+    if order.len() == ops.len() {
+        return true;
+    }
+    if !seen.insert((done.clone(), model.clone())) {
+        return false; // this frontier already failed
+    }
+    // An op may be linearized next iff no other pending op responded
+    // before it was invoked (Wing–Gong's minimal-operation rule).
+    let min_resp = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !done.get(*i))
+        .map(|(_, op)| op.responded)
+        .min()
+        .expect("not all done");
+    for i in 0..ops.len() {
+        if done.get(i) {
+            continue;
+        }
+        let op = &ops[i];
+        if op.invoked > min_resp && op.responded != min_resp {
+            continue; // some pending op completed before this one began
+        }
+        if let Some(next) = model.step(op) {
+            done.set(i);
+            order.push(i);
+            if dfs(&next, ops, done, order, seen) {
+                return true;
+            }
+            order.pop();
+            done.clear(i);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FifoQueueLin, SemaphoreLin, RESP_CANCELLED, RESP_OK};
+    use cqs_chaos::{OpEvent, OpPhase};
+
+    fn ev(seq: u64, thread: u64, op: &'static str, phase: OpPhase, value: u64) -> OpEvent {
+        OpEvent {
+            seq,
+            thread,
+            instance: 1,
+            op,
+            phase,
+            value,
+        }
+    }
+
+    #[test]
+    fn pairs_interleaved_events_per_thread() {
+        let events = vec![
+            ev(0, 0, "sem.acquire", OpPhase::Invoke, 0),
+            ev(1, 1, "sem.acquire", OpPhase::Invoke, 0),
+            ev(2, 1, "sem.acquire", OpPhase::Response, RESP_OK),
+            ev(3, 0, "sem.acquire", OpPhase::Response, RESP_CANCELLED),
+        ];
+        let ops = pair_history(&events).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].thread, 0);
+        assert_eq!(ops[0].response_value, RESP_CANCELLED);
+        assert_eq!(ops[1].responded, 2);
+    }
+
+    #[test]
+    fn dangling_invoke_is_rejected() {
+        let events = vec![ev(0, 0, "sem.acquire", OpPhase::Invoke, 0)];
+        assert!(matches!(
+            pair_history(&events),
+            Err(LinError::UnbalancedHistory { thread: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_overlapping_acquires_on_two_permits() {
+        // Two concurrent acquires both succeed on a 2-permit semaphore.
+        let events = vec![
+            ev(0, 0, "sem.acquire", OpPhase::Invoke, 0),
+            ev(1, 1, "sem.acquire", OpPhase::Invoke, 0),
+            ev(2, 0, "sem.acquire", OpPhase::Response, RESP_OK),
+            ev(3, 1, "sem.acquire", OpPhase::Response, RESP_OK),
+        ];
+        let ops = pair_history(&events).unwrap();
+        check_linearizable(SemaphoreLin::new(2), &ops).expect("linearizable");
+    }
+
+    #[test]
+    fn rejects_two_sequential_acquires_on_one_permit() {
+        // The second acquire begins after the first responded — real time
+        // forces their order, and one permit cannot serve both.
+        let events = vec![
+            ev(0, 0, "sem.acquire", OpPhase::Invoke, 0),
+            ev(1, 0, "sem.acquire", OpPhase::Response, RESP_OK),
+            ev(2, 1, "sem.acquire", OpPhase::Invoke, 0),
+            ev(3, 1, "sem.acquire", OpPhase::Response, RESP_OK),
+        ];
+        let ops = pair_history(&events).unwrap();
+        let err = check_linearizable(SemaphoreLin::new(1), &ops).unwrap_err();
+        assert!(matches!(
+            err,
+            LinError::NotLinearizable { operations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_concurrent_overdraw_only_when_concurrent() {
+        // Same two acquires but overlapping: still not linearizable on
+        // one permit (no release in between in ANY order) — a cancelled
+        // second acquire, however, is fine.
+        let events = vec![
+            ev(0, 0, "sem.acquire", OpPhase::Invoke, 0),
+            ev(1, 1, "sem.acquire", OpPhase::Invoke, 0),
+            ev(2, 0, "sem.acquire", OpPhase::Response, RESP_OK),
+            ev(3, 1, "sem.acquire", OpPhase::Response, RESP_CANCELLED),
+        ];
+        let ops = pair_history(&events).unwrap();
+        check_linearizable(SemaphoreLin::new(1), &ops).expect("cancelled op is a no-op");
+    }
+
+    #[test]
+    fn fifo_queue_take_order_must_match_put_order() {
+        // put(1) completes before put(2) begins; a take that returns 2
+        // while 1 is still queued violates FIFO.
+        let events = vec![
+            ev(0, 0, "pool.put", OpPhase::Invoke, 1),
+            ev(1, 0, "pool.put", OpPhase::Response, 0),
+            ev(2, 0, "pool.put", OpPhase::Invoke, 2),
+            ev(3, 0, "pool.put", OpPhase::Response, 0),
+            ev(4, 1, "pool.take", OpPhase::Invoke, 0),
+            ev(5, 1, "pool.take", OpPhase::Response, 2),
+        ];
+        let ops = pair_history(&events).unwrap();
+        let err = check_linearizable(FifoQueueLin::default(), &ops).unwrap_err();
+        assert!(matches!(err, LinError::NotLinearizable { .. }));
+        // Returning 1 instead is the FIFO answer.
+        let mut ok_events = events;
+        ok_events[5].value = 1;
+        let ops = pair_history(&ok_events).unwrap();
+        let order = check_linearizable(FifoQueueLin::default(), &ops).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn linearization_witness_respects_real_time() {
+        // Release fully precedes the acquire in real time; the witness
+        // must put it first even though op order in the log starts with
+        // the acquire invoke... (start from 0 available).
+        let events = vec![
+            ev(0, 0, "sem.release", OpPhase::Invoke, 0),
+            ev(1, 0, "sem.release", OpPhase::Response, 0),
+            ev(2, 1, "sem.acquire", OpPhase::Invoke, 0),
+            ev(3, 1, "sem.acquire", OpPhase::Response, RESP_OK),
+        ];
+        let ops = pair_history(&events).unwrap();
+        let sem = SemaphoreLin {
+            available: 0,
+            capacity: 1,
+        };
+        let order = check_linearizable(sem, &ops).unwrap();
+        assert_eq!(order, vec![0, 1]);
+    }
+}

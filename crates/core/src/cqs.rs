@@ -486,6 +486,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             // vs. closed flag). With anything weaker, the install could be
             // ordered after the closer's sweep *and* this load could miss
             // the flag — a waiter parked forever on a closed queue.
+            cqs_chaos::inject!("cqs.suspend.pre-close-check");
             if self.closed.load(Ordering::SeqCst) {
                 request.cancel();
             }
@@ -581,6 +582,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
             'cell: loop {
                 match cell.state() {
                     cell::EMPTY => {
+                        cqs_chaos::inject!("cqs.resume.pre-publish");
                         match cell.try_publish_value(value) {
                             Err(v) => {
                                 value = v;
@@ -641,6 +643,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                                 }
                                 // Smart + async: delegate the rest of this
                                 // resumption to the cancellation handler.
+                                cqs_chaos::inject!("cqs.resume.pre-delegate");
                                 match cell.try_delegate_value(value, &guard) {
                                     Ok(()) => return Ok(()),
                                     Err(v) => {
@@ -836,6 +839,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 'cell: loop {
                     match cell.state() {
                         cell::EMPTY => {
+                            cqs_chaos::inject!("cqs.resume-n.pre-publish");
                             let value = take(&mut stash, next_value);
                             match cell.try_publish_value(value) {
                                 Err(v) => {
@@ -910,6 +914,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                                     }
                                     // Smart + async: delegate the rest of
                                     // this resumption to the handler.
+                                    cqs_chaos::inject!("cqs.resume-n.pre-delegate");
                                     let value = take(&mut stash, next_value);
                                     match cell.try_delegate_value(value, guard) {
                                         Ok(()) => {
@@ -925,6 +930,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                             }
                         }
                         cell::CANCELLED => {
+                            cqs_chaos::inject!("cqs.resume-n.pre-skip-cancelled");
                             if simple {
                                 failed.push(take(&mut stash, next_value));
                             }
@@ -1068,6 +1074,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                     // Logically deregistered: the cell becomes CANCELLED and
                     // resumers skip it.
                     cqs_stats::bump!(cancels_smart_skipped);
+                    cqs_chaos::inject!("cqs.cancel.pre-cancel-swap");
                     match cell.cancel_swap(cell::CANCELLED, &guard) {
                         CancelSwap::WasRequest => {
                             segment.on_cancelled_cell(&guard);
@@ -1085,7 +1092,19 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 } else {
                     // The upcoming resume(..) must be refused.
                     cqs_stats::bump!(cancels_refused);
-                    match cell.cancel_swap(cell::REFUSE, &guard) {
+                    cqs_chaos::inject!("cqs.cancel.pre-refuse-swap");
+                    // PLANTED BUG (test-only, feature `planted-bug`):
+                    // writing CANCELLED instead of REFUSE tells the
+                    // in-flight resumer to skip to a replacement cell even
+                    // though `on_cancellation` already banked its value —
+                    // the value is delivered twice. Exists solely so CI can
+                    // prove the cqs-check explorer catches the violation
+                    // (tests/model_check.rs).
+                    #[cfg(feature = "planted-bug")]
+                    let refuse_state = cell::CANCELLED;
+                    #[cfg(not(feature = "planted-bug"))]
+                    let refuse_state = cell::REFUSE;
+                    match cell.cancel_swap(refuse_state, &guard) {
                         CancelSwap::WasRequest => {}
                         CancelSwap::WasValue(v) => {
                             self.callbacks.complete_refused_resume(v);

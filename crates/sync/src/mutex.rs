@@ -124,6 +124,10 @@ impl RawMutex {
     /// returns a future completed by [`unlock`](RawMutex::unlock) in FIFO
     /// order. Cancel the future to abort waiting.
     pub fn lock(&self) -> CqsFuture<()> {
+        // Linearizability-history seam (cqs-check): the invoke edge covers
+        // the whole operation; the response edge is recorded by the
+        // harness once the returned future resolves.
+        cqs_chaos::record!(self as *const Self as u64, "mutex.lock", Invoke, 0);
         loop {
             let s = self.state.fetch_sub(1, Ordering::SeqCst);
             if s > 0 {
@@ -152,18 +156,22 @@ impl RawMutex {
     /// As with most raw locks, unlocking a mutex the caller does not hold is
     /// a logic error; in debug builds it is caught by an assertion.
     pub fn unlock(&self) {
+        // Linearizability-history seam (cqs-check): an unlock is a
+        // complete operation, so both edges are recorded here.
+        cqs_chaos::record!(self as *const Self as u64, "mutex.unlock", Invoke, 0);
         loop {
             let s = self.state.fetch_add(1, Ordering::SeqCst);
             debug_assert!(s <= 0, "unlock of a mutex that is not locked");
             if s == 0 {
-                return;
+                break;
             }
             if self.cqs.resume(()).is_ok() {
-                return;
+                break;
             }
             // The synchronous rendezvous broke; let the suspender run.
             std::thread::yield_now();
         }
+        cqs_chaos::record!(self as *const Self as u64, "mutex.unlock", Response, 0);
     }
 }
 

@@ -150,6 +150,11 @@ impl Semaphore {
     /// [`release`](Semaphore::release) in FIFO order. Cancel the future to
     /// abort waiting.
     pub fn acquire(&self) -> CqsFuture<()> {
+        // Linearizability-history seam (cqs-check): the invoke edge covers
+        // the whole operation including retries; the *response* edge is
+        // recorded by the harness once the returned future resolves, since
+        // only the caller knows when it stops waiting or cancels.
+        cqs_chaos::record!(self as *const Self as u64, "sem.acquire", Invoke, 0);
         loop {
             // Fail fast on a closed semaphore *before* touching `state`:
             // past this check a racing `close()` is handled by the CQS
@@ -310,6 +315,14 @@ impl Semaphore {
 
     /// Returns a permit, resuming the first waiter if there is one.
     pub fn release(&self) {
+        // Linearizability-history seam (cqs-check): a release is a
+        // complete operation, so both edges are recorded here.
+        cqs_chaos::record!(self as *const Self as u64, "sem.release", Invoke, 0);
+        self.release_permit();
+        cqs_chaos::record!(self as *const Self as u64, "sem.release", Response, 0);
+    }
+
+    fn release_permit(&self) {
         loop {
             let s = self.state.fetch_add(1, Ordering::SeqCst);
             cqs_watch::gauge!(self.cqs.watch_id(), "state", s + 1);

@@ -1,0 +1,160 @@
+//! End-to-end drive of the offline verification surface (`cqs-check`).
+//!
+//! Run it both ways:
+//!
+//! ```bash
+//! cargo run --release --example offline_verification
+//! cargo run --release --features chaos --example offline_verification
+//! ```
+//!
+//! Without `chaos` the labelled race windows compile to nothing, so the
+//! explorer only branches on thread order (2 schedules) and the recorded
+//! history is empty — the run degrades to the hand-built rejection
+//! check. With `chaos` the same binary exhausts every bounded
+//! interleaving of a real suspend-vs-resume race and linearizes a
+//! recorded semaphore storm.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, Semaphore, SimpleCancellation};
+use cqs_check::{
+    check_linearizable, pair_history, Explorer, LinError, Program, SemaphoreLin, RESP_OK,
+};
+
+fn main() {
+    let chaos = cfg!(feature = "chaos");
+    println!("chaos seam enabled={chaos}");
+
+    // --- 1. Bounded exhaustive exploration of a real 2-thread race ----
+    let explorer = Explorer {
+        preemption_bound: 2,
+        ..Explorer::default()
+    };
+    let exploration = explorer.check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        ));
+        let slot: Arc<StdMutex<Option<CqsFuture<u64>>>> = Arc::default();
+        let resumed = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (cqs, slot) = (Arc::clone(&cqs), Arc::clone(&slot));
+                move || {
+                    let f = cqs.suspend().expect_future();
+                    *slot.lock().unwrap() = Some(f);
+                }
+            })
+            .thread({
+                let (cqs, resumed) = (Arc::clone(&cqs), Arc::clone(&resumed));
+                move || {
+                    resumed.store(cqs.resume(7).is_ok(), Ordering::SeqCst);
+                }
+            })
+            .check(move || {
+                if !resumed.load(Ordering::SeqCst) {
+                    return Err("resume(7) failed although no cell was cancelled".into());
+                }
+                let mut f = slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .ok_or("future was never stored")?;
+                match f.try_get() {
+                    FutureState::Ready(7) => Ok(()),
+                    other => Err(format!("waiter saw {other:?}, expected Ready(7)")),
+                }
+            })
+    });
+    println!(
+        "explorer: runs={} exhausted={} truncated={} divergences={}",
+        exploration.runs,
+        exploration.exhausted,
+        exploration.truncated_runs,
+        exploration.divergences
+    );
+    assert!(exploration.exhausted, "bounded exploration must complete");
+    // Even featureless the explorer owns thread ordering (2 schedules);
+    // the chaos seam multiplies that with every labelled race window.
+    if chaos {
+        assert!(
+            exploration.runs > 10,
+            "the seam must expose the in-protocol race windows, ran {}",
+            exploration.runs
+        );
+    } else {
+        assert_eq!(
+            exploration.runs, 2,
+            "featureless: only the two thread orders"
+        );
+    }
+
+    // --- 2. Record a semaphore storm, linearize it -------------------
+    cqs_chaos::set_seed(0xC0DE_0000);
+    cqs_chaos::start_recording();
+    let sem = Arc::new(Semaphore::new(2));
+    let instance = Arc::as_ptr(&sem) as u64;
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            let sem = Arc::clone(&sem);
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    sem.acquire()
+                        .wait_timeout(Duration::from_secs(10))
+                        .unwrap_or_else(|_| panic!("t{t}: acquire lost its wakeup"));
+                    cqs_chaos::record(
+                        instance,
+                        "sem.acquire",
+                        cqs_chaos::OpPhase::Response,
+                        RESP_OK,
+                    );
+                    std::thread::yield_now();
+                    sem.release();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events: Vec<_> = cqs_chaos::take_history()
+        .into_iter()
+        .filter(|e| e.instance == instance)
+        .collect();
+    cqs_chaos::disable();
+    let ops = pair_history(&events).expect("storm history pairs cleanly");
+    check_linearizable(SemaphoreLin::new(2), &ops).expect("storm history linearizes");
+    println!(
+        "lin: recorded {} events, {} completed ops, linearizable=true",
+        events.len(),
+        ops.len()
+    );
+    if chaos {
+        assert!(ops.len() >= 24, "3 threads x 8 rounds must all record");
+    } else {
+        assert!(ops.is_empty(), "recording is inert without the seam");
+    }
+
+    // --- 3. The checker rejects an impossible history ----------------
+    let overdraw: Vec<_> = (0..2u64)
+        .map(|i| cqs_check::Operation {
+            thread: i,
+            instance: 1,
+            op: "sem.acquire",
+            invoke_value: 0,
+            response_value: RESP_OK,
+            invoked: 10 * i,
+            responded: 10 * i + 5,
+        })
+        .collect();
+    match check_linearizable(SemaphoreLin::new(1), &overdraw) {
+        Err(LinError::NotLinearizable { .. }) => {
+            println!("lin: overdrawn hand-built history correctly rejected");
+        }
+        other => panic!("overdraw must be rejected, got {other:?}"),
+    }
+
+    println!("offline verification example: OK");
+}

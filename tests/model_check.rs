@@ -1,0 +1,375 @@
+//! Offline model checking of the cell state machine (run with
+//! `--features chaos`).
+//!
+//! Where `tests/chaos_injection.rs` *samples* the schedule space with 72
+//! random seeds, these tests *exhaust* a bounded slice of it: small 2–3
+//! thread `suspend`/`resume`/`cancel`/`close`/`resume_n` programs run
+//! under the `cqs_check::Explorer`, which serializes execution, treats
+//! every `cqs_chaos::inject!` labelled race window as a schedule point,
+//! and enumerates all interleavings depth-first up to a CHESS-style
+//! preemption bound. A failing schedule is reported as a replayable
+//! decision trace (see `Explorer::replay`).
+//!
+//! Each program encodes one protocol obligation from the paper's Iris
+//! specification:
+//!
+//! * **no lost wakeup** — a suspend racing a resume always hands the value
+//!   over (elimination or completion, Figure 5's `EMPTY`/`VALUE` corner);
+//! * **exactly-once delivery** — two resumes racing one suspend deliver
+//!   each value exactly once;
+//! * **cancellation vs. resumption** — the smart-cancellation
+//!   `CANCELLED`/`REFUSE` decision conserves the semaphore permit in every
+//!   interleaving (Listing 5's cancellation handler);
+//! * **close vs. broadcast** — `close()` racing `resume_all` strands
+//!   nobody: every waiter settles with the value or a cancellation;
+//! * **mid-batch cancellation** — a waiter cancelling while `resume_n`
+//!   traverses either gets its value or the batch reports it failed,
+//!   never both, and its neighbours are unaffected.
+//!
+//! With `--features "chaos planted-bug"` the permit-conservation program
+//! is required to *fail* instead: the planted `REFUSE -> CANCELLED` swap
+//! in `cqs-core` manufactures a phantom permit, and the test asserts the
+//! explorer finds it and that the recorded trace replays to the same
+//! violation.
+
+#![cfg(feature = "chaos")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, Semaphore, SimpleCancellation};
+use cqs_check::{Explorer, Program};
+
+/// The explorer installs a process-global `cqs_chaos` scheduler; tests
+/// must not overlap. (The CI check job additionally runs with
+/// `--test-threads=1`.)
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// The CI-pinned exploration budget: at most 2 preemptions, the
+/// documented bound for these suites.
+fn explorer() -> Explorer {
+    Explorer {
+        preemption_bound: 2,
+        ..Explorer::default()
+    }
+}
+
+type Slot = Arc<StdMutex<Option<CqsFuture<u64>>>>;
+
+fn take(slot: &Slot, who: &str) -> Result<CqsFuture<u64>, String> {
+    slot.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .ok_or_else(|| format!("{who}: future was never stored"))
+}
+
+fn expect_ready(f: &mut CqsFuture<u64>, want: u64, who: &str) -> Result<(), String> {
+    match f.try_get() {
+        FutureState::Ready(v) if v == want => Ok(()),
+        other => Err(format!("{who}: expected Ready({want}), got {other:?}")),
+    }
+}
+
+/// T1 suspends while T2 resumes with a value: in every interleaving the
+/// value reaches the waiter — by completion (waiter installed first) or by
+/// elimination (value parked first) — and the resume itself succeeds.
+#[test]
+fn suspend_vs_resume_never_loses_the_wakeup() {
+    let _serial = serial();
+    let exploration = explorer().check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        ));
+        let slot: Slot = Arc::default();
+        let resumed = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (cqs, slot) = (Arc::clone(&cqs), Arc::clone(&slot));
+                move || {
+                    let f = cqs.suspend().expect_future();
+                    *slot.lock().unwrap() = Some(f);
+                }
+            })
+            .thread({
+                let (cqs, resumed) = (Arc::clone(&cqs), Arc::clone(&resumed));
+                move || {
+                    resumed.store(cqs.resume(7).is_ok(), Ordering::SeqCst);
+                }
+            })
+            .check(move || {
+                if !resumed.load(Ordering::SeqCst) {
+                    return Err("resume(7) failed although no cell was cancelled".into());
+                }
+                let mut f = take(&slot, "suspender")?;
+                expect_ready(&mut f, 7, "waiter")
+            })
+    });
+    assert!(
+        exploration.runs >= 2,
+        "a 2-thread race must need more than one schedule, ran {}",
+        exploration.runs
+    );
+}
+
+/// One suspender, two resumers: every interleaving delivers each value
+/// exactly once — the waiter gets one of the two values and the other is
+/// parked for the *next* suspender (observed via an immediate elimination).
+#[test]
+fn racing_resumes_deliver_each_value_exactly_once() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        ));
+        let slot: Slot = Arc::default();
+        let ok = [
+            Arc::new(AtomicBool::new(false)),
+            Arc::new(AtomicBool::new(false)),
+        ];
+        let mut program = Program::new().thread({
+            let (cqs, slot) = (Arc::clone(&cqs), Arc::clone(&slot));
+            move || {
+                let f = cqs.suspend().expect_future();
+                *slot.lock().unwrap() = Some(f);
+            }
+        });
+        for (i, flag) in ok.iter().enumerate() {
+            let (cqs, flag) = (Arc::clone(&cqs), Arc::clone(flag));
+            program = program.thread(move || {
+                flag.store(cqs.resume(i as u64 + 1).is_ok(), Ordering::SeqCst);
+            });
+        }
+        program.check(move || {
+            for (i, flag) in ok.iter().enumerate() {
+                if !flag.load(Ordering::SeqCst) {
+                    return Err(format!("resume({}) failed with no cancellations", i + 1));
+                }
+            }
+            let mut f = take(&slot, "suspender")?;
+            let first = match f.try_get() {
+                FutureState::Ready(v @ (1 | 2)) => v,
+                other => return Err(format!("waiter: expected Ready(1|2), got {other:?}")),
+            };
+            // The losing value must be parked in the next cell, ready to
+            // eliminate with the next suspender — delivered once, not
+            // dropped, not duplicated.
+            let mut next = cqs.suspend().expect_future();
+            expect_ready(&mut next, 3 - first, "second suspender (parked value)")
+        })
+    });
+}
+
+/// Builds the permit-conservation program checked below (and required to
+/// fail under `--features planted-bug`): a 1-permit semaphore whose permit
+/// is held, T1 acquires-then-cancels, T2 releases. Afterwards exactly one
+/// permit must exist — one fresh acquire succeeds, a second stays pending.
+///
+/// The dangerous corner is the paper's Listing 5 `REFUSE` transition: when
+/// the cancellation loses to an in-flight `release`, `on_cancellation`
+/// banks the permit in the state counter and the cell must turn `REFUSE`
+/// so the resumer's value dies with it. The planted bug writes `CANCELLED`
+/// instead, making the resumer park a *second* (phantom) permit in the
+/// next cell — which only a genuinely suspending acquire can observe.
+fn permit_conservation_program() -> Program {
+    let sem = Arc::new(Semaphore::new(1));
+    let held = sem.acquire();
+    assert!(held.is_immediate(), "setup: the single permit must be free");
+    let slot: Arc<StdMutex<Option<CqsFuture<()>>>> = Arc::default();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    Program::new()
+        .thread({
+            let (sem, slot, cancelled) =
+                (Arc::clone(&sem), Arc::clone(&slot), Arc::clone(&cancelled));
+            move || {
+                let f = sem.acquire();
+                cancelled.store(f.cancel(), Ordering::SeqCst);
+                *slot.lock().unwrap() = Some(f);
+            }
+        })
+        .thread({
+            let sem = Arc::clone(&sem);
+            move || sem.release()
+        })
+        .check(move || {
+            let mut f = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .ok_or("acquirer: future was never stored")?;
+            match (cancelled.load(Ordering::SeqCst), f.try_get()) {
+                (true, FutureState::Cancelled) => {}
+                (false, FutureState::Ready(())) => sem.release(), // waiter got it; put it back
+                (c, other) => {
+                    return Err(format!("acquirer: cancel()=={c} but future is {other:?}"))
+                }
+            }
+            // Exactly one permit must remain, wherever the race put it.
+            let mut g1 = sem.acquire();
+            match g1.try_get() {
+                FutureState::Ready(()) => {}
+                other => return Err(format!("permit lost: first re-acquire got {other:?}")),
+            }
+            let g2 = sem.acquire();
+            if g2.is_immediate() {
+                return Err(
+                    "phantom permit: a second acquisition succeeded after one release".into(),
+                );
+            }
+            assert!(g2.cancel(), "cleanup: pending waiter must cancel");
+            Ok(())
+        })
+}
+
+/// In every interleaving of cancel vs. release, the semaphore ends up
+/// with exactly one permit: the `CANCELLED`/`REFUSE` decision never loses
+/// the permit and never mints a second one.
+#[cfg(not(feature = "planted-bug"))]
+#[test]
+fn cancel_vs_release_conserves_the_permit() {
+    let _serial = serial();
+    explorer().check_exhaustive(permit_conservation_program);
+}
+
+/// With the planted `REFUSE -> CANCELLED` swap compiled in, the same
+/// bounded exploration must *catch* the protocol violation — and the
+/// decision trace it reports must replay to the same failure. This is the
+/// CI proof that the explorer detects real cell-state-machine bugs rather
+/// than vacuously passing.
+#[cfg(feature = "planted-bug")]
+#[test]
+fn explorer_catches_the_planted_refuse_bug() {
+    let _serial = serial();
+    let exploration = explorer().explore(permit_conservation_program);
+    let cex = exploration
+        .counterexample
+        .expect("the planted REFUSE bug must be caught within 2 preemptions");
+    assert!(
+        !cex.trace.steps.is_empty(),
+        "counterexample must carry a replayable decision trace"
+    );
+    let err = explorer()
+        .replay(permit_conservation_program, &cex.trace.choices())
+        .expect_err("replaying the recorded schedule must reproduce the failure");
+    assert_eq!(err, cex.error, "replay must reproduce the same violation");
+}
+
+/// `close()` racing `resume_all(9)` with two parked waiters: nobody is
+/// left pending — each waiter observes the broadcast value or a
+/// cancellation, and the broadcast's delivered count matches exactly the
+/// waiters that got the value.
+#[test]
+fn close_vs_resume_all_strands_nobody() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        ));
+        let mut waiters: Vec<CqsFuture<u64>> = (0..2)
+            .map(|_| cqs.suspend().expect_future())
+            .collect();
+        let delivered = Arc::new(StdMutex::new(0usize));
+        Program::new()
+            .thread({
+                let (cqs, delivered) = (Arc::clone(&cqs), Arc::clone(&delivered));
+                move || {
+                    *delivered.lock().unwrap() = cqs.resume_all(9);
+                }
+            })
+            .thread({
+                let cqs = Arc::clone(&cqs);
+                move || cqs.close()
+            })
+            .check(move || {
+                let delivered = *delivered.lock().unwrap_or_else(|e| e.into_inner());
+                let mut got_value = 0usize;
+                for (i, f) in waiters.iter_mut().enumerate() {
+                    match f.try_get() {
+                        FutureState::Ready(9) => got_value += 1,
+                        FutureState::Cancelled => {}
+                        other => {
+                            return Err(format!("waiter {i}: stranded with {other:?}"));
+                        }
+                    }
+                }
+                if got_value != delivered {
+                    return Err(format!(
+                        "broadcast claims {delivered} deliveries but {got_value} waiters got the value"
+                    ));
+                }
+                Ok(())
+            })
+    });
+}
+
+/// A waiter cancelling in the middle of a `resume_n` batch: value 2
+/// either reaches waiter 1 or comes back in the batch's failed-value
+/// vector — never both, never neither — while waiters 0 and 2 always get
+/// their values (simple mode consumes a value per claimed cell).
+#[test]
+fn mid_batch_cancellation_is_exactly_once() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new().segment_size(2),
+            SimpleCancellation,
+        ));
+        let mut fs: Vec<CqsFuture<u64>> = (0..3)
+            .map(|_| cqs.suspend().expect_future())
+            .collect();
+        let target = fs.remove(1);
+        let target = Arc::new(StdMutex::new(Some(target)));
+        let won = Arc::new(AtomicBool::new(false));
+        let failed = Arc::new(StdMutex::new(Vec::new()));
+        Program::new()
+            .thread({
+                let (cqs, failed) = (Arc::clone(&cqs), Arc::clone(&failed));
+                move || {
+                    *failed.lock().unwrap() = cqs.resume_n([1u64, 2, 3], 3);
+                }
+            })
+            .thread({
+                let (target, won) = (Arc::clone(&target), Arc::clone(&won));
+                move || {
+                    let t = target.lock().unwrap();
+                    won.store(t.as_ref().expect("setup stored it").cancel(), Ordering::SeqCst);
+                }
+            })
+            .check(move || {
+                expect_ready(&mut fs[0], 1, "waiter 0")?;
+                expect_ready(&mut fs[1], 3, "waiter 2")?;
+                let mut t = take(&target, "cancelled waiter")?;
+                let failed = failed.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                match (won.load(Ordering::SeqCst), t.try_get()) {
+                    (true, FutureState::Cancelled) => {
+                        if failed != [2] {
+                            return Err(format!(
+                                "cancel won but batch reported failed values {failed:?}, expected [2]"
+                            ));
+                        }
+                    }
+                    (true, other) => {
+                        return Err(format!("cancel won but waiter 1 observes {other:?}"))
+                    }
+                    (false, FutureState::Ready(2)) => {
+                        if !failed.is_empty() {
+                            return Err(format!(
+                                "value 2 both delivered and reported failed: {failed:?}"
+                            ));
+                        }
+                    }
+                    (false, other) => {
+                        return Err(format!("cancel lost but waiter 1 observes {other:?}"))
+                    }
+                }
+                Ok(())
+            })
+    });
+}

@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 
 use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, SimpleCancellation};
+use cqs_check::models::CellArrayModel;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -30,70 +31,11 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-/// The sequential model: an infinite cell array walked by two counters
-/// (mirrors `CqsModel` in proptest_invariants.rs). `resume_n(values)` is
-/// *defined* as n sequential resumes — the property under test is that the
-/// real single-traversal batch is indistinguishable from that.
-#[derive(Debug, Default)]
-struct Model {
-    cells: Vec<Cell>,
-    suspend_idx: usize,
-    resume_idx: usize,
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Cell {
-    Empty,
-    Value(u64),
-    Waiter,
-    Cancelled,
-    Done,
-}
-
-impl Model {
-    fn cell(&mut self, i: usize) -> &mut Cell {
-        if self.cells.len() <= i {
-            self.cells.resize(i + 1, Cell::Empty);
-        }
-        &mut self.cells[i]
-    }
-
-    /// `Some(value)` for an immediate result, `None` for a suspension.
-    fn suspend(&mut self) -> Option<u64> {
-        let i = self.suspend_idx;
-        self.suspend_idx += 1;
-        match self.cell(i).clone() {
-            Cell::Empty => {
-                *self.cell(i) = Cell::Waiter;
-                None
-            }
-            Cell::Value(v) => {
-                *self.cell(i) = Cell::Done;
-                Some(v)
-            }
-            other => unreachable!("suspend hit {other:?}"),
-        }
-    }
-
-    /// One sequential resume: `Ok(Some(cell))` completed a waiter,
-    /// `Ok(None)` parked the value, `Err(())` hit a cancelled cell.
-    fn resume(&mut self, v: u64) -> Result<Option<usize>, ()> {
-        let i = self.resume_idx;
-        self.resume_idx += 1;
-        match self.cell(i).clone() {
-            Cell::Empty => {
-                *self.cell(i) = Cell::Value(v);
-                Ok(None)
-            }
-            Cell::Waiter => {
-                *self.cell(i) = Cell::Done;
-                Ok(Some(i))
-            }
-            Cell::Cancelled => Err(()),
-            other => unreachable!("resume hit {other:?}"),
-        }
-    }
-}
+// The sequential model is `cqs_check::models::CellArrayModel`, shared with
+// `proptest_invariants.rs` and the offline model checker: an infinite cell
+// array walked by two counters, where `resume_n(values)` is *defined* as n
+// sequential resumes — the property under test is that the real
+// single-traversal batch is indistinguishable from that.
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -108,7 +50,7 @@ proptest! {
             CqsConfig::new().segment_size(2),
             SimpleCancellation,
         );
-        let mut model = Model::default();
+        let mut model = CellArrayModel::default();
         let mut pending: Vec<(usize, CqsFuture<u64>)> = Vec::new();
         let mut next_value = 0u64;
 
@@ -161,7 +103,7 @@ proptest! {
                     }
                     let (cell, f) = pending.remove(k % pending.len());
                     prop_assert!(f.cancel());
-                    *model.cell(cell) = Cell::Cancelled;
+                    model.cancel(cell);
                 }
             }
         }
@@ -174,10 +116,7 @@ proptest! {
 
         // Finally, a broadcast covers exactly the live waiters: the cells
         // in [resume_idx, suspend_idx) still holding a Waiter.
-        let live = model.cells[model.resume_idx.min(model.cells.len())..]
-            .iter()
-            .filter(|c| **c == Cell::Waiter)
-            .count();
+        let live = model.live_waiters();
         let delivered = cqs.resume_all(u64::MAX);
         prop_assert_eq!(delivered, live);
         for (_, mut f) in pending {

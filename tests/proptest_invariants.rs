@@ -1,11 +1,16 @@
 //! Property-based tests: random operation sequences executed against both
 //! the real primitives and simple sequential reference models.
+//!
+//! The cell-array reference model lives in `cqs_check::models` — the same
+//! model the offline model checker and the chaos linearizability harness
+//! check against (see `crates/check`).
 
 use std::collections::VecDeque;
 
 use proptest::prelude::*;
 
 use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, QueuePool, Semaphore, SimpleCancellation};
+use cqs_check::models::CellArrayModel;
 
 // ---------------------------------------------------------------------
 // CQS (simple cancellation mode) vs a sequential reference model
@@ -30,70 +35,6 @@ fn cqs_ops() -> impl Strategy<Value = Vec<CqsOp>> {
     )
 }
 
-/// Reference model of the simple-cancellation CQS, single-threaded: an
-/// infinite array of cells visited in order by two counters.
-#[derive(Debug, Default)]
-struct CqsModel {
-    cells: Vec<ModelCell>,
-    suspend_idx: usize,
-    resume_idx: usize,
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum ModelCell {
-    Empty,
-    Value(u64),
-    Waiter,
-    Cancelled,
-    Done,
-}
-
-impl CqsModel {
-    fn cell(&mut self, i: usize) -> &mut ModelCell {
-        if self.cells.len() <= i {
-            self.cells.resize(i + 1, ModelCell::Empty);
-        }
-        &mut self.cells[i]
-    }
-
-    /// Returns `Some(value)` for an immediate result, `None` for a
-    /// suspension.
-    fn suspend(&mut self) -> Option<u64> {
-        let i = self.suspend_idx;
-        self.suspend_idx += 1;
-        match self.cell(i).clone() {
-            ModelCell::Empty => {
-                *self.cell(i) = ModelCell::Waiter;
-                None
-            }
-            ModelCell::Value(v) => {
-                *self.cell(i) = ModelCell::Done;
-                Some(v)
-            }
-            other => unreachable!("suspend hit {other:?}"),
-        }
-    }
-
-    /// Returns `Ok(Some(waiter_cell))` if a waiter was completed,
-    /// `Ok(None)` if the value was parked, `Err(())` on a cancelled cell.
-    fn resume(&mut self, v: u64) -> Result<Option<usize>, ()> {
-        let i = self.resume_idx;
-        self.resume_idx += 1;
-        match self.cell(i).clone() {
-            ModelCell::Empty => {
-                *self.cell(i) = ModelCell::Value(v);
-                Ok(None)
-            }
-            ModelCell::Waiter => {
-                *self.cell(i) = ModelCell::Done;
-                Ok(Some(i))
-            }
-            ModelCell::Cancelled => Err(()),
-            other => unreachable!("resume hit {other:?}"),
-        }
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -104,7 +45,7 @@ proptest! {
             CqsConfig::new().segment_size(2),
             SimpleCancellation,
         );
-        let mut model = CqsModel::default();
+        let mut model = CellArrayModel::default();
         // Pending real futures by cell index.
         let mut pending: Vec<(usize, CqsFuture<u64>)> = Vec::new();
 
@@ -149,7 +90,7 @@ proptest! {
                     }
                     let (cell, f) = pending.remove(k % pending.len());
                     prop_assert!(f.cancel());
-                    *model.cell(cell) = ModelCell::Cancelled;
+                    model.cancel(cell);
                 }
             }
         }

@@ -20,7 +20,7 @@
 use cqs_bench::report::{compare_to_baseline, BenchReport, FigureReport, Json, RunMeta};
 use cqs_bench::{
     ablations, fig13_coroutine_mutex, fig5_barrier, fig6_latch, fig7_semaphore, fig8_pools,
-    print_figure, thread_sweep, Repeats, Scale, Series,
+    fig_channel, print_figure, thread_sweep, Repeats, Scale, Series,
 };
 
 #[derive(Debug)]
@@ -42,7 +42,8 @@ USAGE:
 
 FIGURE SELECTION:
     --all                 every figure and ablation
-    --fig N               one of 5|6|7|8|13|14|15|a1|a2|a3 (repeatable)
+    --fig N               one of 5|6|7|8|13|14|15|ch|a1|a2|a3 (repeatable;
+                          ch = channel producer-consumer extension)
     --ablation NAME       cancellation (a1), segment (a2) or batch-resume (a3)
 
 MEASUREMENT:
@@ -106,7 +107,7 @@ fn parse_args() -> Options {
                     .expect("bad percentage");
             }
             "--all" => {
-                figures = ["5", "6", "7", "8", "13", "14", "15", "a1", "a2", "a3"]
+                figures = ["5", "6", "7", "8", "13", "14", "15", "ch", "a1", "a2", "a3"]
                     .map(String::from)
                     .to_vec();
             }
@@ -247,6 +248,17 @@ fn main() {
                         format!("Figure 8: blocking pools, elements = {elements}"),
                         "threads",
                         timed(|| fig8_pools::run(scale, elements, threads, repeats)),
+                    );
+                }
+            }
+            "ch" => {
+                for capacity in [4usize, 16] {
+                    emit(
+                        &mut figures,
+                        format!("fig_channel_cap{capacity}"),
+                        format!("Channels: producer-consumer, bounded capacity = {capacity}"),
+                        "pairs",
+                        timed(|| fig_channel::run(scale, capacity, threads, repeats)),
                     );
                 }
             }

@@ -1,0 +1,103 @@
+//! Channel figure (fig. 8-style extension, not a paper figure): MPMC
+//! producer–consumer throughput of the segment-native [`CqsChannel`]
+//! against the blocking-queue baselines.
+//!
+//! The x-axis counts producer–consumer *pairs*: a point at `n` runs `n`
+//! producers and `n` consumers (2·n threads) streaming a fixed total
+//! number of elements through the channel, with uncontended work between
+//! operations on both sides. Series: the three `cqs-channel` shapes
+//! (bounded, rendezvous, unbounded) against the fair/unfair
+//! `ArrayBlockingQueue` and the `LinkedBlockingQueue` analogues.
+
+use std::sync::Arc;
+
+use cqs_baseline::{ArrayBlockingQueue, LinkedBlockingQueue};
+use cqs_channel::CqsChannel;
+use cqs_harness::{measure_per_op_repeated, PointStats, Repeats, Series, Workload};
+
+use crate::Scale;
+
+fn bench<CH: Sync>(
+    pairs: usize,
+    total: u64,
+    work: Workload,
+    repeats: Repeats,
+    ch: &CH,
+    send: impl Fn(&CH, u64) + Send + Sync + Copy,
+    recv: impl Fn(&CH) -> u64 + Send + Sync + Copy,
+) -> PointStats {
+    let per_pair = (total / pairs as u64).max(1);
+    measure_per_op_repeated(pairs * 2, per_pair * pairs as u64, repeats, move |t| {
+        let mut rng = work.rng(t as u64);
+        if t < pairs {
+            for i in 0..per_pair {
+                work.run(&mut rng);
+                send(ch, t as u64 * per_pair + i);
+            }
+        } else {
+            for _ in 0..per_pair {
+                std::hint::black_box(recv(ch));
+                work.run(&mut rng);
+            }
+        }
+    })
+}
+
+/// Runs the producer–consumer sweep for one bounded-channel capacity
+/// (the rendezvous and unbounded series are capacity-independent).
+pub fn run(scale: Scale, capacity: usize, pairs: &[usize], repeats: Repeats) -> Vec<Series> {
+    let work = Workload::new(100);
+    let total = scale.ops();
+
+    let mut bounded = Series::new("CQS channel bounded");
+    let mut rendezvous = Series::new("CQS channel rendezvous");
+    let mut unbounded = Series::new("CQS channel unbounded");
+    let mut abq_fair = Series::new("ArrayBlockingQueue fair");
+    let mut abq_unfair = Series::new("ArrayBlockingQueue unfair");
+    let mut lbq = Series::new("LinkedBlockingQueue");
+
+    let send = |c: &CqsChannel<u64>, v| c.send(v).wait().expect("benchmark never closes");
+    let recv = |c: &CqsChannel<u64>| c.receive().wait().expect("benchmark never closes");
+
+    for &n in pairs {
+        let ch = Arc::new(CqsChannel::bounded(capacity));
+        bounded.push(n as u64, bench(n, total, work, repeats, &*ch, send, recv));
+
+        let ch = Arc::new(CqsChannel::rendezvous());
+        rendezvous.push(n as u64, bench(n, total, work, repeats, &*ch, send, recv));
+
+        let ch = Arc::new(CqsChannel::unbounded());
+        unbounded.push(n as u64, bench(n, total, work, repeats, &*ch, send, recv));
+
+        for (series, fair) in [(&mut abq_fair, true), (&mut abq_unfair, false)] {
+            let q = Arc::new(ArrayBlockingQueue::new(capacity.max(1), fair));
+            series.push(
+                n as u64,
+                bench(
+                    n,
+                    total,
+                    work,
+                    repeats,
+                    &*q,
+                    |q: &ArrayBlockingQueue<u64>, v| q.put(v),
+                    |q: &ArrayBlockingQueue<u64>| q.take(),
+                ),
+            );
+        }
+
+        let q = Arc::new(LinkedBlockingQueue::unbounded());
+        lbq.push(
+            n as u64,
+            bench(
+                n,
+                total,
+                work,
+                repeats,
+                &*q,
+                |q: &LinkedBlockingQueue<u64>, v| q.put(v),
+                |q: &LinkedBlockingQueue<u64>| q.take(),
+            ),
+        );
+    }
+    vec![bounded, rendezvous, unbounded, abq_fair, abq_unfair, lbq]
+}

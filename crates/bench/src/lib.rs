@@ -19,6 +19,7 @@ pub mod fig5_barrier;
 pub mod fig6_latch;
 pub mod fig7_semaphore;
 pub mod fig8_pools;
+pub mod fig_channel;
 
 pub use cqs_harness::{
     measure, measure_per_op, measure_per_op_repeated, print_figure, report, thread_sweep, CqsStats,

@@ -101,6 +101,16 @@ pub const KNOWN_LABELS: &[&str] = &[
     "cell.install.pre-cas",
     "cell.mark-resumed.pre-swap",
     "cell.publish.pre-cas",
+    "channel.close.pre-sweep",
+    "channel.deliver.pre-count",
+    "channel.deliver.pre-resume",
+    "channel.grant.pre-deliver",
+    "channel.recv.pre-claim",
+    "channel.recv.pre-retrieve",
+    "channel.recv.timeout-window",
+    "channel.send.post-deliver",
+    "channel.send.pre-gate",
+    "channel.slot.pre-release",
     "cqs.cancel.pre-cancel-swap",
     "cqs.cancel.pre-refuse-swap",
     "cqs.close.pre-cancel",

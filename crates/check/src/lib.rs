@@ -37,5 +37,6 @@ pub mod models;
 pub use explorer::{CounterExample, Exploration, Explorer, Program, Trace, TraceStep};
 pub use lin::{check_linearizable, pair_history, LinError, LinModel, Operation};
 pub use models::{
-    CellArrayModel, FifoQueueLin, ModelCell, MutexLin, SemaphoreLin, RESP_CANCELLED, RESP_OK,
+    CellArrayModel, ChannelLin, FifoQueueLin, ModelCell, MutexLin, SemaphoreLin, RESP_CANCELLED,
+    RESP_OK,
 };

@@ -7,7 +7,7 @@
 //! paper's Iris specification is stated over.
 //!
 //! The `*Lin` types are the same abstractions packaged as
-//! [`LinModel`][crate::lin::LinModel] state machines for the Wing–Gong
+//! [`LinModel`] state machines for the Wing–Gong
 //! linearizability checker: they consume *completed operations* (with
 //! their observed results) instead of driving the primitive, and judge
 //! whether each observed result is legal in the current sequential state.
@@ -238,6 +238,78 @@ impl LinModel for FifoQueueLin {
     }
 }
 
+/// Bounded or unbounded FIFO channel (the `cqs-channel` abstraction):
+/// `chan.send` carries the element in `invoke_value` and is legal only
+/// while the channel has room (a completed send means the element *is* in
+/// the channel — blocked sends that resolve later linearize at their
+/// grant); `chan.recv`'s `response_value` must be the element at the
+/// head. Cancelled ops ([`RESP_CANCELLED`]) are no-ops.
+///
+/// Not applicable to rendezvous channels: with zero capacity no send is
+/// ever sequentially legal, yet every completed rendezvous send is — the
+/// rendezvous pairing is checked by the chaos storms and the explorer
+/// instead.
+///
+/// Models the channel's strict-FIFO core — one sender, one receiver, no
+/// receive cancellation (see "Ordering" in the `cqs-channel` docs):
+/// histories with concurrent receivers, concurrent senders, or refused
+/// hand-offs may be reordered at those relaxed edges and are checked for
+/// conservation by the chaos storms rather than against this model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChannelLin {
+    /// Elements in flight, head first.
+    pub queue: VecDeque<u64>,
+    /// Buffer capacity; `None` = unbounded. Must be at least 1.
+    pub capacity: Option<u64>,
+}
+
+impl ChannelLin {
+    /// An empty channel with the given capacity (`None` = unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)` — see the type docs.
+    pub fn new(capacity: Option<u64>) -> Self {
+        assert_ne!(capacity, Some(0), "rendezvous channels have no LinModel");
+        ChannelLin {
+            queue: VecDeque::new(),
+            capacity,
+        }
+    }
+}
+
+impl LinModel for ChannelLin {
+    fn step(&self, op: &Operation) -> Option<Self> {
+        match op.op {
+            "chan.send" => {
+                if op.response_value == RESP_CANCELLED {
+                    return Some(self.clone());
+                }
+                if let Some(c) = self.capacity {
+                    if self.queue.len() as u64 >= c {
+                        return None; // a send over capacity cannot linearize here
+                    }
+                }
+                let mut next = self.clone();
+                next.queue.push_back(op.invoke_value);
+                Some(next)
+            }
+            "chan.recv" => {
+                if op.response_value == RESP_CANCELLED {
+                    return Some(self.clone());
+                }
+                if self.queue.front() != Some(&op.response_value) {
+                    return None;
+                }
+                let mut next = self.clone();
+                next.queue.pop_front();
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +352,44 @@ mod tests {
         assert!(after.step(&acquire(RESP_CANCELLED)).is_some());
         assert!(s.step(&release).is_none(), "over-release rejected");
         assert_eq!(after.step(&release).unwrap().available, 1);
+    }
+
+    #[test]
+    fn channel_lin_enforces_capacity_and_head_order() {
+        let ch = ChannelLin::new(Some(2));
+        let send = |v| Operation {
+            thread: 0,
+            instance: 0,
+            op: "chan.send",
+            invoke_value: v,
+            response_value: RESP_OK,
+            invoked: 0,
+            responded: 1,
+        };
+        let recv = |v| Operation {
+            op: "chan.recv",
+            invoke_value: 0,
+            response_value: v,
+            ..send(0)
+        };
+        let full = ch.step(&send(1)).unwrap().step(&send(2)).unwrap();
+        assert!(full.step(&send(3)).is_none(), "capacity 2 is exhausted");
+        assert!(
+            full.step(&Operation {
+                response_value: RESP_CANCELLED,
+                ..send(3)
+            })
+            .is_some(),
+            "a cancelled send is a no-op"
+        );
+        assert!(full.step(&recv(2)).is_none(), "2 is not at the head");
+        let rest = full.step(&recv(1)).unwrap();
+        assert_eq!(rest.step(&recv(2)).unwrap().queue.len(), 0);
+        let unbounded = ChannelLin::new(None);
+        let mut m = unbounded;
+        for v in 0..100 {
+            m = m.step(&send(v)).unwrap();
+        }
     }
 
     #[test]

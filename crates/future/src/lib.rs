@@ -178,6 +178,13 @@ const TAKEN: u8 = 4;
 struct WakerSlot {
     thread: Option<Thread>,
     callback: Option<Box<dyn FnOnce() + Send>>,
+    /// Settlement hooks ([`CqsFuture::on_settled`]): unlike `callback`
+    /// (single slot, latest registration wins — task-waker semantics for
+    /// executors), these chain and every one runs at the terminal state,
+    /// with the outcome. Primitives use them for resource accounting that
+    /// must happen exactly once per operation — e.g. a channel releasing
+    /// a capacity slot when a receiver is actually delivered a value.
+    settled: Vec<Box<dyn FnOnce(bool) + Send>>,
     task_waker: Option<std::task::Waker>,
 }
 
@@ -201,19 +208,32 @@ struct WakerSlot {
 pub struct PendingWake {
     thread: Option<Thread>,
     callback: Option<Box<dyn FnOnce() + Send>>,
+    settled: Vec<Box<dyn FnOnce(bool) + Send>>,
+    /// Outcome passed to the settlement hooks: `true` when the request
+    /// completed with a value, `false` when it was cancelled. Captured at
+    /// extraction time, when the state is already terminal.
+    settled_ok: bool,
     task_waker: Option<std::task::Waker>,
 }
 
 impl PendingWake {
-    /// Whether there is nothing to wake (no thread parked, no callback or
-    /// task waker registered at extraction time).
+    /// Whether there is nothing to wake (no thread parked, no callback,
+    /// settlement hook or task waker registered at extraction time).
     pub fn is_empty(&self) -> bool {
-        self.thread.is_none() && self.callback.is_none() && self.task_waker.is_none()
+        self.thread.is_none()
+            && self.callback.is_none()
+            && self.settled.is_empty()
+            && self.task_waker.is_none()
     }
 
-    /// Fires the extracted wake-ups: unparks the thread, runs the callback,
-    /// wakes the task — whichever were registered.
+    /// Fires the extracted wake-ups: runs the settlement hooks (accounting
+    /// first, so a woken waiter finds the books balanced), unparks the
+    /// thread, runs the callback, wakes the task — whichever were
+    /// registered.
     pub fn fire(self) {
+        for hook in self.settled {
+            hook(self.settled_ok);
+        }
         if let Some(t) = self.thread {
             cqs_stats::bump!(unparks);
             t.unpark();
@@ -232,6 +252,7 @@ impl fmt::Debug for PendingWake {
         f.debug_struct("PendingWake")
             .field("thread", &self.thread.is_some())
             .field("callback", &self.callback.is_some())
+            .field("settled", &self.settled.len())
             .field("task_waker", &self.task_waker.is_some())
             .finish()
     }
@@ -539,6 +560,8 @@ impl<T> Request<T> {
         PendingWake {
             thread: slot.thread.take(),
             callback: slot.callback.take(),
+            settled: std::mem::take(&mut slot.settled),
+            settled_ok: !self.is_cancelled(),
             task_waker: slot.task_waker.take(),
         }
     }
@@ -787,6 +810,36 @@ impl<T> CqsFuture<T> {
                     }
                 }
                 callback();
+            }
+        }
+    }
+
+    /// Registers a settlement hook: runs exactly once when the future
+    /// reaches a terminal state, receiving `true` if it completed with a
+    /// value and `false` if it was cancelled. If the future is already
+    /// terminal, the hook runs immediately on this thread.
+    ///
+    /// Unlike [`on_ready`](Self::on_ready) — a single slot with
+    /// latest-wins semantics, meant for executor wakers — settlement hooks
+    /// *chain*: every registered hook fires, in registration order, on the
+    /// thread that completes or cancels the request (or, for batched
+    /// resumption, the thread firing the [`WakeBatch`]). They run before
+    /// any thread unpark or task wake, so primitives can use them for
+    /// accounting that must be settled by the time a waiter resumes —
+    /// e.g. releasing a channel capacity slot when (and only when) a
+    /// receiver was actually delivered a value.
+    pub fn on_settled<F: FnOnce(bool) + Send + 'static>(&self, hook: F) {
+        match &self.inner {
+            Inner::Immediate(_) => hook(true),
+            Inner::Suspended(r) => {
+                {
+                    let mut slot = r.waker.lock().unwrap();
+                    if !r.is_terminated() {
+                        slot.settled.push(Box::new(hook));
+                        return;
+                    }
+                }
+                hook(!r.is_cancelled());
             }
         }
     }
@@ -1246,5 +1299,117 @@ mod batch_tests {
         assert_eq!(fired.load(Ordering::SeqCst), 0);
         drop(batch);
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+}
+
+#[cfg(test)]
+mod settled_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::Arc;
+
+    /// Hooks chain: every registered hook fires once, with the outcome.
+    #[test]
+    fn settled_hooks_chain_and_see_completion() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let score = Arc::new(AtomicI32::new(0));
+        for weight in [1, 10] {
+            let score = Arc::clone(&score);
+            f.on_settled(move |ok| {
+                score.fetch_add(if ok { weight } else { -weight }, Ordering::SeqCst);
+            });
+        }
+        r.complete(7).unwrap();
+        assert_eq!(score.load(Ordering::SeqCst), 11, "both hooks saw success");
+        assert_eq!(f.wait(), Ok(7));
+    }
+
+    /// A cancelled request reports `false` to its hooks.
+    #[test]
+    fn settled_hook_sees_cancellation() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let seen = Arc::new(AtomicI32::new(0));
+        let seen2 = Arc::clone(&seen);
+        f.on_settled(move |ok| seen2.store(if ok { 1 } else { -1 }, Ordering::SeqCst));
+        assert!(f.cancel());
+        assert_eq!(seen.load(Ordering::SeqCst), -1);
+    }
+
+    /// Registration after the terminal state runs the hook inline, with
+    /// the right outcome — including on an already-taken value.
+    #[test]
+    fn late_registration_runs_inline() {
+        let seen = Arc::new(AtomicI32::new(0));
+
+        let mut f = CqsFuture::immediate(1u32);
+        let s = Arc::clone(&seen);
+        f.on_settled(move |ok| s.store(if ok { 1 } else { -1 }, Ordering::SeqCst));
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert_eq!(f.try_get(), FutureState::Ready(1));
+
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let mut f = CqsFuture::suspended(Arc::clone(&r));
+        r.complete(2).unwrap();
+        assert_eq!(f.try_get(), FutureState::Ready(2)); // state is TAKEN now
+        let s = Arc::clone(&seen);
+        f.on_settled(move |ok| s.store(if ok { 10 } else { -10 }, Ordering::SeqCst));
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            10,
+            "taken still counts as success"
+        );
+
+        let f: CqsFuture<u32> = CqsFuture::cancelled();
+        let s = Arc::clone(&seen);
+        f.on_settled(move |ok| s.store(if ok { 100 } else { -100 }, Ordering::SeqCst));
+        assert_eq!(seen.load(Ordering::SeqCst), -100);
+    }
+
+    /// Settlement hooks coexist with an `on_ready` executor callback and
+    /// fire before it (accounting precedes scheduling).
+    #[test]
+    fn settled_fires_before_on_ready() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        f.on_settled(move |_| o.lock().unwrap().push("settled"));
+        let o = Arc::clone(&order);
+        f.on_ready(move || o.lock().unwrap().push("ready"));
+        r.complete(3).unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["settled", "ready"]);
+    }
+
+    /// Deferred completion carries the hooks through the `WakeBatch`.
+    #[test]
+    fn deferred_completion_fires_hooks_at_batch_fire() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let seen = Arc::new(AtomicI32::new(0));
+        let s = Arc::clone(&seen);
+        f.on_settled(move |ok| s.store(if ok { 1 } else { -1 }, Ordering::SeqCst));
+        let wake = r.complete_deferred(9).unwrap();
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            0,
+            "hook deferred with the wake"
+        );
+        wake.fire();
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    /// Deferred cancellation (the close() sweep path) reports `false`.
+    #[test]
+    fn deferred_cancellation_fires_hooks_with_failure() {
+        let r: Arc<Request<u32>> = Arc::new(Request::new());
+        let f = CqsFuture::suspended(Arc::clone(&r));
+        let seen = Arc::new(AtomicI32::new(0));
+        let s = Arc::clone(&seen);
+        f.on_settled(move |ok| s.store(if ok { 1 } else { -1 }, Ordering::SeqCst));
+        let wake = r.cancel_deferred().expect("request was pending");
+        wake.fire();
+        assert_eq!(seen.load(Ordering::SeqCst), -1);
     }
 }

@@ -210,6 +210,22 @@ define_counters! {
     /// Waiters completed (or close-cancelled) by batched traversals; the
     /// ratio to `batch_resumes` is the realized batch width.
     batch_waiters,
+    /// `CqsChannel::send` operations started.
+    channel_sends,
+    /// `CqsChannel::receive` operations started.
+    channel_recvs,
+    /// Sends that found the bounded channel full and queued on the
+    /// sender CQS for a capacity grant.
+    channel_blocked_sends,
+    /// Elements handed directly to a waiting receiver (no buffer trip).
+    channel_direct_handoffs,
+    /// Elements that went through the channel buffer.
+    channel_buffered_handoffs,
+    /// Deliveries refused by a cancelled receiver and re-routed back
+    /// into the channel for the next receiver.
+    channel_refused_redeliveries,
+    /// Buffered elements claimed back by the `close()`/`drain()` sweep.
+    channel_orphaned,
 }
 
 /// Increments a named counter from the block above.

@@ -6,8 +6,23 @@
 //! number of in-flight elements (senders queue FIFO and abortably when the
 //! buffer is full) and a [`QueuePool`] carries the elements to receivers
 //! (receivers queue FIFO and abortably when the buffer is empty).
+//!
+//! The segment-native [`CqsChannel`](crate::CqsChannel) (crate
+//! `cqs-channel`) supersedes this composition: it adds rendezvous and
+//! unbounded modes, cancellable sends, and a `close()` that returns the
+//! unsent values. This type stays for the composition's own sake — two
+//! stock primitives, one page of glue — and for its regression history.
+//!
+//! # Accounting
+//!
+//! A capacity permit is held by an element from the moment its send is
+//! accepted until the element is *delivered* to a receiver. Delivery —
+//! not the receiver's `wait()` — releases the permit, via a settlement
+//! hook on the receive future ([`CqsFuture::on_settled`]): a receiver
+//! that drops its [`Receive`] without waiting, or times out while the
+//! delivery lands, can therefore never shrink the channel's capacity.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cqs_future::{Cancelled, CqsFuture};
 use cqs_pool::QueuePool;
@@ -29,7 +44,7 @@ use cqs_sync::Semaphore;
 /// ```
 #[derive(Debug)]
 pub struct Channel<T: Send + 'static> {
-    capacity_permits: Semaphore,
+    capacity_permits: Arc<Semaphore>,
     buffer: QueuePool<T>,
 }
 
@@ -39,10 +54,11 @@ impl<T: Send + 'static> Channel<T> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero (rendezvous channels need the
-    /// synchronous resumption mode end to end and are not provided).
+    /// synchronous resumption mode end to end; use
+    /// [`CqsChannel::rendezvous`](crate::CqsChannel::rendezvous)).
     pub fn new(capacity: usize) -> Self {
         Channel {
-            capacity_permits: Semaphore::new(capacity),
+            capacity_permits: Arc::new(Semaphore::new(capacity)),
             buffer: QueuePool::new(),
         }
     }
@@ -51,37 +67,74 @@ impl<T: Send + 'static> Channel<T> {
     /// send completes when a receiver frees a slot (FIFO among blocked
     /// senders). The returned future resolves once the element is in the
     /// channel; aborting a blocked send is not supported (cancel the
-    /// receive side instead).
-    pub fn send(&self, value: T) -> SendFuture {
+    /// receive side instead). After [`close`](Self::close), the send fails
+    /// with the value handed back.
+    pub fn send(&self, value: T) -> SendFuture<T> {
         let permit = self.capacity_permits.acquire();
         if permit.is_immediate() {
             self.buffer.put(value);
             return SendFuture {
                 inner: CqsFuture::immediate(()),
+                rejected: Arc::new(Mutex::new(None)),
             };
         }
         // Slow path: forward the element once the permit arrives. The
         // buffer handoff runs on the releasing thread via the future's
-        // callback, preserving the sender's FIFO position.
+        // settlement hook, preserving the sender's FIFO position. If the
+        // channel is closed instead (the close sweep cancels the queued
+        // permit request, so the hook still fires, with `granted =
+        // false`), the value stays in the slot for the sender to recover.
         let (fut, request) = deferred_future();
         let buffer = self.buffer.clone();
-        let mut slot = Some(value);
-        permit.on_ready(move || {
-            if let Some(v) = slot.take() {
-                buffer.put(v);
+        let rejected = Arc::new(Mutex::new(Some(value)));
+        let slot = Arc::clone(&rejected);
+        permit.on_settled(move |granted| {
+            if granted {
+                if let Some(v) = slot.lock().unwrap().take() {
+                    buffer.put(v);
+                }
+                let _ = request.complete(());
+            } else {
+                request.cancel();
             }
-            let _ = request.complete(());
         });
-        SendFuture { inner: fut }
+        SendFuture {
+            inner: fut,
+            rejected,
+        }
     }
 
     /// Receives the oldest element: immediately if the buffer is non-empty,
     /// otherwise when a sender delivers one (FIFO among blocked receivers).
     pub fn receive(&self) -> Receive<'_, T> {
+        let inner = self.buffer.take();
+        // The capacity permit travels with the element: it is released the
+        // moment the element is delivered to this receive — on the
+        // deliverer's thread — not when (or whether) the caller waits.
+        let permits = Arc::clone(&self.capacity_permits);
+        inner.on_settled(move |delivered| {
+            if delivered {
+                permits.release();
+            }
+        });
         Receive {
-            channel: self,
-            inner: self.buffer.take(),
+            _channel: std::marker::PhantomData,
+            inner,
         }
+    }
+
+    /// Closes the send side: every blocked sender resolves with its value
+    /// handed back ([`SendError`]) and every subsequent
+    /// [`send`](Self::send) fails fast. Elements already in the channel
+    /// stay receivable — receivers drain the buffer as usual. Closing
+    /// twice is a no-op.
+    pub fn close(&self) {
+        self.capacity_permits.close();
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.capacity_permits.is_closed()
     }
 
     /// A racy snapshot of the number of buffered elements.
@@ -95,21 +148,45 @@ impl<T: Send + 'static> Channel<T> {
     }
 }
 
-/// The pending side of [`Channel::send`]: resolves once the element is in
-/// the channel.
-#[derive(Debug)]
-pub struct SendFuture {
-    inner: CqsFuture<()>,
+/// A send failed because the channel was closed; the element comes back.
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(channel closed)")
+    }
 }
 
-impl SendFuture {
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("channel closed before the element was accepted")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// The pending side of [`Channel::send`]: resolves once the element is in
+/// the channel, or fails with the element handed back if the channel is
+/// closed first.
+pub struct SendFuture<T> {
+    inner: CqsFuture<()>,
+    /// Holds the element while the send is queued; emptied on delivery,
+    /// recovered into [`SendError`] on closure.
+    rejected: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> SendFuture<T> {
     /// Blocks until the element is accepted by the channel.
     ///
     /// # Errors
     ///
-    /// Never fails in practice; the `Result` mirrors [`CqsFuture::wait`].
-    pub fn wait(self) -> Result<(), Cancelled> {
-        self.inner.wait()
+    /// Returns [`SendError`] with the element if the channel was closed
+    /// before a slot freed up.
+    pub fn wait(self) -> Result<(), SendError<T>> {
+        match self.inner.wait() {
+            Ok(()) => Ok(()),
+            Err(Cancelled) => Err(SendError(take_rejected(&self.rejected))),
+        }
     }
 
     /// Whether the element was accepted without waiting.
@@ -118,22 +195,47 @@ impl SendFuture {
     }
 }
 
-impl std::future::Future for SendFuture {
-    type Output = Result<(), Cancelled>;
+impl<T> std::fmt::Debug for SendFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendFuture")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+fn take_rejected<T>(slot: &Mutex<Option<T>>) -> T {
+    slot.lock()
+        .unwrap()
+        .take()
+        .expect("a rejected send retains its element")
+}
+
+impl<T> std::future::Future for SendFuture<T> {
+    type Output = Result<(), SendError<T>>;
 
     fn poll(
         mut self: std::pin::Pin<&mut Self>,
         cx: &mut std::task::Context<'_>,
     ) -> std::task::Poll<Self::Output> {
-        std::pin::Pin::new(&mut self.inner).poll(cx)
+        let this = &mut *self;
+        match std::pin::Pin::new(&mut this.inner).poll(cx) {
+            std::task::Poll::Pending => std::task::Poll::Pending,
+            std::task::Poll::Ready(Ok(())) => std::task::Poll::Ready(Ok(())),
+            std::task::Poll::Ready(Err(Cancelled)) => {
+                std::task::Poll::Ready(Err(SendError(take_rejected(&this.rejected))))
+            }
+        }
     }
 }
 
-/// The pending side of [`Channel::receive`]: completes with the element;
-/// releases the sender-side slot on success.
+/// The pending side of [`Channel::receive`]: completes with the element.
+///
+/// The capacity permit is released when the element is *delivered* (see
+/// the module docs) — dropping a delivered `Receive` without waiting, or
+/// losing a timeout race to a concurrent delivery, cannot leak capacity.
 #[derive(Debug)]
 pub struct Receive<'a, T: Send + 'static> {
-    channel: &'a Channel<T>,
+    _channel: std::marker::PhantomData<&'a Channel<T>>,
     inner: CqsFuture<T>,
 }
 
@@ -144,26 +246,39 @@ impl<T: Send + 'static> Receive<'_, T> {
     ///
     /// Returns [`Cancelled`] if [`cancel`](Self::cancel) won first.
     pub fn wait(self) -> Result<T, Cancelled> {
-        let v = self.inner.wait()?;
-        self.channel.capacity_permits.release();
-        Ok(v)
+        self.inner.wait()
     }
 
     /// Like [`wait`](Self::wait) with a deadline; on timeout the waiting
-    /// receive is aborted.
+    /// receive is aborted. If the abort loses to a concurrent delivery,
+    /// the element is returned (never dropped).
     ///
     /// # Errors
     ///
     /// Returns [`Cancelled`] on timeout.
     pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<T, Cancelled> {
-        let v = self.inner.wait_timeout(timeout)?;
-        self.channel.capacity_permits.release();
-        Ok(v)
+        // Chaos seam for the timeout-vs-delivery race: a delay injected
+        // here widens the window in which the deadline expires while a
+        // sender's delivery is in flight, so seeded storms exercise the
+        // cancel-loses-to-completion path deterministically.
+        cqs_chaos::inject!("channel.recv.timeout-window");
+        self.inner.wait_timeout(timeout)
     }
 
     /// Aborts the waiting receive. Returns `true` if this call aborted it.
     pub fn cancel(&self) -> bool {
         self.inner.cancel()
+    }
+}
+
+impl<T: Send + 'static> std::future::Future for Receive<'_, T> {
+    type Output = Result<T, Cancelled>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.inner).poll(cx)
     }
 }
 
@@ -230,6 +345,111 @@ mod tests {
         // The channel still works.
         ch.send(3).wait().unwrap();
         assert_eq!(ch.receive().wait(), Ok(3));
+    }
+
+    /// Regression test (capacity-permit leak): a delivered `Receive`
+    /// dropped without `wait()` must still release its permit. Before the
+    /// release moved to the delivery hook, each drop permanently shrank
+    /// the channel and the immediate re-send below blocked forever.
+    #[test]
+    fn dropped_receive_releases_its_permit() {
+        let ch = Channel::new(1);
+        for round in 0..3 {
+            let sent = ch.send(round);
+            assert!(
+                sent.is_immediate(),
+                "round {round}: capacity leaked by a dropped receive"
+            );
+            sent.wait().unwrap();
+            drop(ch.receive()); // delivered immediately, never waited on
+        }
+        assert!(ch.is_empty());
+    }
+
+    /// Regression test (close-hang): a send queued behind a full buffer
+    /// used to hang forever after `close()` — the permit future was
+    /// cancelled, the old `on_ready` callback completed the send as if
+    /// accepted, and the value was silently buffered without a permit.
+    /// Now the send resolves with the value handed back.
+    #[test]
+    fn blocked_send_resolves_on_close_with_value() {
+        let ch = Arc::new(Channel::new(1));
+        ch.send(1).wait().unwrap();
+        let pending = ch.send(2);
+        assert!(!pending.is_immediate());
+        ch.close();
+        let SendError(v) = pending.wait().expect_err("channel was closed");
+        assert_eq!(v, 2, "the unsent element comes back");
+        // Fast-fail path: a fresh send also returns its value.
+        let SendError(v) = ch.send(3).wait().expect_err("channel is closed");
+        assert_eq!(v, 3);
+        // The element that made it in before the close stays receivable.
+        assert_eq!(ch.receive().wait(), Ok(1));
+        assert!(ch.is_empty());
+        assert!(ch.is_closed());
+    }
+
+    /// Regression test (timeout-vs-delivery race): when the timeout's
+    /// cancel loses to a concurrent delivery, the element must be
+    /// returned — not dropped with its permit unreleased. The tiny
+    /// timeout races `wait_timeout` against the sender for many rounds;
+    /// conservation and full capacity at quiescence catch both leaks.
+    /// (The seeded-chaos replay of the same window lives in
+    /// `tests/channel_chaos.rs`.)
+    #[test]
+    fn timeout_race_never_drops_elements_or_permits() {
+        const ROUNDS: usize = 200;
+        const CAPACITY: usize = 2;
+        let ch = Arc::new(Channel::new(CAPACITY));
+        let received = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let r2 = Arc::clone(&received);
+        let d2 = Arc::clone(&done);
+        let c2 = Arc::clone(&ch);
+        // Race tiny timeouts against deliveries until the sender finishes
+        // and the buffer drains; a fixed attempt budget could strand the
+        // sender at capacity with no receiver left.
+        let receiver = std::thread::spawn(move || loop {
+            match c2
+                .receive()
+                .wait_timeout(std::time::Duration::from_micros(50))
+            {
+                Ok(_) => {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(Cancelled) => {
+                    if d2.load(Ordering::SeqCst) && c2.is_empty() {
+                        return;
+                    }
+                }
+            }
+        });
+        let mut sent = 0usize;
+        for v in 0..ROUNDS {
+            ch.send(v).wait().unwrap();
+            sent += 1;
+        }
+        done.store(true, Ordering::SeqCst);
+        receiver.join().unwrap();
+        // Drain what the receiver's timeouts left behind.
+        let mut drained = 0usize;
+        while ch
+            .receive()
+            .wait_timeout(std::time::Duration::from_millis(100))
+            .is_ok()
+        {
+            drained += 1;
+        }
+        assert_eq!(
+            received.load(Ordering::SeqCst) + drained,
+            sent,
+            "elements lost in the timeout race"
+        );
+        // Every permit must be back: CAPACITY immediate sends succeed.
+        let fs: Vec<_> = (0..CAPACITY).map(|v| ch.send(v)).collect();
+        for f in &fs {
+            assert!(f.is_immediate(), "a timeout race leaked a permit");
+        }
     }
 
     #[test]

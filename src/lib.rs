@@ -43,7 +43,8 @@
 //!
 //! This facade re-exports the workspace crates:
 //! `cqs-core` (the framework), `cqs-sync` (primitives), `cqs-pool`
-//! (blocking pools), `cqs-future` (the future model), `cqs-exec`
+//! (blocking pools), `cqs-channel` (MPMC channels, see [`channels`]),
+//! `cqs-future` (the future model), `cqs-exec`
 //! (a coroutine executor), `cqs-reclaim` (epoch reclamation + `AtomicArc`)
 //! and `cqs-baseline` (AQS, CLH, MCS, blocking queues — the paper's
 //! comparison targets, exposed under [`baseline`]).
@@ -60,8 +61,17 @@ pub use cqs_sync::{
 
 mod channel;
 mod rendezvous;
-pub use channel::{Channel, Receive, SendFuture};
+pub use channel::{Channel, Receive, SendError as LegacySendError, SendFuture};
+pub use cqs_channel::{ChannelRecv, ChannelSend, CqsChannel, RecvError, SendError};
 pub use rendezvous::{ReceiveRendezvous, RendezvousChannel};
+
+/// Segment-native MPMC channels (rendezvous / bounded / unbounded) built
+/// directly on CQS — see `crates/channel`. The flat re-exports
+/// [`CqsChannel`], [`ChannelSend`], [`ChannelRecv`], [`SendError`] and
+/// [`RecvError`] cover the common surface.
+pub mod channels {
+    pub use cqs_channel::{ChannelRecv, ChannelSend, CqsChannel, RecvError, SendError};
+}
 
 /// The coroutine executor used by the paper's Kotlin-coroutines experiments
 /// and by applications that multiplex many waiters over few threads.

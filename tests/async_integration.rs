@@ -6,7 +6,11 @@ use std::sync::Arc;
 use std::task::{Context, Poll, Wake};
 use std::thread::Thread;
 
-use cqs::{CountDownLatch, QueuePool, RawMutex, Semaphore};
+use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cqs::exec::{CoroStep, CoroWaker, Coroutine, Executor};
+use cqs::{Channel, CountDownLatch, QueuePool, RawMutex, Receive, Semaphore, SendFuture};
 
 struct ThreadWaker(Thread);
 
@@ -105,6 +109,133 @@ fn awaited_future_can_be_cancelled_first() {
     assert!(f.cancel());
     let result = block_on(f);
     assert!(result.is_err());
+}
+
+/// Bridges the executor's [`CoroWaker`] into a `std::task::Waker`, so
+/// coroutines can drive `std::future::Future`s directly.
+struct CoroStdWaker(CoroWaker);
+
+impl Wake for CoroStdWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.wake();
+    }
+}
+
+/// Drives the legacy channel's `SendFuture` through its `Future` impl.
+struct ChannelSender {
+    ch: &'static Channel<u64>,
+    next: u64,
+    end: u64,
+    pending: Option<SendFuture<u64>>,
+}
+
+impl Coroutine for ChannelSender {
+    fn step(&mut self, waker: &CoroWaker) -> CoroStep {
+        let std_waker = Arc::new(CoroStdWaker(waker.clone())).into();
+        let mut cx = Context::from_waker(&std_waker);
+        loop {
+            let mut f = match self.pending.take() {
+                Some(f) => f,
+                None => {
+                    if self.next == self.end {
+                        return CoroStep::Done;
+                    }
+                    let v = self.next;
+                    self.next += 1;
+                    self.ch.send(v)
+                }
+            };
+            match Pin::new(&mut f).poll(&mut cx) {
+                Poll::Ready(Ok(())) => {}
+                Poll::Ready(Err(e)) => panic!("send rejected: {:?}", e.0),
+                Poll::Pending => {
+                    self.pending = Some(f);
+                    return CoroStep::Pending;
+                }
+            }
+        }
+    }
+}
+
+/// Drives the legacy channel's `Receive` through its `Future` impl — the
+/// await path whose delivery hook must release the capacity permit.
+struct ChannelReceiver {
+    ch: &'static Channel<u64>,
+    left: u64,
+    sum: Arc<AtomicU64>,
+    pending: Option<Receive<'static, u64>>,
+}
+
+impl Coroutine for ChannelReceiver {
+    fn step(&mut self, waker: &CoroWaker) -> CoroStep {
+        let std_waker = Arc::new(CoroStdWaker(waker.clone())).into();
+        let mut cx = Context::from_waker(&std_waker);
+        loop {
+            if self.left == 0 {
+                return CoroStep::Done;
+            }
+            let mut f = match self.pending.take() {
+                Some(f) => f,
+                None => self.ch.receive(),
+            };
+            match Pin::new(&mut f).poll(&mut cx) {
+                Poll::Ready(Ok(v)) => {
+                    self.sum.fetch_add(v, Ordering::SeqCst);
+                    self.left -= 1;
+                }
+                Poll::Ready(Err(e)) => panic!("receive cancelled: {e:?}"),
+                Poll::Pending => {
+                    self.pending = Some(f);
+                    return CoroStep::Pending;
+                }
+            }
+        }
+    }
+}
+
+/// Round-trips 50 elements through a capacity-2 legacy channel on the
+/// coroutine executor, with both sides suspending through their
+/// `std::future::Future` impls, then proves the await path leaked no
+/// capacity permit: exactly `CAPACITY` immediate sends fit afterwards.
+#[test]
+fn executor_channel_round_trip_releases_every_permit() {
+    const CAPACITY: usize = 2;
+    const SENDERS: u64 = 2;
+    const PER_SENDER: u64 = 25;
+    let ch: &'static Channel<u64> = Box::leak(Box::new(Channel::new(CAPACITY)));
+    let executor = Executor::new(2);
+    let sum = Arc::new(AtomicU64::new(0));
+    for t in 0..SENDERS {
+        executor.spawn(ChannelSender {
+            ch,
+            next: t * PER_SENDER + 1,
+            end: (t + 1) * PER_SENDER + 1,
+            pending: None,
+        });
+    }
+    for _ in 0..2 {
+        executor.spawn(ChannelReceiver {
+            ch,
+            left: SENDERS * PER_SENDER / 2,
+            sum: Arc::clone(&sum),
+            pending: None,
+        });
+    }
+    executor.wait_idle();
+    let total = SENDERS * PER_SENDER;
+    assert_eq!(sum.load(Ordering::SeqCst), total * (total + 1) / 2);
+    // Exactly CAPACITY permits are free: no leak, no over-release.
+    let refill: Vec<_> = (0..CAPACITY as u64).map(|v| ch.send(v)).collect();
+    for f in &refill {
+        assert!(f.is_immediate(), "await path leaked a capacity permit");
+    }
+    let probe = ch.send(99);
+    assert!(!probe.is_immediate(), "await path over-released a permit");
+    for v in 0..CAPACITY as u64 {
+        assert_eq!(ch.receive().wait(), Ok(v));
+    }
+    assert!(probe.wait().is_ok());
+    assert_eq!(ch.receive().wait(), Ok(99));
 }
 
 /// Chained awaits: a small async "program" over several primitives.

@@ -17,7 +17,7 @@
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 
-use cqs::{Cqs, CqsConfig, Semaphore, SimpleCancellation};
+use cqs::{Cqs, CqsChannel, CqsConfig, Semaphore, SimpleCancellation};
 
 /// Chaos state is process-global; serialize (CI also uses
 /// `--test-threads=1`).
@@ -48,6 +48,21 @@ fn representative_workload() {
     cqs.resume_all(9);
     cqs.close();
     drop(fs);
+
+    // Channel windows: gated send, buffered + direct handoff, blocked
+    // send grant, close sweep.
+    let ch = CqsChannel::bounded(1);
+    ch.send(1u64).wait().unwrap();
+    let blocked = ch.send(2);
+    assert!(!blocked.is_immediate());
+    assert_eq!(ch.receive().wait(), Ok(1));
+    blocked.wait().unwrap();
+    assert_eq!(ch.receive().wait(), Ok(2));
+    let pending = ch.receive();
+    ch.send(3).wait().unwrap();
+    assert_eq!(pending.wait(), Ok(3));
+    ch.send(4).wait().unwrap();
+    assert_eq!(ch.close(), vec![4]);
 }
 
 /// The frozen label table is sorted and duplicate-free — labels are
@@ -88,7 +103,7 @@ fn fired_labels_are_known_and_span_the_stack() {
              (crates/chaos/src/lib.rs)"
         );
     }
-    for prefix in ["cqs.", "cell.", "future."] {
+    for prefix in ["cqs.", "cell.", "channel.", "future."] {
         assert!(
             fired.iter().any(|l| l.starts_with(prefix)),
             "no {prefix}* window fired; got {fired:?}"

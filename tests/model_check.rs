@@ -37,7 +37,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 
-use cqs::{Cqs, CqsConfig, CqsFuture, FutureState, Semaphore, SimpleCancellation};
+use cqs::{Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, SimpleCancellation};
 use cqs_check::{Explorer, Program};
 
 /// The explorer installs a process-global `cqs_chaos` scheduler; tests
@@ -305,6 +305,87 @@ fn close_vs_resume_all_strands_nobody() {
                     ));
                 }
                 Ok(())
+            })
+    });
+}
+
+/// The channel's smart-cancellation corner, exhaustively: T1 receives and
+/// immediately cancels, T2 sends into a capacity-1 `CqsChannel`. In every
+/// interleaving the element survives (delivered to the receiver if the
+/// cancel lost, re-routed into the buffer if it won) and the capacity
+/// ledger balances to exactly one slot — no lost element, no leaked slot,
+/// no phantom slot.
+#[test]
+fn channel_receive_cancel_vs_send_conserves_element_and_slot() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let ch: Arc<CqsChannel<u64>> = Arc::new(CqsChannel::bounded(1));
+        let recv_slot: Arc<StdMutex<Option<cqs::ChannelRecv<u64>>>> = Arc::default();
+        let cancel_won = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (ch, recv_slot, cancel_won) = (
+                    Arc::clone(&ch),
+                    Arc::clone(&recv_slot),
+                    Arc::clone(&cancel_won),
+                );
+                move || {
+                    let r = ch.receive();
+                    cancel_won.store(r.cancel(), Ordering::SeqCst);
+                    *recv_slot.lock().unwrap() = Some(r);
+                }
+            })
+            .thread({
+                let ch = Arc::clone(&ch);
+                move || {
+                    // Capacity 1, channel empty: the send is always
+                    // immediate (threads must not park under the explorer).
+                    assert!(ch.send(5).is_immediate());
+                }
+            })
+            .check(move || {
+                let mut r = recv_slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .ok_or("receiver: future was never stored")?;
+                match (cancel_won.load(Ordering::SeqCst), r.try_get()) {
+                    (false, FutureState::Ready(5)) => {}
+                    (true, FutureState::Cancelled) => {
+                        // The element must have been re-routed into the
+                        // buffer (deregistered or refused — either way it
+                        // is not lost).
+                        let mut r2 = ch.receive();
+                        if !r2.is_immediate() {
+                            return Err("element lost: cancel won but buffer is empty".into());
+                        }
+                        match r2.try_get() {
+                            FutureState::Ready(5) => {}
+                            other => return Err(format!("re-routed element: got {other:?}")),
+                        }
+                    }
+                    (won, other) => {
+                        return Err(format!("receiver: cancel()=={won} but future is {other:?}"))
+                    }
+                }
+                // Exactly one capacity slot must exist, wherever the race
+                // put it: one send is immediate, a second must block.
+                let f1 = ch.send(6);
+                if !f1.is_immediate() {
+                    return Err("slot lost: a send on an empty channel blocked".into());
+                }
+                let f2 = ch.send(7);
+                if f2.is_immediate() {
+                    return Err("phantom slot: two immediate sends at capacity 1".into());
+                }
+                if !f2.cancel() {
+                    return Err("cleanup: the blocked send must cancel".into());
+                }
+                let mut r3 = ch.receive();
+                match r3.try_get() {
+                    FutureState::Ready(6) => Ok(()),
+                    other => Err(format!("cleanup receive: got {other:?}")),
+                }
             })
     });
 }

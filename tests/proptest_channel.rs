@@ -42,7 +42,7 @@ proptest! {
         let mut in_flight: VecDeque<u64> = VecDeque::new();
         let mut waiting_receivers: VecDeque<usize> = VecDeque::new();
         let mut pending_receives: Vec<(usize, Receive<u64>)> = Vec::new();
-        let mut blocked_sends: Vec<SendFuture> = Vec::new();
+        let mut blocked_sends: Vec<SendFuture<u64>> = Vec::new();
         let mut next_receiver = 0usize;
 
         for op in ops {

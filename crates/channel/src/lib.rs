@@ -97,13 +97,16 @@ pub enum SendError<T> {
     Closed(T),
     /// The send was aborted by [`ChannelSend::cancel`] (or a timeout).
     Cancelled(T),
+    /// The channel was [poisoned](CqsChannel::poison) — a participant
+    /// crashed mid-operation — before the element was accepted.
+    Poisoned(T),
 }
 
 impl<T> SendError<T> {
     /// Recovers the element that was not sent.
     pub fn into_inner(self) -> T {
         match self {
-            SendError::Closed(v) | SendError::Cancelled(v) => v,
+            SendError::Closed(v) | SendError::Cancelled(v) | SendError::Poisoned(v) => v,
         }
     }
 }
@@ -113,6 +116,7 @@ impl<T> std::fmt::Debug for SendError<T> {
         match self {
             SendError::Closed(_) => f.write_str("SendError::Closed(..)"),
             SendError::Cancelled(_) => f.write_str("SendError::Cancelled(..)"),
+            SendError::Poisoned(_) => f.write_str("SendError::Poisoned(..)"),
         }
     }
 }
@@ -122,6 +126,7 @@ impl<T> std::fmt::Display for SendError<T> {
         match self {
             SendError::Closed(_) => f.write_str("channel closed; the element was returned"),
             SendError::Cancelled(_) => f.write_str("send cancelled; the element was returned"),
+            SendError::Poisoned(_) => f.write_str("channel poisoned; the element was returned"),
         }
     }
 }
@@ -135,6 +140,9 @@ pub enum RecvError {
     Closed,
     /// The receive was aborted by [`ChannelRecv::cancel`] or a timeout.
     Cancelled,
+    /// The channel was [poisoned](CqsChannel::poison) — a participant
+    /// crashed mid-operation — while (or before) the receive waited.
+    Poisoned,
 }
 
 impl std::fmt::Display for RecvError {
@@ -142,6 +150,7 @@ impl std::fmt::Display for RecvError {
         match self {
             RecvError::Closed => f.write_str("channel closed"),
             RecvError::Cancelled => f.write_str("receive cancelled"),
+            RecvError::Poisoned => f.write_str("channel poisoned"),
         }
     }
 }
@@ -228,6 +237,10 @@ struct ChannelShared<T: Send + 'static> {
     /// Blocked senders; resumed with capacity grants.
     senders: Cqs<(), SendCallbacks>,
     closed: AtomicBool,
+    /// Set (before `closed`) when a participant crashed mid-operation;
+    /// distinguishes [`SendError::Poisoned`]/[`RecvError::Poisoned`] from
+    /// the orderly `Closed` outcomes.
+    poisoned: AtomicBool,
     /// Elements claimed back from the buffer after `closed` flipped;
     /// returned by `close()` / `drain()`.
     orphans: Mutex<Vec<T>>,
@@ -239,7 +252,11 @@ impl<T: Send + 'static> ChannelShared<T> {
     /// pool's `put` loop — a failed insert means a racing retrieve broke
     /// the slot and gave its claim back, so the loop re-counts.
     fn deliver(&self, element: T) {
-        let mut element = element;
+        let mut staged = Some(element);
+        self.fault_window("channel.deliver.fault.pre-count", &mut staged);
+        let Some(mut element) = staged else {
+            return; // unreachable: the window rethrows after recovery
+        };
         loop {
             cqs_chaos::inject!("channel.deliver.pre-count");
             let s = self.size.fetch_add(1, Ordering::SeqCst);
@@ -290,10 +307,112 @@ impl<T: Send + 'static> ChannelShared<T> {
             }
             if let Some(v) = self.buffer.try_retrieve() {
                 cqs_stats::bump!(channel_orphaned);
-                self.orphans.lock().unwrap().push(v);
+                self.orphans
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(v);
             } else {
                 std::thread::yield_now();
             }
+        }
+    }
+
+    /// A crash unwound through an inline slot release while the caller's
+    /// receive future may already hold a delivered element (a sender
+    /// eliminated with the freshly-suspended cell before the unwind).
+    /// Move the element into the orphan list — conserving it for
+    /// [`CqsChannel::drain`] — so the unwind does not drop it along with
+    /// the future.
+    fn rescue_settled_value(&self, f: &mut CqsFuture<T>) {
+        if let FutureState::Ready(v) = f.try_get() {
+            cqs_stats::bump!(channel_orphaned);
+            self.orphans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(v);
+        }
+    }
+
+    /// Crash window for the chaos fault injector: when the armed fault
+    /// fires at `label`, the staged element (if any) is parked in
+    /// `orphans` — conserving it for [`CqsChannel::drain`] — and the
+    /// channel is poisoned before the panic resumes. Compiles to a no-op
+    /// without the `chaos` feature.
+    #[cfg(feature = "chaos")]
+    fn fault_window(&self, label: &'static str, element: &mut Option<T>) {
+        if let Err(panic) = std::panic::catch_unwind(|| cqs_chaos::fault!(label)) {
+            if let Some(v) = element.take() {
+                cqs_stats::bump!(channel_orphaned);
+                self.orphans
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(v);
+            }
+            self.poison();
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn fault_window(&self, _label: &'static str, _element: &mut Option<T>) {}
+
+    /// First-closer protocol shared by close and poison: flips `closed`,
+    /// sweeps both waiter queues and claims the buffer into `orphans`.
+    /// Returns whether this call was the one that performed the sweep.
+    ///
+    /// Each sweep step runs even if an earlier one panics (an injected
+    /// crash fault, or a panicking waker, can unwind out of a queue
+    /// sweep): stopping mid-cascade would leave the *other* queue's
+    /// waiters parked on a channel nobody will close again — the flag is
+    /// already flipped. The first panic re-raises after every step ran.
+    fn close_internal(&self) -> bool {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        cqs_chaos::inject!("channel.close.pre-sweep");
+        let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+        let steps: [&(dyn Fn() + Sync); 3] = [
+            &|| self.senders.close(),
+            &|| self.receivers.close(),
+            &|| self.sweep_buffer_into_orphans(),
+        ];
+        for step in steps {
+            if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(step)) {
+                first.get_or_insert(panic);
+            }
+        }
+        if let Some(panic) = first {
+            self.poisoned.store(true, Ordering::SeqCst);
+            std::panic::resume_unwind(panic);
+        }
+        true
+    }
+
+    /// Poisons the channel: flags it (before `closed`, so every waiter the
+    /// sweep wakes already observes the poison), poisons both waiter
+    /// queues — publishing their `poisoned` watch gauges — and runs the
+    /// close sweep. Buffered elements are conserved in `orphans`.
+    ///
+    /// Like [`close_internal`](Self::close_internal), the cascade is
+    /// crash-tolerant: a panic in one queue's poison sweep must not leave
+    /// the other queue un-poisoned with its waiters stranded.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+        let steps: [&(dyn Fn() + Sync); 3] = [
+            &|| self.receivers.poison(),
+            &|| self.senders.poison(),
+            &|| {
+                self.close_internal();
+            },
+        ];
+        for step in steps {
+            if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(step)) {
+                first.get_or_insert(panic);
+            }
+        }
+        if let Some(panic) = first {
+            std::panic::resume_unwind(panic);
         }
     }
 }
@@ -346,6 +465,7 @@ impl<T: Send + 'static> CqsChannel<T> {
                 },
             ),
             closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             orphans: Mutex::new(Vec::new()),
         });
         CqsChannel { shared }
@@ -434,22 +554,52 @@ impl<T: Send + 'static> CqsChannel<T> {
                 hook_public.cancel();
                 return;
             }
-            match hook_staged.lock().unwrap().take() {
+            // Take the element in its own statement: a `match` on the
+            // locked expression would hold the guard for the whole body,
+            // and a crash inside the delivery below would poison the
+            // staged mutex the sender still needs for error recovery.
+            let taken = hook_staged
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            match taken {
                 Some(element) => {
                     // Deliver *before* resolving the send — a sender that
                     // observes its send complete may immediately send
                     // again, and its elements must stay ordered.
-                    shared.deliver(element);
-                    if shared.closed.load(Ordering::SeqCst) {
-                        shared.sweep_buffer_into_orphans();
+                    //
+                    // A crash inside the delivery (an injected fault, a
+                    // panicking downstream waker) must still settle the
+                    // sender: `public` lives outside every CQS queue, so
+                    // no poison sweep can reach it — an unsettled request
+                    // here parks the sender forever. The crashed element
+                    // is already conserved in the orphan list, so cancel
+                    // resolves the send as accepted (staged is empty),
+                    // exactly like a buffered element outliving a close.
+                    let delivered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.deliver(element);
+                        if shared.closed.load(Ordering::SeqCst) {
+                            shared.sweep_buffer_into_orphans();
+                        }
+                    }));
+                    match delivered {
+                        Ok(()) => {
+                            let _ = hook_public.complete(());
+                        }
+                        Err(panic) => {
+                            hook_public.cancel();
+                            std::panic::resume_unwind(panic);
+                        }
                     }
-                    let _ = hook_public.complete(());
                 }
                 None => {
                     // The sender reclaimed the element (timeout racing the
-                    // grant); give the granted slot back.
-                    shared.release_slot();
+                    // grant); give the granted slot back. Settle `public`
+                    // first — releasing the slot can grant another sender
+                    // whose delivery crashes, and that unwind must not
+                    // leave this request unsettled.
                     hook_public.cancel();
+                    shared.release_slot();
                 }
             }
         });
@@ -484,7 +634,34 @@ impl<T: Send + 'static> CqsChannel<T> {
                         // The element's slot frees on consumption. (At
                         // rendezvous capacity, pocketed elements hold no
                         // slot — receiver presence is the capacity.)
-                        shared.release_slot();
+                        //
+                        // Freeing the slot may grant a parked sender and run
+                        // its delivery inline; if that delivery crashes, the
+                        // unwind must not drop the element we just popped —
+                        // park it in the orphan list (the crash already
+                        // poisoned, hence closed, the channel) so `drain()`
+                        // recovers it.
+                        let mut staged = Some(element);
+                        if let Err(panic) =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                shared.release_slot()
+                            }))
+                        {
+                            if let Some(v) = staged.take() {
+                                cqs_stats::bump!(channel_orphaned);
+                                shared
+                                    .orphans
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .push(v);
+                            }
+                            std::panic::resume_unwind(panic);
+                        }
+                        let element = staged.take().expect("element consumed without a panic");
+                        return ChannelRecv {
+                            inner: CqsFuture::immediate(element),
+                            channel: Arc::downgrade(shared),
+                        };
                     }
                     return ChannelRecv {
                         inner: CqsFuture::immediate(element),
@@ -495,7 +672,7 @@ impl<T: Send + 'static> CqsChannel<T> {
                 // is absorbed by the deliverer's restart; claim afresh.
                 continue;
             }
-            let f = match shared.receivers.suspend() {
+            let mut f = match shared.receivers.suspend() {
                 Suspend::Future(f) => f,
                 Suspend::Broken => unreachable!("channel uses asynchronous resumption"),
             };
@@ -503,21 +680,43 @@ impl<T: Send + 'static> CqsChannel<T> {
                 Some(0) => {
                     // Rendezvous: a waiting receiver is one slot of
                     // capacity; this is what unblocks the paired sender.
-                    shared.release_slot();
+                    // The release can hand a sender's element straight to
+                    // this receiver's cell and then unwind (injected
+                    // fault); the element is already inside `f`, so it
+                    // must be rescued before the unwind drops the future.
+                    if let Err(panic) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            shared.release_slot()
+                        }))
+                    {
+                        shared.rescue_settled_value(&mut f);
+                        std::panic::resume_unwind(panic);
+                    }
                 }
                 Some(_) => {
                     // Bounded: release the element's slot when (and only
                     // when) this receiver is actually delivered to — on
                     // the delivering thread, independent of whether the
-                    // caller ever waits.
+                    // caller ever waits. If the future is already settled
+                    // (a sender eliminated with our cell before the hook
+                    // was registered) the hook runs inline here and the
+                    // slot release can unwind through us with the element
+                    // inside `f` — rescue it rather than drop it.
                     let weak = Arc::downgrade(shared);
-                    f.on_settled(move |delivered| {
-                        if delivered {
-                            if let Some(shared) = weak.upgrade() {
-                                shared.release_slot();
-                            }
-                        }
-                    });
+                    if let Err(panic) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f.on_settled(move |delivered| {
+                                if delivered {
+                                    if let Some(shared) = weak.upgrade() {
+                                        shared.release_slot();
+                                    }
+                                }
+                            });
+                        }))
+                    {
+                        shared.rescue_settled_value(&mut f);
+                        std::panic::resume_unwind(panic);
+                    }
                 }
                 None => {}
             }
@@ -535,15 +734,36 @@ impl<T: Send + 'static> CqsChannel<T> {
     /// empty vector; racing sends that land after the sweep are parked
     /// for [`drain`](Self::drain).
     pub fn close(&self) -> Vec<T> {
-        let shared = &self.shared;
-        if shared.closed.swap(true, Ordering::SeqCst) {
+        if !self.shared.close_internal() {
             return Vec::new();
         }
-        cqs_chaos::inject!("channel.close.pre-sweep");
-        shared.senders.close();
-        shared.receivers.close();
-        shared.sweep_buffer_into_orphans();
-        std::mem::take(&mut *shared.orphans.lock().unwrap())
+        std::mem::take(
+            &mut *self
+                .shared
+                .orphans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Poisons the channel: like [`close`](Self::close), but pending and
+    /// subsequent operations fail with [`SendError::Poisoned`] /
+    /// [`RecvError::Poisoned`] instead of the orderly `Closed` outcomes.
+    /// Use when a participant crashed mid-protocol and in-flight elements
+    /// may reflect inconsistent state. Buffered elements are conserved:
+    /// retrieve them with [`drain`](Self::drain).
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// Whether the channel was poisoned — by [`poison`](Self::poison), by
+    /// an injected crash fault, or by a panic escaping one of the waiter
+    /// queues' batched paths. A poisoned channel is always also
+    /// [closed](Self::is_closed).
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::SeqCst)
+            || self.shared.receivers.is_poisoned()
+            || self.shared.senders.is_poisoned()
     }
 
     /// Collects elements stranded by sends that raced [`close`](Self::close): claims
@@ -557,12 +777,51 @@ impl<T: Send + 'static> CqsChannel<T> {
             return Vec::new();
         }
         shared.sweep_buffer_into_orphans();
-        std::mem::take(&mut *shared.orphans.lock().unwrap())
+        std::mem::take(
+            &mut *shared
+                .orphans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     /// Whether [`close`](Self::close) was called.
     pub fn is_closed(&self) -> bool {
         self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    /// Blocking convenience: sends `element`, aborting the queued send if
+    /// `timeout` elapses first. Equivalent to
+    /// `self.send(element).wait_timeout(timeout)` — if the abort loses to
+    /// an in-flight capacity grant, the element *is* delivered and the
+    /// send reports success (see [`ChannelSend::wait_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Cancelled`] with the element handed back on timeout,
+    /// [`SendError::Closed`] / [`SendError::Poisoned`] if the channel
+    /// closed or was poisoned while waiting.
+    pub fn send_timeout(
+        &self,
+        element: T,
+        timeout: std::time::Duration,
+    ) -> Result<(), SendError<T>> {
+        self.send(element).wait_timeout(timeout)
+    }
+
+    /// Blocking convenience: receives the oldest element, aborting the
+    /// waiting receive if `timeout` elapses first. Equivalent to
+    /// `self.receive().wait_timeout(timeout)` — if the abort loses to an
+    /// in-flight delivery, the element is returned, never dropped (see
+    /// [`ChannelRecv::wait_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Cancelled`] on timeout, [`RecvError::Closed`] /
+    /// [`RecvError::Poisoned`] if the channel closed or was poisoned while
+    /// waiting.
+    pub fn receive_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvError> {
+        self.receive().wait_timeout(timeout)
     }
 
     /// A racy snapshot of the number of stored elements.
@@ -652,18 +911,28 @@ impl<T: Send + 'static> ChannelSend<T> {
         channel: &Weak<ChannelShared<T>>,
         fallback_cancelled: bool,
     ) -> Result<(), SendError<T>> {
-        match staged.lock().unwrap().take() {
+        match staged
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
             // The element was delivered after all (the resolution raced a
             // grant): the send succeeded.
             None => Ok(()),
             Some(v) => {
-                let closed = channel
-                    .upgrade()
-                    .is_none_or(|s| s.closed.load(Ordering::SeqCst));
-                if closed && !fallback_cancelled {
-                    Err(SendError::Closed(v))
-                } else {
+                let (closed, poisoned) = match channel.upgrade() {
+                    Some(s) => (
+                        s.closed.load(Ordering::SeqCst),
+                        s.poisoned.load(Ordering::SeqCst),
+                    ),
+                    None => (true, false),
+                };
+                if fallback_cancelled || !closed {
                     Err(SendError::Cancelled(v))
+                } else if poisoned {
+                    Err(SendError::Poisoned(v))
+                } else {
+                    Err(SendError::Closed(v))
                 }
             }
         }
@@ -765,13 +1034,17 @@ pub struct ChannelRecv<T: Send + 'static> {
 
 impl<T: Send + 'static> ChannelRecv<T> {
     fn error(channel: &Weak<ChannelShared<T>>) -> RecvError {
-        if channel
-            .upgrade()
-            .is_none_or(|s| s.closed.load(Ordering::SeqCst))
-        {
-            RecvError::Closed
-        } else {
-            RecvError::Cancelled
+        match channel.upgrade() {
+            None => RecvError::Closed,
+            Some(s) => {
+                if s.poisoned.load(Ordering::SeqCst) {
+                    RecvError::Poisoned
+                } else if s.closed.load(Ordering::SeqCst) {
+                    RecvError::Closed
+                } else {
+                    RecvError::Cancelled
+                }
+            }
         }
     }
 
@@ -1088,6 +1361,59 @@ mod tests {
             );
             assert!(ch.is_empty());
         }
+    }
+
+    /// Poisoning settles both sides with the dedicated error and keeps
+    /// buffered elements retrievable.
+    #[test]
+    fn poison_fails_pending_and_future_operations() {
+        let ch = CqsChannel::bounded(2);
+        ch.send(1).wait().unwrap();
+        ch.send(2).wait().unwrap();
+        let blocked = ch.send(3);
+        assert!(!blocked.is_immediate());
+        ch.poison();
+        assert!(ch.is_poisoned());
+        assert!(ch.is_closed());
+        match blocked.wait() {
+            Err(SendError::Poisoned(v)) => assert_eq!(v, 3),
+            other => panic!("expected Poisoned(3), got {other:?}"),
+        }
+        // Conservation: the buffered elements survive the poison.
+        let mut returned = ch.drain();
+        returned.sort_unstable();
+        assert_eq!(returned, vec![1, 2]);
+        // Post-poison operations fail fast with the poisoned error.
+        match ch.send(9).wait() {
+            Err(SendError::Poisoned(v)) => assert_eq!(v, 9),
+            other => panic!("expected Poisoned(9), got {other:?}"),
+        }
+        assert_eq!(ch.receive().wait(), Err(RecvError::Poisoned));
+    }
+
+    #[test]
+    fn poison_wakes_parked_receiver_with_poisoned() {
+        let ch: std::sync::Arc<CqsChannel<u32>> = std::sync::Arc::new(CqsChannel::bounded(2));
+        let c2 = std::sync::Arc::clone(&ch);
+        let t = std::thread::spawn(move || c2.receive().wait());
+        std::thread::sleep(Duration::from_millis(10));
+        ch.poison();
+        assert_eq!(t.join().unwrap(), Err(RecvError::Poisoned));
+    }
+
+    #[test]
+    fn send_timeout_convenience_matches_future_path() {
+        let ch = CqsChannel::bounded(1);
+        ch.send_timeout(1, Duration::from_millis(50)).unwrap();
+        match ch.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendError::Cancelled(v)) => assert_eq!(v, 2),
+            other => panic!("expected Cancelled(2), got {other:?}"),
+        }
+        assert_eq!(ch.receive_timeout(Duration::from_millis(50)), Ok(1));
+        assert_eq!(
+            ch.receive_timeout(Duration::from_millis(10)),
+            Err(RecvError::Cancelled)
+        );
     }
 
     /// Concurrent close vs sends: every element ends up in exactly one

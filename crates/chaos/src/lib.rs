@@ -33,8 +33,22 @@
 //! stamped history that the `cqs-check` Wing–Gong linearizability checker
 //! replays against sequential reference models.
 //!
+//! Beyond timing perturbation, a small set of windows is additionally
+//! *fault-eligible*: [`fault!`]`("label")` marks a point where a panic may
+//! be injected, simulating user code (a `Clone`, a waker, a callback)
+//! crashing mid-protocol. Crash faults are off by default even under
+//! `--features chaos`; they are armed by [`set_faults`]`(seed, budget)` or
+//! the `CQS_CHAOS_FAULTS=<seed>:<budget>` environment variable, which
+//! injects at most `budget` seeded panics across the fault-eligible
+//! windows. An external [`Scheduler`] can instead force exact placement by
+//! overriding [`Scheduler::at_fault`] — the seam the `cqs-check` fault
+//! explorer uses to exhaust panic placements. Injected faults are recorded
+//! in the same decision-trace ring as schedule decisions, so a failing
+//! storm replays from its seed.
+//!
 //! ```ignore
 //! cqs_chaos::inject!("cell.try_install_waiter.pre-cas");
+//! cqs_chaos::fault!("cqs.resume-n.fault.mid-batch");
 //! cqs_chaos::record!(self as *const _ as u64, "sem.acquire", Invoke, 0);
 //! ```
 
@@ -52,6 +66,16 @@ use std::sync::Arc;
 pub trait Scheduler: Send + Sync {
     /// Called on the thread that reached the labelled window.
     fn at_point(&self, label: &'static str);
+
+    /// Called on the thread that reached a labelled *crash-fault* window
+    /// ([`fault!`]). Returning `true` makes the window panic on the spot,
+    /// simulating user code crashing mid-protocol; the default declines
+    /// every injection, so existing schedulers are unaffected. The
+    /// `cqs-check` fault explorer overrides this to force a panic at an
+    /// exact (label, occurrence) placement.
+    fn at_fault(&self, _label: &'static str) -> bool {
+        false
+    }
 }
 
 /// Phase of a recorded operation event (see [`record!`]).
@@ -102,6 +126,7 @@ pub const KNOWN_LABELS: &[&str] = &[
     "cell.mark-resumed.pre-swap",
     "cell.publish.pre-cas",
     "channel.close.pre-sweep",
+    "channel.deliver.fault.pre-count",
     "channel.deliver.pre-count",
     "channel.deliver.pre-resume",
     "channel.grant.pre-deliver",
@@ -113,10 +138,13 @@ pub const KNOWN_LABELS: &[&str] = &[
     "channel.slot.pre-release",
     "cqs.cancel.pre-cancel-swap",
     "cqs.cancel.pre-refuse-swap",
+    "cqs.close.fault.mid-sweep",
     "cqs.close.pre-cancel",
     "cqs.close.pre-fire",
     "cqs.close.pre-sweep",
     "cqs.on-waiter-cancelled.entry",
+    "cqs.resume-all.fault.pre-clone",
+    "cqs.resume-n.fault.mid-batch",
     "cqs.resume-n.pre-advance",
     "cqs.resume-n.pre-complete",
     "cqs.resume-n.pre-counter",
@@ -150,11 +178,25 @@ pub const KNOWN_LABELS: &[&str] = &[
     "future.wait.park-phase",
     "future.wait.spin-phase",
     "future.wait.yield-phase",
+    "future.wake.fault.pre-fire",
     "segment.append.pre-cas",
     "segment.move-forward.pre-cas",
     "segment.on-cancelled-cell.pre-count",
     "segment.recycle.pre-push",
     "segment.remove.pre-link",
+];
+
+/// The fault-eligible subset of [`KNOWN_LABELS`]: windows where a
+/// [`fault!`] call site may inject a crash (panic). Every entry also
+/// appears in [`KNOWN_LABELS`], so fault decisions share the decision-trace
+/// vocabulary. The `cqs-check` fault explorer iterates this table to
+/// exhaust panic placements.
+pub const FAULT_LABELS: &[&str] = &[
+    "channel.deliver.fault.pre-count",
+    "cqs.close.fault.mid-sweep",
+    "cqs.resume-all.fault.pre-clone",
+    "cqs.resume-n.fault.mid-batch",
+    "future.wake.fault.pre-fire",
 ];
 
 /// Marks a labelled race window for fault injection.
@@ -176,6 +218,32 @@ macro_rules! inject {
 #[cfg(not(feature = "chaos"))]
 #[macro_export]
 macro_rules! inject {
+    ($label:expr) => {};
+}
+
+/// Marks a labelled *crash-fault* window: a point where a seeded, budgeted
+/// panic may be injected (see [`set_faults`] / `CQS_CHAOS_FAULTS`).
+///
+/// Expands to nothing unless the `chaos` feature is enabled, in which case
+/// it forwards to [`fault_fire`] with the given `&'static str` label. Even
+/// with the feature on, the window is inert until faults are armed by
+/// [`set_faults`], the `CQS_CHAOS_FAULTS` environment variable, or an
+/// external [`Scheduler`] whose [`Scheduler::at_fault`] accepts the label.
+#[cfg(feature = "chaos")]
+#[macro_export]
+macro_rules! fault {
+    ($label:expr) => {
+        $crate::fault_fire($label)
+    };
+}
+
+/// Marks a labelled *crash-fault* window.
+///
+/// The `chaos` feature is disabled, so this expands to nothing: the label
+/// literal is never evaluated and no code is emitted at the call site.
+#[cfg(not(feature = "chaos"))]
+#[macro_export]
+macro_rules! fault {
     ($label:expr) => {};
 }
 
@@ -228,6 +296,22 @@ mod runtime {
     static HAS_CUSTOM: AtomicBool = AtomicBool::new(false);
     static CUSTOM: RwLock<Option<Arc<dyn Scheduler>>> = RwLock::new(None);
 
+    // --- crash-fault injection (fault! / CQS_CHAOS_FAULTS) ----------------
+
+    static FAULTS_ON: AtomicBool = AtomicBool::new(false);
+    static FAULT_SEED: AtomicU64 = AtomicU64::new(0);
+    /// Bumped on every re-arm so live threads drop their stale fault stream.
+    static FAULT_GENERATION: AtomicU64 = AtomicU64::new(0);
+    /// Hands each participating thread a distinct fault-stream index
+    /// (independent of the perturbation streams, so arming faults never
+    /// shifts an existing timing-replay schedule).
+    static FAULT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+    /// Remaining injections; decremented by CAS so concurrent windows can
+    /// never overdraw the budget.
+    static FAULT_BUDGET: AtomicU64 = AtomicU64::new(0);
+    static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+    static FAULT_POINTS: AtomicU64 = AtomicU64::new(0);
+
     /// Registry of labels observed firing at least once this process.
     static LABELS: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
 
@@ -270,6 +354,7 @@ mod runtime {
 
     thread_local! {
         static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+        static FAULT_LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
         static SEEN_LABELS: RefCell<HashSet<&'static str>> =
             RefCell::new(HashSet::new());
         static STAMP: Cell<u64> = const { Cell::new(u64::MAX) };
@@ -301,6 +386,47 @@ mod runtime {
     /// used by tests to confirm the hooks actually fired).
     pub fn fired_count() -> u64 {
         FIRED.load(Ordering::Relaxed)
+    }
+
+    /// Arms crash-fault injection: at most `budget` seeded panics will be
+    /// injected across the [`fault!`][crate::fault] windows, on a
+    /// deterministic per-thread stream derived from `seed`. Replays like
+    /// [`set_seed`]: the same seed, budget and thread arrival order inject
+    /// the same faults. Also reachable via `CQS_CHAOS_FAULTS=<seed>:<budget>`.
+    pub fn set_faults(seed: u64, budget: u64) {
+        FAULT_SEED.store(seed, Ordering::SeqCst);
+        FAULT_ORDINAL.store(0, Ordering::SeqCst);
+        FAULT_GENERATION.fetch_add(1, Ordering::SeqCst);
+        FAULT_BUDGET.store(budget, Ordering::SeqCst);
+        FAULTS_ON.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms crash-fault injection and zeroes the remaining budget; every
+    /// `fault!` window becomes a cheap load-and-return again (unless an
+    /// external scheduler forces placement through
+    /// [`Scheduler::at_fault`][super::Scheduler::at_fault]).
+    pub fn clear_faults() {
+        FAULTS_ON.store(false, Ordering::SeqCst);
+        FAULT_BUDGET.store(0, Ordering::SeqCst);
+    }
+
+    /// Remaining injections in the armed fault budget (`0` when disarmed
+    /// or exhausted).
+    pub fn faults_remaining() -> u64 {
+        FAULT_BUDGET.load(Ordering::SeqCst)
+    }
+
+    /// Total crash faults injected since process start (diagnostic; storms
+    /// use the delta to tell whether a caught panic was an injection).
+    pub fn faults_injected() -> u64 {
+        FAULTS_INJECTED.load(Ordering::Relaxed)
+    }
+
+    /// Number of fault-eligible windows reached while faults were armed or
+    /// an external scheduler was installed (diagnostic; confirms the
+    /// `fault!` seams are actually on the executed paths).
+    pub fn fault_point_count() -> u64 {
+        FAULT_POINTS.load(Ordering::Relaxed)
     }
 
     /// Installs an external scheduler: until [`clear_scheduler`], every
@@ -352,12 +478,37 @@ mod runtime {
                     None => eprintln!("cqs-chaos: ignoring unparsable CQS_CHAOS_SEED=`{text}`"),
                 }
             }
+            if let Ok(text) = std::env::var("CQS_CHAOS_FAULTS") {
+                let text = text.trim();
+                match parse_fault_spec(text) {
+                    Some((seed, budget)) => set_faults(seed, budget),
+                    None => eprintln!(
+                        "cqs-chaos: ignoring unparsable CQS_CHAOS_FAULTS=`{text}` \
+                         (expected <seed>:<budget>, seed decimal or 0x-hex)"
+                    ),
+                }
+            }
             if let Ok(path) = std::env::var("CQS_CHAOS_TRACE") {
                 if !path.trim().is_empty() {
                     set_trace_path(Some(PathBuf::from(path)));
                 }
             }
         });
+    }
+
+    /// Parses a `CQS_CHAOS_FAULTS` value: `<seed>:<budget>`, seed decimal
+    /// or `0x`-prefixed hex (same convention as `CQS_CHAOS_SEED`), budget
+    /// decimal.
+    pub(crate) fn parse_fault_spec(text: &str) -> Option<(u64, u64)> {
+        let (seed, budget) = text.split_once(':')?;
+        let seed = seed.trim();
+        let seed = if let Some(hex) = seed.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()?
+        } else {
+            seed.parse().ok()?
+        };
+        let budget: u64 = budget.trim().parse().ok()?;
+        Some((seed, budget))
     }
 
     /// The injection point behind `inject!`: reports the labelled window to
@@ -383,6 +534,91 @@ mod runtime {
             }
         }
         random_perturb(label);
+    }
+
+    /// The injection point behind `fault!`: may panic on purpose.
+    ///
+    /// An external scheduler (if installed) decides placement through
+    /// [`Scheduler::at_fault`]; otherwise, with faults armed
+    /// ([`set_faults`] / `CQS_CHAOS_FAULTS`), the window rolls on a seeded
+    /// per-thread stream and panics while the budget lasts. The injected
+    /// panic's message always contains `"injected crash fault"`, so
+    /// harnesses can tell injections from organic panics.
+    #[inline]
+    pub fn fault_fire(label: &'static str) {
+        init_from_env();
+        let custom = HAS_CUSTOM.load(Ordering::Relaxed);
+        if !custom && !FAULTS_ON.load(Ordering::Relaxed) {
+            return;
+        }
+        FAULT_POINTS.fetch_add(1, Ordering::Relaxed);
+        register_label(label);
+        let inject = if custom {
+            // Clone out so the lock is not held across `at_fault` (nor
+            // across the panic below).
+            match CUSTOM.read().unwrap().clone() {
+                Some(scheduler) => scheduler.at_fault(label),
+                None => random_fault(label),
+            }
+        } else {
+            random_fault(label)
+        };
+        if inject {
+            FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
+            trace_decision(label, "fault", FAULT_BUDGET.load(Ordering::Relaxed));
+            panic!("cqs-chaos: injected crash fault at `{label}`");
+        }
+    }
+
+    /// The seeded budgeted fault decision: `true` while the armed budget
+    /// lasts and the thread-local stream rolls an injection at this window.
+    pub(super) fn random_fault(label: &'static str) -> bool {
+        if !FAULTS_ON.load(Ordering::Relaxed) {
+            return false;
+        }
+        let generation = FAULT_GENERATION.load(Ordering::Relaxed);
+        let mut roll = false;
+        // try_with: a TLS-destructor-time call (thread teardown) is ignored.
+        let _ = FAULT_LOCAL.try_with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let local = match slot.as_mut() {
+                Some(local) if local.generation == generation => local,
+                _ => {
+                    let ordinal = FAULT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+                    let seed = FAULT_SEED.load(Ordering::Relaxed)
+                        ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    *slot = Some(Local {
+                        generation,
+                        rng: SmallRng::seed_from_u64(seed),
+                    });
+                    slot.as_mut().unwrap()
+                }
+            };
+            // Mix the label in (as `perturb` does) so one thread stream
+            // spreads its injections across different windows; 1-in-8
+            // keeps storms crashing often without starving progress.
+            roll = (local.rng.next_u64() ^ fxhash(label)).is_multiple_of(8);
+        });
+        roll && take_fault_budget()
+    }
+
+    /// Claims one injection from the budget; `false` once exhausted.
+    fn take_fault_budget() -> bool {
+        let mut remaining = FAULT_BUDGET.load(Ordering::Relaxed);
+        loop {
+            if remaining == 0 {
+                return false;
+            }
+            match FAULT_BUDGET.compare_exchange_weak(
+                remaining,
+                remaining - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(current) => remaining = current,
+            }
+        }
     }
 
     /// Registers `label` in the global registry, with a thread-local cache
@@ -587,7 +823,8 @@ mod runtime {
 
 #[cfg(feature = "chaos")]
 pub use runtime::{
-    clear_scheduler, disable, dump_trace, fire, fired_count, is_enabled, labels, record,
+    clear_faults, clear_scheduler, disable, dump_trace, fault_fire, fault_point_count,
+    faults_injected, faults_remaining, fire, fired_count, is_enabled, labels, record, set_faults,
     set_scheduler, set_seed, set_trace_path, start_recording, take_history, thread_ordinal,
     trace_decision_count,
 };
@@ -603,6 +840,14 @@ pub struct RandomScheduler;
 impl Scheduler for RandomScheduler {
     fn at_point(&self, label: &'static str) {
         runtime::random_perturb(label);
+    }
+
+    fn at_fault(&self, label: &'static str) -> bool {
+        // Defer to the armed seeded budget, exactly as if no external
+        // scheduler were installed: explicitly restoring random mode via
+        // `set_scheduler(Arc::new(RandomScheduler))` keeps fault behaviour
+        // identical to the default path.
+        runtime::random_fault(label)
     }
 }
 
@@ -629,6 +874,22 @@ mod inert {
     }
     /// Always `0`: the `chaos` feature is disabled.
     pub fn fired_count() -> u64 {
+        0
+    }
+    /// No-op: without the feature no fault window exists to arm.
+    pub fn set_faults(_seed: u64, _budget: u64) {}
+    /// No-op: the `chaos` feature is disabled.
+    pub fn clear_faults() {}
+    /// Always `0`: the `chaos` feature is disabled.
+    pub fn faults_remaining() -> u64 {
+        0
+    }
+    /// Always `0`: the `chaos` feature is disabled.
+    pub fn faults_injected() -> u64 {
+        0
+    }
+    /// Always `0`: the `chaos` feature is disabled.
+    pub fn fault_point_count() -> u64 {
         0
     }
     /// No-op: without the feature no labelled window ever fires, so the
@@ -666,8 +927,9 @@ mod inert {
 
 #[cfg(not(feature = "chaos"))]
 pub use inert::{
-    clear_scheduler, disable, dump_trace, fired_count, is_enabled, labels, record, set_scheduler,
-    set_seed, set_trace_path, start_recording, take_history, thread_ordinal, trace_decision_count,
+    clear_faults, clear_scheduler, disable, dump_trace, fault_point_count, faults_injected,
+    faults_remaining, fired_count, is_enabled, labels, record, set_faults, set_scheduler, set_seed,
+    set_trace_path, start_recording, take_history, thread_ordinal, trace_decision_count,
 };
 
 /// Convenience: installs `scheduler` for the duration of the returned
@@ -771,6 +1033,94 @@ mod tests {
         assert!(super::take_history().is_empty());
     }
 
+    /// Runs `body` with a silent panic hook (injected faults would
+    /// otherwise spray backtraces over the test output), restoring the
+    /// previous hook afterwards.
+    fn with_quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = body();
+        std::panic::set_hook(previous);
+        result
+    }
+
+    #[test]
+    fn faults_are_off_by_default_and_respect_budget() {
+        let _serial = serial();
+        super::clear_faults();
+        // Disarmed: the window is inert however often it is crossed.
+        for _ in 0..1000 {
+            crate::fault!("test.fault-window");
+        }
+        assert_eq!(super::faults_remaining(), 0);
+
+        let injected_before = super::faults_injected();
+        super::set_faults(0xFA17, 2);
+        let caught = with_quiet_panics(|| {
+            let mut caught = 0;
+            for _ in 0..10_000 {
+                if std::panic::catch_unwind(|| crate::fault!("test.fault-window")).is_err() {
+                    caught += 1;
+                }
+            }
+            caught
+        });
+        assert_eq!(caught, 2, "exactly the armed budget must inject");
+        assert_eq!(super::faults_remaining(), 0);
+        assert_eq!(super::faults_injected(), injected_before + 2);
+        super::clear_faults();
+        crate::fault!("test.fault-window");
+    }
+
+    #[test]
+    fn scheduler_at_fault_forces_exact_placement() {
+        struct NthFault(AtomicU64);
+        impl super::Scheduler for NthFault {
+            fn at_point(&self, _label: &'static str) {}
+            fn at_fault(&self, label: &'static str) -> bool {
+                assert_eq!(label, "test.forced-fault");
+                self.0.fetch_add(1, Ordering::Relaxed) == 2
+            }
+        }
+        let _serial = serial();
+        super::clear_faults();
+        let sched = Arc::new(NthFault(AtomicU64::new(0)));
+        let _guard = super::scoped_scheduler(sched);
+        let outcomes: Vec<bool> = with_quiet_panics(|| {
+            (0..5)
+                .map(|_| std::panic::catch_unwind(|| crate::fault!("test.forced-fault")).is_err())
+                .collect()
+        });
+        // Only the third crossing panics: external schedulers pick exact
+        // placements, no seed or budget involved.
+        assert_eq!(outcomes, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn fault_labels_are_known_and_sorted() {
+        for pair in super::FAULT_LABELS.windows(2) {
+            assert!(pair[0] < pair[1], "FAULT_LABELS unsorted at {pair:?}");
+        }
+        for label in super::FAULT_LABELS {
+            assert!(
+                super::KNOWN_LABELS.binary_search(label).is_ok(),
+                "fault label {label} missing from KNOWN_LABELS"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_spec_parses_decimal_hex_and_rejects_garbage() {
+        use crate::runtime::parse_fault_spec;
+        assert_eq!(parse_fault_spec("7:3"), Some((7, 3)));
+        assert_eq!(parse_fault_spec("0x476A0000:2"), Some((0x476A_0000, 2)));
+        assert_eq!(parse_fault_spec(" 12 : 1 "), Some((12, 1)));
+        assert_eq!(parse_fault_spec("12"), None);
+        assert_eq!(parse_fault_spec("x:1"), None);
+        assert_eq!(parse_fault_spec("1:y"), None);
+        assert_eq!(parse_fault_spec(""), None);
+    }
+
     #[test]
     fn trace_records_and_dumps_decisions() {
         let _serial = serial();
@@ -799,9 +1149,18 @@ mod tests {
         // evaluated, and the inert API reports chaos off.
         crate::inject!("never.evaluated");
         crate::record!(0, "never.evaluated", Invoke, 0);
+        crate::fault!("never.evaluated");
         assert!(!crate::is_enabled());
         assert_eq!(crate::fired_count(), 0);
         assert!(crate::labels().is_empty());
         assert!(crate::take_history().is_empty());
+        // Arming faults without the feature is inert too: no window exists,
+        // so nothing can ever panic and the counters stay zero.
+        crate::set_faults(0xFA17, 100);
+        crate::fault!("never.evaluated");
+        assert_eq!(crate::faults_remaining(), 0);
+        assert_eq!(crate::faults_injected(), 0);
+        assert_eq!(crate::fault_point_count(), 0);
+        crate::clear_faults();
     }
 }

@@ -1,0 +1,252 @@
+//! Exhaustive crash-fault placement over the `cqs_chaos::fault!` windows.
+//!
+//! Where the pinned-seed panic storms *sample* crash placements, this
+//! module *exhausts* them: [`FaultExplorer`] runs a scenario once per
+//! (label, occurrence) pair — forcing a panic at exactly the k-th crossing
+//! of one labelled crash window via a [`CountdownFault`] scheduler — and
+//! reports the first placement whose aftermath violates the scenario's
+//! invariants. With the recovery paths compiled out (the workspace's
+//! TEST-ONLY `planted-unguarded` feature), the explorer is expected to
+//! find a counterexample; with them in place, every placement must leave
+//! the primitive either fully operational or cleanly poisoned.
+//!
+//! Like the interleaving [`explorer`](crate::explorer), this module plugs
+//! into the windows through the unconditional [`cqs_chaos::Scheduler`]
+//! trait, so the crate itself needs no cargo feature: the scheduler only
+//! receives callbacks when the final test binary enables `chaos`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A [`cqs_chaos::Scheduler`] that panics at exactly the `occurrence`-th
+/// crossing of one labelled crash-fault window and declines every other
+/// injection. Deterministic by construction: no rng, no budget — one
+/// placement per scheduler instance.
+#[derive(Debug)]
+pub struct CountdownFault {
+    label: &'static str,
+    occurrence: usize,
+    seen: AtomicUsize,
+    fired: AtomicBool,
+}
+
+impl CountdownFault {
+    /// A fault armed for the `occurrence`-th (1-based) crossing of
+    /// `label`'s window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occurrence` is zero.
+    pub fn new(label: &'static str, occurrence: usize) -> Self {
+        assert!(occurrence > 0, "occurrences are 1-based");
+        CountdownFault {
+            label,
+            occurrence,
+            seen: AtomicUsize::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the armed placement was reached and the panic injected.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// How many times the armed label's window was crossed.
+    pub fn crossings(&self) -> usize {
+        self.seen.load(Ordering::SeqCst)
+    }
+}
+
+impl cqs_chaos::Scheduler for CountdownFault {
+    fn at_point(&self, _label: &'static str) {
+        // No timing perturbation: fault placement is the only variable, so
+        // a found counterexample replays without a schedule trace.
+    }
+
+    fn at_fault(&self, label: &'static str) -> bool {
+        if label != self.label {
+            return false;
+        }
+        let k = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+        k == self.occurrence && !self.fired.swap(true, Ordering::SeqCst)
+    }
+}
+
+/// One crash placement the explorer exercised or found failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCase {
+    /// The crash window's label (one of [`cqs_chaos::FAULT_LABELS`]).
+    pub label: &'static str,
+    /// Which crossing of the window panicked (1-based).
+    pub occurrence: usize,
+}
+
+/// A placement whose aftermath violated the scenario's invariants.
+#[derive(Debug, Clone)]
+pub struct FaultCounterExample {
+    /// The failing placement; re-run the scenario under
+    /// `CountdownFault::new(case.label, case.occurrence)` to replay it.
+    pub case: FaultCase,
+    /// The invariant violation the scenario reported.
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultCounterExample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crash at `{}` (crossing #{}) violated invariants: {}",
+            self.case.label, self.case.occurrence, self.message
+        )
+    }
+}
+
+/// Summary of a clean exploration (no placement violated the scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Scenario executions, including those whose placement was never
+    /// reached.
+    pub cases_run: usize,
+    /// Executions in which the armed panic actually fired.
+    pub injections: usize,
+}
+
+/// Exhausts crash placements in the labelled fault windows: for every
+/// label, the scenario runs with a panic forced at crossing 1, 2, ... until
+/// either a crossing is never reached (that label's placement space is
+/// exhausted) or [`max_occurrences`](Self::max_occurrences) caps it.
+#[derive(Debug, Clone)]
+pub struct FaultExplorer {
+    labels: Vec<&'static str>,
+    max_occurrences: usize,
+}
+
+impl FaultExplorer {
+    /// An explorer over every registered crash window
+    /// ([`cqs_chaos::FAULT_LABELS`]).
+    pub fn new() -> Self {
+        Self::with_labels(cqs_chaos::FAULT_LABELS.to_vec())
+    }
+
+    /// An explorer over a chosen subset of crash windows.
+    pub fn with_labels(labels: Vec<&'static str>) -> Self {
+        FaultExplorer {
+            labels,
+            max_occurrences: 64,
+        }
+    }
+
+    /// Caps the per-label crossing count (default 64) for scenarios whose
+    /// windows are crossed unboundedly often.
+    #[must_use]
+    pub fn max_occurrences(mut self, n: usize) -> Self {
+        assert!(n > 0, "occurrences are 1-based");
+        self.max_occurrences = n;
+        self
+    }
+
+    /// Runs `scenario` once per placement. The scenario builds a fresh
+    /// primitive, performs the operations that cross the armed window
+    /// (catching the injected panic where it surfaces), and then checks
+    /// its invariants — returning `Err(violation)` when the aftermath is
+    /// wrong (a hung waiter, a lost element, an operational-but-corrupt
+    /// primitive).
+    ///
+    /// Exploration is serialized through the global chaos scheduler slot:
+    /// run fault explorations under `--test-threads=1` (as the chaos
+    /// storms already do) so concurrent tests don't steal the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// The first failing placement, with the scenario's violation message.
+    pub fn explore<F>(&self, scenario: F) -> Result<FaultReport, FaultCounterExample>
+    where
+        F: Fn() -> Result<(), String>,
+    {
+        let mut cases_run = 0;
+        let mut injections = 0;
+        for &label in &self.labels {
+            for occurrence in 1..=self.max_occurrences {
+                let fault = Arc::new(CountdownFault::new(label, occurrence));
+                let outcome = {
+                    let _guard = cqs_chaos::scoped_scheduler(Arc::clone(&fault) as _);
+                    scenario()
+                };
+                cases_run += 1;
+                if fault.fired() {
+                    injections += 1;
+                }
+                if let Err(message) = outcome {
+                    return Err(FaultCounterExample {
+                        case: FaultCase { label, occurrence },
+                        message,
+                    });
+                }
+                if !fault.fired() {
+                    // Crossing `occurrence` never happened: every earlier
+                    // placement of this label has been exercised.
+                    break;
+                }
+            }
+        }
+        Ok(FaultReport {
+            cases_run,
+            injections,
+        })
+    }
+}
+
+impl Default for FaultExplorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqs_chaos::Scheduler;
+
+    #[test]
+    fn countdown_fires_exactly_once_at_its_occurrence() {
+        let fault = CountdownFault::new("cqs.resume-n.fault.mid-batch", 3);
+        let outcomes: Vec<bool> = (0..5)
+            .map(|_| fault.at_fault("cqs.resume-n.fault.mid-batch"))
+            .collect();
+        assert_eq!(outcomes, [false, false, true, false, false]);
+        assert!(fault.fired());
+        assert_eq!(fault.crossings(), 5);
+    }
+
+    #[test]
+    fn countdown_ignores_other_labels() {
+        let fault = CountdownFault::new("cqs.resume-n.fault.mid-batch", 1);
+        assert!(!fault.at_fault("future.wake.fault.pre-fire"));
+        assert!(!fault.fired());
+        assert_eq!(fault.crossings(), 0);
+    }
+
+    /// Without the `chaos` feature no real window fires; the explorer
+    /// still runs each label once (crossing 1 never reached → break) and
+    /// reports zero injections.
+    #[test]
+    fn explorer_visits_every_label_and_stops_on_unreached_crossings() {
+        let explorer =
+            FaultExplorer::with_labels(vec!["a.fault.one", "b.fault.two"]).max_occurrences(8);
+        let report = explorer.explore(|| Ok(())).unwrap();
+        assert_eq!(report.cases_run, 2);
+        assert_eq!(report.injections, 0);
+    }
+
+    #[test]
+    fn explorer_surfaces_the_first_violation() {
+        let explorer = FaultExplorer::with_labels(vec!["a.fault.one"]);
+        let err = explorer
+            .explore(|| Err("lost a permit".to_string()))
+            .unwrap_err();
+        assert_eq!(err.case.label, "a.fault.one");
+        assert_eq!(err.case.occurrence, 1);
+        assert!(err.to_string().contains("lost a permit"));
+    }
+}

@@ -1,9 +1,9 @@
 //! `cqs-check`: offline model checking for the CQS stack.
 //!
 //! The paper this workspace reproduces proves CQS correct in Iris; this
-//! crate is the executable stand-in for that proof effort. It provides two
-//! independent verification tools, both free of crates.io dependencies
-//! (consistent with the workspace's offline-shim policy):
+//! crate is the executable stand-in for that proof effort. It provides
+//! three independent verification tools, all free of crates.io
+//! dependencies (consistent with the workspace's offline-shim policy):
 //!
 //! 1. [`explorer`] — a deterministic interleaving explorer. Small 2–3
 //!    thread `suspend`/`resume`/`cancel`/`close`/`resume_n` programs run
@@ -20,6 +20,12 @@
 //!    order of those operations that a reference model ([`models`])
 //!    accepts and that respects real time.
 //!
+//! 3. [`faults`] — an exhaustive crash-placement explorer over the
+//!    `cqs_chaos::fault!` windows: a scenario runs once per
+//!    (label, occurrence) pair with a panic forced at exactly that
+//!    crossing, proving every placement leaves the primitive either fully
+//!    operational or cleanly poisoned — never hung, never leaking.
+//!
 //! The crate deliberately avoids the `chaos` cargo feature: the explorer
 //! plugs into the labelled windows through the unconditional
 //! [`cqs_chaos::Scheduler`] trait, and only takes control of the real
@@ -31,10 +37,12 @@
 #![warn(missing_docs)]
 
 pub mod explorer;
+pub mod faults;
 pub mod lin;
 pub mod models;
 
 pub use explorer::{CounterExample, Exploration, Explorer, Program, Trace, TraceStep};
+pub use faults::{CountdownFault, FaultCase, FaultCounterExample, FaultExplorer, FaultReport};
 pub use lin::{check_linearizable, pair_history, LinError, LinModel, Operation};
 pub use models::{
     CellArrayModel, ChannelLin, FifoQueueLin, ModelCell, MutexLin, SemaphoreLin, RESP_CANCELLED,

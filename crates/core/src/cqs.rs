@@ -95,6 +95,9 @@ struct CqsInner<T: Send + 'static, C: CqsCallbacks<T>> {
     /// installing their waiter and self-cancel, so no waiter can be parked
     /// past a close.
     closed: AtomicBool,
+    /// Set when a panic escaped mid-protocol (a batched traversal, a close
+    /// sweep) and the queue was closed in response; see [`Cqs::poison`].
+    poisoned: AtomicBool,
     /// Resumption claims that delivered nothing: smart-mode skips over
     /// cancelled cells, fast-forward jumps over removed segments, failed
     /// simple-mode resumptions and broken rendezvous.
@@ -151,6 +154,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
                 freelist,
                 callbacks,
                 closed: AtomicBool::new(false),
+                poisoned: AtomicBool::new(false),
                 missed: CachePadded::new(AtomicU64::new(0)),
             }),
         }
@@ -298,6 +302,32 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
         // the closer settled before it. (The suspend-path double-check is
         // the one that needs SeqCst; see `CqsInner::suspend`.)
         self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Poisons the queue: marks it poisoned and closes it, cancelling every
+    /// parked waiter (see [`close`](Cqs::close)).
+    ///
+    /// The batched paths invoke this automatically when a panic escapes
+    /// mid-protocol — a panicking `T::clone` inside
+    /// [`resume_all`](Cqs::resume_all), a `complete_refused_resume` hook
+    /// crashing inside a [`resume_n`](Cqs::resume_n) traversal, or an
+    /// injected chaos fault: the claimed-but-unvisited cells of the
+    /// interrupted batch would otherwise never be revisited and their
+    /// waiters stranded forever. Poisoning converts that silent hang into a
+    /// prompt, observable failure: every waiter settles (cancelled) and
+    /// primitives built on the queue surface a poisoned/cancelled error on
+    /// subsequent operations. Exposed publicly so wrapping primitives
+    /// (guards, channels) can propagate a panic observed outside the queue.
+    pub fn poison(&self) {
+        self.inner.poison();
+    }
+
+    /// Whether the queue was poisoned — by a panic escaping one of the
+    /// batched paths or an explicit [`poison`](Cqs::poison) call. A
+    /// poisoned queue is always also [closed](Cqs::is_closed).
+    pub fn is_poisoned(&self) -> bool {
+        // Acquire: pairs with the poisoner's SeqCst swap, like `is_closed`.
+        self.inner.poisoned.load(Ordering::Acquire)
     }
 
     /// Watchdog id of this queue: keys its waiter records in cqs-watch
@@ -687,9 +717,35 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         // replacement cells until all `n` values land.
         let reclaim = self.config.get_cancellation_mode() == CancellationMode::Smart;
         let mut wakes = WakeBatch::new();
-        let (delivered, failed) = {
+        let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let guard = pin();
             self.resume_batch(next_value, n, reclaim, &mut wakes, &guard)
+        }));
+        let (delivered, failed) = match batch {
+            Ok(result) => result,
+            Err(panic) => {
+                // A panic escaped the traversal (a `next_value` pull, a
+                // `complete_refused_resume` hook, an injected chaos
+                // fault). The batch's claimed-but-unvisited cells will
+                // never be revisited by a later resumer, so the queue
+                // cannot be left open: fire the wakes already collected
+                // (the drop fires and swallows), then poison-and-close so
+                // every still-parked waiter settles instead of stranding.
+                // The panic is re-raised for the caller.
+                //
+                // PLANTED WINDOW (test-only, feature `planted-unguarded`):
+                // compiling the recovery out reproduces the pre-hardening
+                // behaviour — the panic unwinds past a half-visited batch
+                // and the unclaimed waiters hang silently. Exists solely
+                // so CI can prove the cqs-check fault explorer detects an
+                // unguarded window (tests/fault_explorer.rs).
+                #[cfg(not(feature = "planted-unguarded"))]
+                {
+                    drop(wakes);
+                    self.poison();
+                }
+                std::panic::resume_unwind(panic);
+            }
         };
         // The guard is dropped: fire the collected wake-ups outside the
         // segment pin (the deferred-wake guarantee).
@@ -719,13 +775,34 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         cqs_stats::bump!(resumes, n);
         cqs_stats::bump!(batch_resumes);
         let mut wakes = WakeBatch::new();
-        let (delivered, failed) = {
+        // Clones are minted by user code (`T::clone`) inside the traversal
+        // — the classic fault window this batch is hardened against; the
+        // chaos seam injects exactly there.
+        let mut mint = || {
+            cqs_chaos::fault!("cqs.resume-all.fault.pre-clone");
+            Some(value.clone())
+        };
+        let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let guard = pin();
             // Cell-coverage semantics: exactly `n` claims, clones minted on
             // demand, skipped cells simply don't mint one — never re-claim
             // (`reclaim = false`), or a broadcast racing cancellations
             // would chase the suspension counter forever.
-            self.resume_batch(&mut || Some(value.clone()), n, false, &mut wakes, &guard)
+            self.resume_batch(&mut mint, n, false, &mut wakes, &guard)
+        }));
+        let (delivered, failed) = match batch {
+            Ok(result) => result,
+            Err(panic) => {
+                // A panicking `T::clone` (or injected fault) interrupted
+                // the broadcast: poison-and-close so the unvisited span's
+                // waiters settle instead of stranding (see `resume_n`).
+                #[cfg(not(feature = "planted-unguarded"))]
+                {
+                    drop(wakes);
+                    self.poison();
+                }
+                std::panic::resume_unwind(panic);
+            }
         };
         // Failures only arise from cancelled cells (simple mode) or broken
         // rendezvous (synchronous mode) — and either way they hold clones,
@@ -836,6 +913,11 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                     continue;
                 }
                 let cell = segment.cell((i % n_cells) as usize);
+                // Crash-fault seam: a panic here models any mid-batch crash
+                // after cells were claimed — `resume_n`/`resume_all` catch
+                // it and poison the queue so the unvisited claims cannot
+                // strand their waiters.
+                cqs_chaos::fault!("cqs.resume-n.fault.mid-batch");
                 'cell: loop {
                     match cell.state() {
                         cell::EMPTY => {
@@ -1014,6 +1096,11 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         cqs_chaos::inject!("cqs.close.pre-sweep");
         let mut wakes = WakeBatch::new();
         let mut cancelled: u64 = 0;
+        // First panic observed during the sweep (a cancellation handler
+        // crashing, an injected fault): held back until the sweep visited
+        // *every* waiter, then re-raised. Close is the mechanism poisoning
+        // relies on to settle waiters — it must itself be total.
+        let mut sweep_panic: Option<Box<dyn std::any::Any + Send>> = None;
         {
             let guard = pin();
             // Any waiter installed before the `closed` store above is
@@ -1031,12 +1118,37 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
                 for index in 0..segment.len() {
                     if let Some(request) = segment.cell(index).peek_waiter(&guard) {
                         cqs_chaos::inject!("cqs.close.pre-cancel");
+                        // Crash window first, *separate* from the
+                        // cancellation: an injected fault must never skip
+                        // the cancel itself, or this waiter would stay
+                        // parked forever on the closed queue.
+                        #[cfg(feature = "chaos")]
+                        if let Err(panic) = std::panic::catch_unwind(|| {
+                            cqs_chaos::fault!("cqs.close.fault.mid-sweep");
+                        }) {
+                            if sweep_panic.is_none() {
+                                sweep_panic = Some(panic);
+                            }
+                        }
                         // The cancellation handler runs inline (cell
                         // bookkeeping must precede further traversals) but
-                        // the wake-up is deferred past the sweep.
-                        if let Some(wake) = request.cancel_deferred() {
-                            wakes.push(wake);
-                            cancelled += 1;
+                        // the wake-up is deferred past the sweep. Each
+                        // waiter is panic-isolated: one crashing handler
+                        // must not leave the rest of the sweep undone.
+                        let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            request.cancel_deferred()
+                        }));
+                        match one {
+                            Ok(Some(wake)) => {
+                                wakes.push(wake);
+                                cancelled += 1;
+                            }
+                            Ok(None) => {}
+                            Err(panic) => {
+                                if sweep_panic.is_none() {
+                                    sweep_panic = Some(panic);
+                                }
+                            }
                         }
                     }
                 }
@@ -1049,7 +1161,32 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> CqsInner<T, C> {
         cqs_stats::bump!(batch_waiters, cancelled);
         let _ = cancelled; // read only by the stats feature
         cqs_chaos::inject!("cqs.close.pre-fire");
+        if let Some(panic) = sweep_panic {
+            // The sweep is complete (every waiter cancelled) — fire the
+            // wakes through the drop (which swallows nested waker panics),
+            // mark the queue poisoned and hand the first panic back.
+            drop(wakes);
+            self.mark_poisoned();
+            std::panic::resume_unwind(panic);
+        }
         wakes.fire();
+    }
+
+    /// Marks the queue poisoned (idempotently) and publishes the
+    /// poisoned-primitive gauge for the watchdog. Does *not* close; use
+    /// [`poison`](CqsInner::poison) unless the close already happened.
+    fn mark_poisoned(&self) {
+        // SeqCst: mirrors the `closed` swap — exactly one marker publishes
+        // the gauge, and observers of `poisoned` see the settled queue.
+        if !self.poisoned.swap(true, Ordering::SeqCst) {
+            cqs_watch::gauge!(self.watch_id, "poisoned", 1);
+        }
+    }
+
+    /// Poisons the queue: see [`Cqs::poison`].
+    fn poison(&self) {
+        self.mark_poisoned();
+        self.close();
     }
 
     /// The cell-side part of cancellation, invoked by `Request::cancel`

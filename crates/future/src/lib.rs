@@ -230,20 +230,42 @@ impl PendingWake {
     /// first, so a woken waiter finds the books balanced), unparks the
     /// thread, runs the callback, wakes the task — whichever were
     /// registered.
-    pub fn fire(self) {
-        for hook in self.settled {
+    pub fn fire(mut self) {
+        self.fire_remaining();
+    }
+
+    /// Delivers whatever is still held, removing each entry before running
+    /// it so that an unwound (panicking) delivery leaves only the truly
+    /// undelivered remainder for [`Drop`] to finish.
+    fn fire_remaining(&mut self) {
+        while !self.settled.is_empty() {
+            let hook = self.settled.remove(0);
             hook(self.settled_ok);
         }
-        if let Some(t) = self.thread {
+        if let Some(t) = self.thread.take() {
             cqs_stats::bump!(unparks);
             t.unpark();
         }
-        if let Some(cb) = self.callback {
+        if let Some(cb) = self.callback.take() {
             cb();
         }
-        if let Some(w) = self.task_waker {
+        if let Some(w) = self.task_waker.take() {
             w.wake();
         }
+    }
+}
+
+impl Drop for PendingWake {
+    /// A `PendingWake` is a must-deliver token: its request is already
+    /// terminal, so an extracted-but-unfired wake is a stranded waiter. If
+    /// the holder unwinds (a panic between extraction and `fire`, e.g. an
+    /// injected crash fault), deliver here — swallowing waker panics, since
+    /// this drop may itself run during an unwind.
+    fn drop(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.fire_remaining()));
     }
 }
 
@@ -324,22 +346,53 @@ impl WakeBatch {
     }
 
     /// Fires every held wake, in insertion order, leaving the batch empty.
+    ///
+    /// Each wake fires inside a panic-isolation boundary: a panicking waker
+    /// (an `on_ready` callback, a task waker, a settlement hook) cannot
+    /// prevent the remaining wakes from firing. Once every wake has fired,
+    /// the *first* captured panic is re-raised for the caller.
     pub fn fire(&mut self) {
+        if let Some(panic) = self.fire_collect() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    /// Fires every held wake (panic-isolated, insertion order) and returns
+    /// the first captured panic payload instead of re-raising it.
+    fn fire_collect(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        fn fire_one(wake: PendingWake, first: &mut Option<Box<dyn std::any::Any + Send>>) {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cqs_chaos::fault!("future.wake.fault.pre-fire");
+                wake.fire();
+            }));
+            if let Err(panic) = outcome {
+                if first.is_none() {
+                    *first = Some(panic);
+                }
+            }
+        }
+
+        let mut first = None;
         for slot in self.inline.iter_mut().take(self.inline_len) {
             if let Some(wake) = slot.take() {
-                wake.fire();
+                fire_one(wake, &mut first);
             }
         }
         self.inline_len = 0;
         for wake in self.spill.drain(..) {
-            wake.fire();
+            fire_one(wake, &mut first);
         }
+        first
     }
 }
 
 impl Drop for WakeBatch {
     fn drop(&mut self) {
-        self.fire();
+        // Every remaining wake still fires, but captured panic payloads are
+        // swallowed: the drop may already be running during an unwind (the
+        // batched-resume recovery paths rely on exactly that), and
+        // re-raising from a destructor would abort the process.
+        let _ = self.fire_collect();
     }
 }
 

@@ -122,6 +122,59 @@ impl Barrier {
     pub fn is_closed(&self) -> bool {
         self.cqs.is_closed()
     }
+
+    /// Poisons the barrier: marks it poisoned and closes it, waking every
+    /// current waiter with [`Cancelled`]. Called by a dropped, un-arrived
+    /// [`BarrierGuard`] — the signature of a participant that panicked (or
+    /// bailed) before arriving, after which the barrier can never trip.
+    pub fn poison(&self) {
+        self.cqs.poison();
+    }
+
+    /// Whether the barrier was poisoned (a registered participant dropped
+    /// its [`BarrierGuard`] without arriving, or the underlying queue
+    /// observed a panic). A poisoned barrier is always also closed.
+    pub fn is_poisoned(&self) -> bool {
+        self.cqs.is_poisoned()
+    }
+
+    /// Registers the caller as a participant that *intends* to arrive,
+    /// returning a guard. Dropping the guard without calling
+    /// [`BarrierGuard::arrive`] — most importantly, during the unwind of a
+    /// panic between registration and arrival — [`poison`](Self::poison)s
+    /// the barrier, so the other parties fail fast with [`Cancelled`]
+    /// instead of waiting forever for an arrival that can never come.
+    pub fn guard(&self) -> BarrierGuard<'_> {
+        BarrierGuard {
+            barrier: self,
+            arrived: false,
+        }
+    }
+}
+
+/// Arrival intent for one [`Barrier`] participant: poison-on-drop unless
+/// [`arrive`](Self::arrive)d. See [`Barrier::guard`].
+#[derive(Debug)]
+pub struct BarrierGuard<'a> {
+    barrier: &'a Barrier,
+    arrived: bool,
+}
+
+impl BarrierGuard<'_> {
+    /// Arrives at the barrier, consuming the guard (which then no longer
+    /// poisons on drop). Equivalent to [`Barrier::arrive`].
+    pub fn arrive(mut self) -> BarrierFuture {
+        self.arrived = true;
+        self.barrier.arrive()
+    }
+}
+
+impl Drop for BarrierGuard<'_> {
+    fn drop(&mut self) {
+        if !self.arrived {
+            self.barrier.poison();
+        }
+    }
 }
 
 /// The pending side of a [`Barrier::arrive`]; completes when all parties
@@ -270,6 +323,21 @@ impl CyclicBarrier {
     /// Whether [`close`](Self::close) was called.
     pub fn is_closed(&self) -> bool {
         self.queues[0].is_closed()
+    }
+
+    /// Poisons the barrier: both round queues are marked poisoned and
+    /// closed, waking every current waiter with [`Cancelled`]. See
+    /// [`Barrier::poison`].
+    pub fn poison(&self) {
+        for q in &self.queues {
+            q.poison();
+        }
+    }
+
+    /// Whether either round queue was poisoned. A poisoned cyclic barrier
+    /// is always also closed.
+    pub fn is_poisoned(&self) -> bool {
+        self.queues.iter().any(|q| q.is_poisoned())
     }
 }
 
@@ -447,5 +515,68 @@ mod tests {
         assert!(f2.is_immediate());
         f1.wait().unwrap();
         f2.wait().unwrap();
+    }
+
+    /// The silent-hang fix: a participant that panics *before* arriving
+    /// used to leave the other parties waiting forever (nothing decrements
+    /// `remaining` on its behalf). With the guard protocol, the unwinding
+    /// participant's dropped guard poisons the barrier and the other party
+    /// errors promptly instead of timing out.
+    #[test]
+    fn participant_panicking_before_arrival_poisons_instead_of_hanging() {
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            let guard = b2.guard();
+            guard.arrive().wait()
+        });
+        while b.cqs.suspend_count() == 0 {
+            std::thread::yield_now();
+        }
+        let b3 = Arc::clone(&b);
+        let crasher = std::thread::spawn(move || {
+            let _guard = b3.guard();
+            panic!("participant dies before arriving");
+        });
+        assert!(crasher.join().is_err());
+        // The waiting party settles promptly — Cancelled, not a hang (the
+        // join itself would hang this test if the fix regressed; wait()
+        // resolving at all is the point).
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert!(b.is_poisoned());
+        assert!(b.is_closed());
+        // Post-poison arrivals fail fast too.
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
+    }
+
+    /// An arrived guard must NOT poison: the happy path is unchanged.
+    #[test]
+    fn arrived_guard_does_not_poison() {
+        let b = Barrier::new(2);
+        let g1 = b.guard();
+        let g2 = b.guard();
+        let f1 = g1.arrive();
+        let f2 = g2.arrive();
+        assert!(f2.is_immediate());
+        f1.wait().unwrap();
+        f2.wait().unwrap();
+        assert!(!b.is_poisoned());
+        assert!(!b.is_closed());
+    }
+
+    /// Guard-drop poisoning on the cyclic variant settles both round
+    /// queues.
+    #[test]
+    fn cyclic_poison_settles_both_rounds() {
+        let b = Arc::new(CyclicBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.arrive().wait());
+        while b.queues[0].suspend_count() == 0 {
+            std::thread::yield_now();
+        }
+        b.poison();
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert!(b.is_poisoned());
+        assert_eq!(b.arrive().wait(), Err(Cancelled));
     }
 }

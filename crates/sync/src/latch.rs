@@ -142,6 +142,43 @@ impl CountDownLatch {
         self.await_ready().wait_timeout(timeout)
     }
 
+    /// Poisons the latch: marks the underlying queue poisoned and closes it,
+    /// cancelling every parked waiter. Use when a participant crashes before
+    /// its [`count_down`](Self::count_down) — the count can no longer reach
+    /// zero, and without poisoning every waiter would hang forever.
+    ///
+    /// Pending and subsequent [`wait`](Self::wait) calls return
+    /// [`Cancelled`] instead of blocking. The count itself is left as-is so
+    /// post-mortem inspection can see how far the latch got.
+    pub fn poison(&self) {
+        self.cqs.poison();
+    }
+
+    /// Whether [`poison`](Self::poison) was called (or a panic escaped a
+    /// batched resume inside the latch).
+    pub fn is_poisoned(&self) -> bool {
+        self.cqs.is_poisoned()
+    }
+
+    /// Whether the underlying queue was closed — true after
+    /// [`poison`](Self::poison) or after the latch's queue was poisoned by a
+    /// crashed batch.
+    pub fn is_closed(&self) -> bool {
+        self.cqs.is_closed()
+    }
+
+    /// Returns a guard that [poisons](Self::poison) the latch unless it is
+    /// consumed by [`CountDownGuard::count_down`]. Participants take a guard
+    /// up front; if one panics (or otherwise unwinds) before counting down,
+    /// the guard's drop poisons the latch so waiters fail fast instead of
+    /// hanging on a count that will never reach zero.
+    pub fn guard(&self) -> CountDownGuard<'_> {
+        CountDownGuard {
+            latch: self,
+            counted: false,
+        }
+    }
+
     fn resume_waiters(&self) {
         loop {
             let w = self.waiters.load(Ordering::SeqCst);
@@ -165,6 +202,36 @@ impl CountDownLatch {
                 assert!(failed.is_empty(), "smart resume cannot fail");
                 return;
             }
+        }
+    }
+}
+
+/// RAII obligation to [count down](CountDownLatch::count_down) a
+/// [`CountDownLatch`], taken via [`CountDownLatch::guard`].
+///
+/// Dropping the guard without calling [`count_down`](Self::count_down) —
+/// most importantly during an unwind, when the holder panicked —
+/// [poisons](CountDownLatch::poison) the latch so waiters observe the
+/// failure instead of hanging.
+#[derive(Debug)]
+pub struct CountDownGuard<'a> {
+    latch: &'a CountDownLatch,
+    counted: bool,
+}
+
+impl CountDownGuard<'_> {
+    /// Records the guarded participant's completed operation, consuming the
+    /// guard (which therefore will not poison the latch).
+    pub fn count_down(mut self) {
+        self.counted = true;
+        self.latch.count_down();
+    }
+}
+
+impl Drop for CountDownGuard<'_> {
+    fn drop(&mut self) {
+        if !self.counted {
+            self.latch.poison();
         }
     }
 }
@@ -321,6 +388,51 @@ mod tests {
         // f2 still completes: the resume aimed at the cancelled f1 fails
         // silently, and a second resume targets f2.
         assert_eq!(f2.wait(), Ok(()));
+    }
+
+    /// Pins the panic-safety contract: before `CountDownGuard` existed, a
+    /// participant that panicked between taking its slot and calling
+    /// `count_down` left the count above zero forever and every waiter hung.
+    #[test]
+    fn participant_panicking_before_count_down_poisons_instead_of_hanging() {
+        let latch = Arc::new(CountDownLatch::new(2));
+
+        let waiter = {
+            let latch = Arc::clone(&latch);
+            std::thread::spawn(move || latch.wait_timeout(Duration::from_secs(10)))
+        };
+        while latch.cqs.suspend_count() == 0 {
+            std::thread::yield_now();
+        }
+
+        // One participant completes, the other crashes before counting down.
+        latch.guard().count_down();
+        let crasher = {
+            let latch = Arc::clone(&latch);
+            std::thread::spawn(move || {
+                let _guard = latch.guard();
+                panic!("participant crashed before count_down");
+            })
+        };
+        assert!(crasher.join().is_err());
+
+        // The waiter settles with an error instead of burning the full
+        // timeout, and the latch reports the failure.
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert!(latch.is_poisoned());
+        assert!(latch.is_closed());
+        assert_eq!(latch.count(), 1, "count is left for post-mortem");
+
+        // Later waiters fail fast too.
+        assert_eq!(latch.wait(), Err(Cancelled));
+    }
+
+    #[test]
+    fn counted_guard_does_not_poison() {
+        let latch = CountDownLatch::new(1);
+        latch.guard().count_down();
+        assert!(!latch.is_poisoned());
+        latch.wait().unwrap();
     }
 
     #[test]

@@ -48,8 +48,8 @@ mod mutex;
 mod rwlock;
 mod semaphore;
 
-pub use barrier::{Barrier, BarrierFuture, CyclicBarrier};
-pub use latch::{CountDownLatch, SimpleCancelLatch};
+pub use barrier::{Barrier, BarrierFuture, BarrierGuard, CyclicBarrier};
+pub use latch::{CountDownGuard, CountDownLatch, SimpleCancelLatch};
 pub use mutex::{LockError, Mutex, MutexGuard, RawMutex};
 pub use rwlock::{RawRwLock, RwLockFuture};
 pub use semaphore::{ExcessRelease, Semaphore, SemaphoreGuard};

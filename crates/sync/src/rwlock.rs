@@ -477,10 +477,56 @@ impl RawRwLock {
         self.shared.write_unlock();
     }
 
+    /// Closes both waiter queues: every parked reader and writer is
+    /// cancelled (their futures settle with [`Cancelled`]) and subsequent
+    /// queued acquisitions fail fast. Immediate grants on an uncontended
+    /// lock are unaffected; this tears down the *waiting*, not the lock
+    /// word.
+    pub fn close(&self) {
+        both_queues_then_rethrow(
+            || self.shared.readers.close(),
+            || self.shared.writers.close(),
+        );
+    }
+
+    /// Whether [`close`](Self::close) (or [`poison`](Self::poison)) ran.
+    pub fn is_closed(&self) -> bool {
+        self.shared.readers.is_closed() || self.shared.writers.is_closed()
+    }
+
+    /// Poisons the lock: marks both queues poisoned and closes them. Use
+    /// when a lock holder crashed and the protected state may be
+    /// inconsistent — parked waiters settle with [`Cancelled`] instead of
+    /// waiting for a hand-off that will never come.
+    pub fn poison(&self) {
+        both_queues_then_rethrow(
+            || self.shared.readers.poison(),
+            || self.shared.writers.poison(),
+        );
+    }
+
+    /// Whether either queue was poisoned — by [`poison`](Self::poison) or
+    /// by a panic escaping a batched reader release.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.readers.is_poisoned() || self.shared.writers.is_poisoned()
+    }
+
     /// Snapshot of `(active_readers, writer_active)`, for diagnostics.
     pub fn observed_state(&self) -> (u64, bool) {
         let s = State::unpack(self.shared.state.load(Ordering::SeqCst));
         (s.active_readers, s.writer_active)
+    }
+}
+
+/// Runs both queue sweeps even if the first panics (a panicking waker or
+/// an injected crash fault can unwind out of a sweep): stopping between
+/// the reader and writer queues would strand the second queue's parked
+/// waiters. The first panic re-raises once both sweeps ran.
+fn both_queues_then_rethrow(first_step: impl FnOnce(), second_step: impl FnOnce()) {
+    let a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first_step));
+    let b = std::panic::catch_unwind(std::panic::AssertUnwindSafe(second_step));
+    if let Err(panic) = a.and(b) {
+        std::panic::resume_unwind(panic);
     }
 }
 
@@ -727,6 +773,37 @@ mod tests {
         }
         assert!(writes.load(Ordering::SeqCst) > 0);
         assert_eq!(lock.observed_state(), (0, false));
+    }
+
+    /// Poisoning a held lock settles every parked waiter with `Cancelled`
+    /// instead of leaving it to wait on a hand-off that will never come.
+    #[test]
+    fn poison_settles_parked_waiters() {
+        let lock = Arc::new(RawRwLock::new());
+        lock.write().wait().unwrap(); // holder "crashes" while exclusive
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let lock = Arc::clone(&lock);
+            joins.push(std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    lock.read().wait_timeout(Duration::from_secs(10))
+                } else {
+                    lock.write().wait_timeout(Duration::from_secs(10))
+                }
+            }));
+        }
+        while lock.shared.readers.suspend_count() < 2 || lock.shared.writers.suspend_count() < 2 {
+            std::thread::yield_now();
+        }
+        lock.poison();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), Err(Cancelled));
+        }
+        assert!(lock.is_poisoned());
+        assert!(lock.is_closed());
+        // A fresh queued request fails fast too (a writer holds the lock,
+        // so this read must queue — and the closed queue cancels it).
+        assert_eq!(lock.read().wait(), Err(Cancelled));
     }
 
     #[test]

@@ -253,6 +253,22 @@ impl Semaphore {
         self.cqs.is_closed()
     }
 
+    /// Poisons the semaphore: marks the waiter queue poisoned and closes it
+    /// (see [`close`](Semaphore::close)). Use when a permit holder crashed
+    /// and the resource the permits guard may be inconsistent.
+    pub fn poison(&self) {
+        self.cqs.poison();
+    }
+
+    /// Whether the semaphore was poisoned — by [`poison`](Semaphore::poison)
+    /// or by a panic escaping a batched release traversal. A poisoned
+    /// semaphore is always also [closed](Semaphore::is_closed), so pending
+    /// and subsequent [`acquire`](Semaphore::acquire)s fail with
+    /// [`Cancelled`] rather than hanging.
+    pub fn is_poisoned(&self) -> bool {
+        self.cqs.is_poisoned()
+    }
+
     /// Like [`release`](Semaphore::release), but refuses to push the number
     /// of available permits above the count the semaphore was created with.
     ///

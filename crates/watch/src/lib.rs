@@ -690,6 +690,10 @@ mod runtime {
         pub queues: Vec<QueueDepth>,
         /// Latest published gauges (permit accounting, pool sizes, ...).
         pub gauges: Vec<GaugeInfo>,
+        /// Number of primitives whose `poisoned` gauge is nonzero at scan
+        /// time — queues a panic escaped from (or that were explicitly
+        /// poisoned), now closed and failing operations fast.
+        pub poisoned_primitives: u64,
         /// Operation-counter snapshot (all zeros unless the `stats`
         /// feature is also enabled).
         pub counters: cqs_stats::CqsStats,
@@ -792,6 +796,7 @@ mod runtime {
                 out.end_object();
             }
             out.end_array();
+            out.field_u64("poisoned_primitives", self.poisoned_primitives);
             out.key("counters");
             out.begin_object();
             for (name, value) in self.counters.fields() {
@@ -867,6 +872,13 @@ mod runtime {
                 .collect();
             queues.sort_by_key(|q| q.primitive);
             let counters = cqs_stats::CqsStats::snapshot();
+            // Poison is published as a `poisoned` gauge by the owning
+            // primitive (see cqs-core); surface the count so report
+            // consumers can distinguish "stuck" from "already failed fast".
+            let poisoned_primitives = gauges
+                .iter()
+                .filter(|g| g.name == "poisoned" && g.value != 0)
+                .count() as u64;
             let mut reports = Vec::new();
 
             // Deadlocks: confirm a cycle across consecutive scans before
@@ -912,6 +924,7 @@ mod runtime {
                     holders: holders.clone(),
                     queues: queues.clone(),
                     gauges: gauges.clone(),
+                    poisoned_primitives,
                     counters,
                 });
             }
@@ -955,6 +968,7 @@ mod runtime {
                     holders,
                     queues,
                     gauges,
+                    poisoned_primitives,
                     counters,
                 });
             }

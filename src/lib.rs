@@ -55,8 +55,9 @@ pub use cqs_core::{
 };
 pub use cqs_pool::{BlockingPool, PoolBackend, QueueBackend, QueuePool, StackBackend, StackPool};
 pub use cqs_sync::{
-    Barrier, BarrierFuture, CountDownLatch, CyclicBarrier, ExcessRelease, LockError, Mutex,
-    MutexGuard, RawMutex, RawRwLock, RwLockFuture, Semaphore, SemaphoreGuard, SimpleCancelLatch,
+    Barrier, BarrierFuture, BarrierGuard, CountDownGuard, CountDownLatch, CyclicBarrier,
+    ExcessRelease, LockError, Mutex, MutexGuard, RawMutex, RawRwLock, RwLockFuture, Semaphore,
+    SemaphoreGuard, SimpleCancelLatch,
 };
 
 mod channel;

@@ -209,7 +209,7 @@ fn close_storm_across_seeds_loses_nothing() {
                     Ok(v) => {
                         delivered_sum.fetch_add(v, Ordering::SeqCst);
                     }
-                    Err(RecvError::Closed) => return,
+                    Err(RecvError::Closed | RecvError::Poisoned) => return,
                     Err(RecvError::Cancelled) => {}
                 }
             }));

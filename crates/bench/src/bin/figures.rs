@@ -17,10 +17,12 @@
 //! previous report and the process exits non-zero if any non-noisy point
 //! slowed down by more than `--regression-pct` percent (default 25).
 
-use cqs_bench::report::{compare_to_baseline, BenchReport, FigureReport, Json, RunMeta};
+use cqs_bench::report::{
+    compare_to_baseline, BenchReport, FigureReport, Json, ResourceSample, RunMeta,
+};
 use cqs_bench::{
     ablations, fig13_coroutine_mutex, fig5_barrier, fig6_latch, fig7_semaphore, fig8_pools,
-    fig_channel, print_figure, thread_sweep, Repeats, Scale, Series,
+    fig_channel, print_figure, scenarios, thread_sweep, Repeats, Scale, Series,
 };
 
 #[derive(Debug)]
@@ -45,6 +47,8 @@ FIGURE SELECTION:
     --fig N               one of 5|6|7|8|13|14|15|ch|a1|a2|a3 (repeatable;
                           ch = channel producer-consumer extension)
     --ablation NAME       cancellation (a1), segment (a2) or batch-resume (a3)
+    --scenario NAME       production-traffic scenario (not part of --all):
+                          contended | open-loop | burst | ramp | soak
 
 MEASUREMENT:
     --quick               reduced operation counts for smoke runs
@@ -121,6 +125,17 @@ fn parse_args() -> Options {
                     other => panic!("unknown ablation {other}"),
                 });
             }
+            "--scenario" => {
+                let which = args.next().expect("--scenario needs a name");
+                figures.push(match which.as_str() {
+                    "contended" => "s1".to_string(),
+                    "open-loop" => "s2".to_string(),
+                    "burst" => "s3".to_string(),
+                    "ramp" => "s4".to_string(),
+                    "soak" => "s5".to_string(),
+                    other => panic!("unknown scenario {other}"),
+                });
+            }
             "--wait-spin" => {
                 let spin = args
                     .next()
@@ -186,6 +201,48 @@ fn emit(
         x_label: x_label.to_string(),
         wall_clock_ms,
         series,
+        samples: Vec::new(),
+    });
+}
+
+/// [`timed`] for scenario benches, which return resource snapshots
+/// alongside their series.
+fn timed_scenario(
+    run: impl FnOnce() -> scenarios::ScenarioResult,
+) -> (Vec<Series>, Vec<ResourceSample>, f64) {
+    let begin = std::time::Instant::now();
+    let (series, samples) = run();
+    (series, samples, begin.elapsed().as_secs_f64() * 1e3)
+}
+
+/// [`emit`] for scenario benches: also prints the resource snapshots and
+/// records them on the figure.
+fn emit_scenario(
+    report: &mut Vec<FigureReport>,
+    name: &str,
+    title: &str,
+    x_label: &str,
+    (series, samples, wall_clock_ms): (Vec<Series>, Vec<ResourceSample>, f64),
+) {
+    print_figure(title, x_label, &series);
+    if !samples.is_empty() {
+        println!("{:>12} | {:>14} | {:>13}", x_label, "rss", "live segments");
+        for s in &samples {
+            println!(
+                "{:>12} | {:>11} kB | {:>13}",
+                s.x,
+                s.rss_bytes / 1024,
+                s.live_segments
+            );
+        }
+    }
+    report.push(FigureReport {
+        name: name.to_string(),
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        wall_clock_ms,
+        series,
+        samples,
     });
 }
 
@@ -336,6 +393,41 @@ fn main() {
                     timed(|| ablations::batch_resume(scale, repeats)),
                 );
             }
+            "s1" => emit_scenario(
+                &mut figures,
+                "scn_contended",
+                "Scenario: contended acquire, single-queue vs sharded (P = ceil(T/2))",
+                "threads",
+                timed_scenario(|| scenarios::contended(scale, threads, repeats)),
+            ),
+            "s2" => emit_scenario(
+                &mut figures,
+                "scn_open_loop",
+                "Scenario: open-loop arrivals with load shedding (ns/arrival incl. idle)",
+                "threads",
+                timed_scenario(|| scenarios::open_loop(scale, threads, repeats)),
+            ),
+            "s3" => emit_scenario(
+                &mut figures,
+                "scn_burst",
+                "Scenario: bursty fan-out, suspend+wake cycle (ns/waiter)",
+                "burst size",
+                timed_scenario(|| scenarios::burst(scale, repeats)),
+            ),
+            "s4" => emit_scenario(
+                &mut figures,
+                "scn_ramp",
+                "Scenario: live-waiter ramp with RSS/segment snapshots (x=0: after cancel)",
+                "live waiters",
+                timed_scenario(|| scenarios::ramp(scale)),
+            ),
+            "s5" => emit_scenario(
+                &mut figures,
+                "scn_soak",
+                "Scenario: steady-state soak with periodic resource snapshots",
+                "ms elapsed",
+                timed_scenario(|| scenarios::soak(scale, threads)),
+            ),
             other => eprintln!("unknown figure {other}"),
         }
     }

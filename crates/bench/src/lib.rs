@@ -20,6 +20,7 @@ pub mod fig6_latch;
 pub mod fig7_semaphore;
 pub mod fig8_pools;
 pub mod fig_channel;
+pub mod scenarios;
 
 pub use cqs_harness::{
     measure, measure_per_op, measure_per_op_repeated, print_figure, report, thread_sweep, CqsStats,

@@ -35,6 +35,7 @@ fn fresh_report() -> BenchReport {
             x_label: "threads".to_string(),
             wall_clock_ms: 0.0,
             series: vec![series],
+            samples: Vec::new(),
         }],
     }
 }

@@ -184,6 +184,8 @@ pub const KNOWN_LABELS: &[&str] = &[
     "segment.on-cancelled-cell.pre-count",
     "segment.recycle.pre-push",
     "segment.remove.pre-link",
+    "sharded.rebalance.window",
+    "sharded.steal.window",
 ];
 
 /// The fault-eligible subset of [`KNOWN_LABELS`]: windows where a

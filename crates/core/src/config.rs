@@ -57,6 +57,7 @@ pub struct CqsConfig {
     cancellation_mode: CancellationMode,
     segment_size: usize,
     spin_limit: usize,
+    freelist_slots: usize,
     label: &'static str,
     /// Per-queue overrides for the waiter-side spin→yield→park ladder;
     /// `None` defers to the process-wide [`cqs_future::default_wait_policy`].
@@ -70,6 +71,8 @@ impl CqsConfig {
     /// The default bound on the synchronous-rendezvous spin loop
     /// (`MAX_SPIN_CYCLES` in the paper).
     pub const DEFAULT_SPIN_LIMIT: usize = 300;
+    /// The default capacity of the per-queue segment recycling freelist.
+    pub const DEFAULT_FREELIST_SLOTS: usize = 4;
 
     /// Creates the default configuration: asynchronous resumption, simple
     /// cancellation, 16-cell segments.
@@ -79,6 +82,7 @@ impl CqsConfig {
             cancellation_mode: CancellationMode::Simple,
             segment_size: Self::DEFAULT_SEGMENT_SIZE,
             spin_limit: Self::DEFAULT_SPIN_LIMIT,
+            freelist_slots: Self::DEFAULT_FREELIST_SLOTS,
             label: "cqs",
             wait_spin: None,
             wait_yields: None,
@@ -127,6 +131,17 @@ impl CqsConfig {
         self
     }
 
+    /// Sets the capacity of this queue's segment recycling freelist (the
+    /// number of fully-cancelled segments parked for reuse instead of being
+    /// deallocated). Zero disables recycling. Primitives that fan one
+    /// logical queue out into N shards should divide the default by N so
+    /// the *total* idle memory pinned per primitive stays constant.
+    #[must_use]
+    pub fn freelist_slots(mut self, slots: usize) -> Self {
+        self.freelist_slots = slots;
+        self
+    }
+
     /// Overrides, for futures minted by this queue, how many
     /// [`std::hint::spin_loop`] iterations `CqsFuture::wait` polls before
     /// starting to yield (see [`WaitPolicy`]). Unset fields follow the
@@ -164,6 +179,11 @@ impl CqsConfig {
     /// The configured spin budget.
     pub fn get_spin_limit(&self) -> usize {
         self.spin_limit
+    }
+
+    /// The configured freelist capacity.
+    pub fn get_freelist_slots(&self) -> usize {
+        self.freelist_slots
     }
 
     /// The configured watchdog label.

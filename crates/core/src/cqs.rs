@@ -141,7 +141,7 @@ impl<T: Send + 'static, C: CqsCallbacks<T>> Cqs<T, C> {
     /// callbacks (use [`SimpleCancellation`] when the simple mode is
     /// configured).
     pub fn new(config: CqsConfig, callbacks: C) -> Self {
-        let freelist = SegmentFreelist::new();
+        let freelist = SegmentFreelist::new(config.get_freelist_slots());
         let first = Segment::new(0, config.get_segment_size(), 2, Arc::downgrade(&freelist));
         Cqs {
             inner: Arc::new(CqsInner {

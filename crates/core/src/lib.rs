@@ -55,6 +55,7 @@ mod cell;
 mod config;
 mod cqs;
 mod segment;
+pub mod shard;
 
 pub use config::{CancellationMode, CqsConfig, ResumeMode};
 pub use cqs::{Cqs, CqsCallbacks, SimpleCancellation, Suspend};

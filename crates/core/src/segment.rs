@@ -25,12 +25,6 @@ use crate::cell::CqsCell;
 const POINTER_UNIT: u64 = 1 << 32;
 const CANCELLED_MASK: u64 = POINTER_UNIT - 1;
 
-/// Capacity of the per-CQS segment freelist. Cancellation storms retire
-/// segments in bursts, but the append path consumes at most one recycled
-/// segment per new tail, so a handful of slots captures most of the reuse
-/// without pinning much memory.
-const FREELIST_SLOTS: usize = 4;
-
 /// A small, bounded, lock-free freelist of fully-cancelled segments.
 ///
 /// `Segment::remove` offers each physically removed segment here (at most
@@ -53,14 +47,23 @@ const FREELIST_SLOTS: usize = 4;
 /// back with a `Weak` so the list never forms a reference cycle with the
 /// segment chain it feeds.
 pub(crate) struct SegmentFreelist<T: Send + 'static> {
-    /// Raw `Arc::into_raw` pointers; null means the slot is empty.
-    slots: [AtomicPtr<Segment<T>>; FREELIST_SLOTS],
+    /// Raw `Arc::into_raw` pointers; null means the slot is empty. The
+    /// capacity is fixed at construction from
+    /// [`CqsConfig::freelist_slots`](crate::CqsConfig::freelist_slots):
+    /// cancellation storms retire segments in bursts, but the append path
+    /// consumes at most one recycled segment per new tail, so a handful of
+    /// slots captures most of the reuse without pinning much memory.
+    /// Sharded primitives, which multiply the number of queues per
+    /// primitive, shrink the per-queue bound so the *total* idle memory
+    /// stays where a single-queue primitive would put it. Zero slots
+    /// disables recycling entirely.
+    slots: Box<[AtomicPtr<Segment<T>>]>,
 }
 
 impl<T: Send + 'static> SegmentFreelist<T> {
-    pub(crate) fn new() -> Arc<Self> {
+    pub(crate) fn new(slot_count: usize) -> Arc<Self> {
         Arc::new(SegmentFreelist {
-            slots: Default::default(),
+            slots: (0..slot_count).map(|_| AtomicPtr::default()).collect(),
         })
     }
 
@@ -68,7 +71,7 @@ impl<T: Send + 'static> SegmentFreelist<T> {
     /// reference is simply dropped and the segment reclaims normally.
     fn push(&self, segment: Arc<Segment<T>>) {
         let ptr = Arc::into_raw(segment) as *mut Segment<T>;
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
             // Release on success publishes the pushed reference to the
             // popper's Acquire exchange below.
             if slot
@@ -99,7 +102,7 @@ impl<T: Send + 'static> SegmentFreelist<T> {
 
     /// Pops any stored segment, or `None` if the list is empty.
     fn try_pop(&self) -> Option<Arc<Segment<T>>> {
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
             let ptr = slot.load(Ordering::Relaxed);
             if ptr.is_null() {
                 continue;
@@ -127,7 +130,7 @@ impl<T: Send + 'static> SegmentFreelist<T> {
 
 impl<T: Send + 'static> Drop for SegmentFreelist<T> {
     fn drop(&mut self) {
-        for slot in &mut self.slots {
+        for slot in self.slots.iter_mut() {
             let ptr = *slot.get_mut();
             if !ptr.is_null() {
                 // SAFETY: the slot owns this `Arc::into_raw` reference and

@@ -727,6 +727,42 @@ fn recycled_segments_are_reused_and_preserve_fifo() {
     }
 }
 
+/// The freelist capacity is a per-queue knob: a shrunken bound caps how
+/// many retired segments a queue may pin (sharded primitives divide the
+/// default across their shards), and zero disables recycling outright.
+#[test]
+fn freelist_bound_is_configurable() {
+    const SEG: usize = 4;
+    for (slots, bound) in [(1usize, 1usize), (0, 0)] {
+        let callbacks = CountingCallbacks::new();
+        callbacks.state.store(-10_000, Ordering::SeqCst);
+        let cqs: Cqs<u64, Arc<CountingCallbacks>> = Cqs::new(
+            CqsConfig::new()
+                .segment_size(SEG)
+                .freelist_slots(slots)
+                .cancellation_mode(CancellationMode::Smart),
+            Arc::clone(&callbacks),
+        );
+        let long_lived = cqs.suspend().expect_future();
+        for _ in 0..8 {
+            let wave: Vec<_> = (0..3 * SEG)
+                .map(|_| cqs.suspend().expect_future())
+                .collect();
+            for f in &wave {
+                assert!(f.cancel());
+            }
+            drop(wave);
+            assert!(
+                cqs.recycling_queue_len() <= bound,
+                "freelist holds {} segments, configured bound is {bound}",
+                cqs.recycling_queue_len()
+            );
+        }
+        cqs.resume(7).unwrap();
+        assert_eq!(long_lived.wait(), Ok(7));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Batched resumption (`resume_n` / `resume_all`)
 // ---------------------------------------------------------------------

@@ -16,6 +16,8 @@
 //!             "warmup": 1, "timed": 5, "wake_batch_spills": 0 },
 //!   "figures": [ { "name": "fig5", "title": "...", "x_label": "threads",
 //!     "wall_clock_ms": 1234.5,
+//!     "samples": [ { "x": 100000, "rss_bytes": 73400320,
+//!                    "live_segments": 3125 } ],
 //!     "series": [ { "name": "cqs-barrier", "points": [
 //!       { "x": 1, "median_ns": 103.0, "min_ns": 99.0, "max_ns": 120.0,
 //!         "p95_ns": 120.0, "rel_iqr": 0.04, "noisy": false,
@@ -90,6 +92,22 @@ impl RunMeta {
     }
 }
 
+/// One resource snapshot taken mid-figure by a scenario bench: process
+/// RSS and live CQS segment count at sweep value `x`. Scenario figures
+/// (waiter ramps, soak runs) use these to bound memory growth; ordinary
+/// throughput figures leave the list empty and the field is then omitted
+/// from the JSON entirely, so pre-PR-9 consumers see no change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Sweep value the snapshot was taken at (live waiters, soak second).
+    pub x: u64,
+    /// Resident set size in bytes ([`crate::rss_bytes`]; zero means the
+    /// probe was unavailable, not an empty process).
+    pub rss_bytes: u64,
+    /// Live queue segments across the primitives under test.
+    pub live_segments: u64,
+}
+
 /// One figure's worth of series, named for cross-run matching.
 #[derive(Debug, Clone)]
 pub struct FigureReport {
@@ -106,6 +124,9 @@ pub struct FigureReport {
     pub wall_clock_ms: f64,
     /// The measured series.
     pub series: Vec<Series>,
+    /// Resource snapshots (scenario figures only; empty elsewhere and then
+    /// omitted from the serialized report).
+    pub samples: Vec<ResourceSample>,
 }
 
 /// A full benchmark run: metadata plus every figure produced.
@@ -223,6 +244,20 @@ impl BenchReport {
             escape_json(&fig.x_label, &mut out);
             out.push_str(",\"wall_clock_ms\":");
             number(fig.wall_clock_ms, &mut out);
+            if !fig.samples.is_empty() {
+                out.push_str(",\"samples\":[");
+                for (j, s) in fig.samples.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"x\":{},\"rss_bytes\":{},\"live_segments\":{}}}",
+                        s.x, s.rss_bytes, s.live_segments
+                    );
+                }
+                out.push(']');
+            }
             out.push_str(",\"series\":[");
             for (j, s) in fig.series.iter().enumerate() {
                 if j > 0 {
@@ -749,6 +784,27 @@ pub fn validate_report(doc: &Json) -> Vec<String> {
                 )),
             }
         }
+        // Resource snapshots arrived with the PR 9 scenario benches; the
+        // writer omits the key for figures without any, so it is only
+        // type-checked when present (same policy as wake_batch_spills).
+        if let Some(samples) = fig.get("samples") {
+            match samples.as_arr() {
+                None => err(format!("figure {fig_name}: samples must be an array")),
+                Some(samples) => {
+                    for sample in samples {
+                        for key in ["x", "rss_bytes", "live_segments"] {
+                            match sample.get(key).and_then(Json::as_f64) {
+                                Some(v) if v.is_finite() && v >= 0.0 => {}
+                                other => err(format!(
+                                    "figure {fig_name}: sample {key} must be a \
+                                     non-negative number, got {other:?}"
+                                )),
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let series = match fig.get("series").and_then(Json::as_arr) {
             None => {
                 err(format!("figure {fig_name}: missing \"series\" array"));
@@ -965,6 +1021,7 @@ mod tests {
                 x_label: "threads".to_string(),
                 wall_clock_ms: 42.5,
                 series: vec![s],
+                samples: Vec::new(),
             }],
         }
     }
@@ -1010,6 +1067,44 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(42.5)
         );
+    }
+
+    #[test]
+    fn resource_samples_round_trip_and_are_omitted_when_empty() {
+        let mut report = sample_report();
+        // Empty: the key must not appear at all.
+        assert!(!report.to_json().contains("\"samples\":["));
+        report.figures[0].samples = vec![
+            ResourceSample {
+                x: 1_000,
+                rss_bytes: 4096,
+                live_segments: 2,
+            },
+            ResourceSample {
+                x: 100_000,
+                rss_bytes: 8192,
+                live_segments: 30,
+            },
+        ];
+        let doc = Json::parse(&report.to_json()).unwrap();
+        assert!(validate_report(&doc).is_empty());
+        let samples = doc.get("figures").and_then(Json::as_arr).unwrap()[0]
+            .get("samples")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(
+            samples[1].get("live_segments").and_then(Json::as_f64),
+            Some(30.0)
+        );
+        // A malformed snapshot is rejected.
+        let bad = report
+            .to_json()
+            .replace("\"rss_bytes\":8192", "\"rss_bytes\":-1");
+        let doc = Json::parse(&bad).unwrap();
+        assert!(validate_report(&doc)
+            .iter()
+            .any(|e| e.contains("rss_bytes")));
     }
 
     #[test]

@@ -36,8 +36,10 @@
 //! ```
 
 mod backend;
+mod sharded;
 
 pub use backend::{PoolBackend, QueueBackend, StackBackend};
+pub use sharded::{ShardedPool, ShardedQueuePool, ShardedStackPool, MAX_DEFAULT_SHARDS};
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Weak};
@@ -122,13 +124,26 @@ impl<E: Send + 'static, B: PoolBackend<E> + Default> Default for BlockingPool<E,
 impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     /// Creates an empty pool around the given backend.
     pub fn with_backend(backend: B) -> Self {
+        Self::with_backend_config(backend, "pool.take", CqsConfig::DEFAULT_FREELIST_SLOTS)
+    }
+
+    /// Builds a shard of a sharded pool: the watchdog label distinguishes
+    /// shard queues in stall reports and `freelist_slots` is scaled down by
+    /// the shard count so N shards pin no more idle segments than one
+    /// queue would.
+    pub(crate) fn with_backend_config(
+        backend: B,
+        label: &'static str,
+        freelist_slots: usize,
+    ) -> Self {
         let shared = Arc::new_cyclic(|weak: &Weak<PoolShared<E, B>>| PoolShared {
             size: AtomicI64::new(0),
             backend,
             cqs: Cqs::new(
                 CqsConfig::new()
                     .cancellation_mode(CancellationMode::Smart)
-                    .label("pool.take"),
+                    .freelist_slots(freelist_slots)
+                    .label(label),
                 PoolCallbacks {
                     shared: Weak::clone(weak),
                 },
@@ -200,6 +215,57 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
                 }
             }
         }
+    }
+
+    /// Attempts to retrieve a *stored* element without waiting.
+    ///
+    /// Weak sibling of [`take`](Self::take): it only CASes the size word
+    /// downward while it is positive, so it never queues and never claims
+    /// an element destined for a FIFO waiter. It is weak because an
+    /// element a racing [`put`](Self::put) has announced but not yet
+    /// inserted is invisible — `None` does not prove the pool was empty at
+    /// any single instant. When the CAS wins but the paired insert broke
+    /// (the backend's restart protocol), the retry loop simply runs again:
+    /// the racing `put` restarts with a fresh size increment, so the
+    /// accounting stays balanced. Sharded pools use this as their local
+    /// fast path, steal path, and element-migration source.
+    pub fn try_take_weak(&self) -> Option<E> {
+        loop {
+            let mut s = self.shared.size.load(Ordering::SeqCst);
+            loop {
+                if s <= 0 {
+                    return None;
+                }
+                match self.shared.size.compare_exchange(
+                    s,
+                    s - 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => s = actual,
+                }
+            }
+            cqs_watch::gauge!(self.shared.cqs.watch_id(), "size", s - 1);
+            if let Some(element) = self.shared.backend.try_retrieve() {
+                return Some(element);
+            }
+            // The announced element's insert broke; its put() re-increments
+            // and re-inserts, so retry from a fresh size read.
+        }
+    }
+
+    /// A racy snapshot of the number of takers currently queued (zero if
+    /// elements are stored).
+    pub fn waiting_takers(&self) -> usize {
+        (-self.shared.size.load(Ordering::SeqCst)).max(0) as usize
+    }
+
+    /// Number of live queue segments backing this pool's taker queue
+    /// (diagnostics; the soak scenario tracks it to prove memory stays
+    /// proportional to live waiters).
+    pub fn live_segments(&self) -> usize {
+        self.shared.cqs.live_segments()
     }
 
     /// Closes the pool: every waiting taker is woken with an error (its

@@ -226,6 +226,18 @@ define_counters! {
     channel_refused_redeliveries,
     /// Buffered elements claimed back by the `close()`/`drain()` sweep.
     channel_orphaned,
+    /// Sharded acquires/takes satisfied by the caller's home shard without
+    /// touching any sibling (the coordination-free fast path).
+    shard_local_hits,
+    /// Sharded acquires/takes that missed the home shard and claimed a
+    /// permit/element from a sibling shard instead.
+    shard_steals,
+    /// Releases that moved banked credit (or an element) to a sibling shard
+    /// with suspended waiters — one per credit migrated.
+    shard_rebalances,
+    /// Open-loop scenario arrivals dropped because the generator fell
+    /// behind its schedule beyond the configured lateness budget.
+    scenario_arrivals_dropped,
 }
 
 /// Increments a named counter from the block above.
@@ -340,6 +352,10 @@ mod tests {
         #[allow(clippy::let_unit_value)]
         let nothing: () = {
             crate::bump!(segments_recycled);
+            crate::bump!(shard_local_hits);
+            crate::bump!(shard_steals, 3);
+            crate::bump!(shard_rebalances);
+            crate::bump!(scenario_arrivals_dropped, 2);
         };
         nothing
     }

@@ -47,12 +47,16 @@ mod latch;
 mod mutex;
 mod rwlock;
 mod semaphore;
+mod sharded;
 
 pub use barrier::{Barrier, BarrierFuture, BarrierGuard, CyclicBarrier};
 pub use latch::{CountDownGuard, CountDownLatch, SimpleCancelLatch};
 pub use mutex::{LockError, Mutex, MutexGuard, RawMutex};
 pub use rwlock::{RawRwLock, RwLockFuture};
 pub use semaphore::{ExcessRelease, Semaphore, SemaphoreGuard};
+pub use sharded::{
+    ShardedSemaphore, ShardedSemaphoreGuard, DEFAULT_REBALANCE_INTERVAL, MAX_DEFAULT_SHARDS,
+};
 
 // Re-export the future vocabulary users interact with.
 pub use cqs_core::{Cancelled, CqsFuture, FutureState};

@@ -103,6 +103,41 @@ impl Semaphore {
         Self::with_mode(permits, ResumeMode::Synchronous, Some(spin_limit))
     }
 
+    /// Builds a shard of a sharded semaphore: asynchronous resumption with
+    /// `initial` of the primitive's `cap` total permits banked here. The
+    /// shard's excess-release accounting is capped at the *total* because
+    /// rebalancing migrates credit between shards, so any one shard may
+    /// transiently bank every permit. `freelist_slots` is scaled down by
+    /// the shard count so N shards pin no more idle segments than one
+    /// queue would.
+    pub(crate) fn with_initial(
+        cap: usize,
+        initial: usize,
+        label: &'static str,
+        freelist_slots: usize,
+    ) -> Self {
+        assert!(cap > 0, "a semaphore needs at least one permit");
+        debug_assert!(initial <= cap, "initial share exceeds the permit cap");
+        let state = Arc::new(CachePadded::new(AtomicI64::new(initial as i64)));
+        let config = CqsConfig::new()
+            .resume_mode(ResumeMode::Asynchronous)
+            .cancellation_mode(CancellationMode::Smart)
+            .freelist_slots(freelist_slots)
+            .label(label);
+        let cqs = Cqs::new(
+            config,
+            SemaphoreCallbacks {
+                state: Arc::clone(&state),
+            },
+        );
+        Semaphore {
+            state,
+            cqs,
+            permits: cap,
+            sync_mode: false,
+        }
+    }
+
     fn with_mode(permits: usize, mode: ResumeMode, spin_limit: Option<usize>) -> Self {
         assert!(permits > 0, "a semaphore needs at least one permit");
         let state = Arc::new(CachePadded::new(AtomicI64::new(permits as i64)));
@@ -236,6 +271,78 @@ impl Semaphore {
             }
         }
         false
+    }
+
+    /// Attempts to take a *banked* permit without waiting, in any resume
+    /// mode.
+    ///
+    /// This is the **weak** sibling of [`try_acquire`](Semaphore::try_acquire):
+    /// it only CASes the state counter downward while it is positive, so it
+    /// never blocks, never queues, and never takes a permit destined for a
+    /// FIFO waiter (the counter is non-positive whenever waiters exist).
+    /// The weakness is in asynchronous mode: a permit a concurrent
+    /// `release` has already committed may transiently live *inside* the
+    /// queue where this method cannot see it, so `false` does not prove the
+    /// semaphore was exhausted at any single instant (the reason
+    /// [`try_acquire`](Semaphore::try_acquire) demands synchronous
+    /// resumption — paper, Appendix B, Figure 9). Sequentially the counter
+    /// is exact and the weakness is unobservable. Sharded primitives use
+    /// this as their local fast path and steal path.
+    pub fn try_acquire_weak(&self) -> bool {
+        let mut s = self.state.load(Ordering::SeqCst);
+        while s > 0 {
+            match self
+                .state
+                .compare_exchange(s, s - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    cqs_watch::gauge!(self.cqs.watch_id(), "state", s - 1);
+                    return true;
+                }
+                Err(actual) => s = actual,
+            }
+        }
+        false
+    }
+
+    /// Like [`try_acquire_weak`](Semaphore::try_acquire_weak), but takes up
+    /// to `max` banked permits in one CAS and returns how many it got.
+    /// Sharded rebalancing uses this to reclaim a batch of credit from one
+    /// shard's bank before handing it to another shard's waiters in a
+    /// single batched traversal.
+    pub fn try_acquire_many_weak(&self, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let cap = i64::try_from(max).unwrap_or(i64::MAX);
+        let mut s = self.state.load(Ordering::SeqCst);
+        while s > 0 {
+            let take = s.min(cap);
+            match self
+                .state
+                .compare_exchange(s, s - take, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    cqs_watch::gauge!(self.cqs.watch_id(), "state", s - take);
+                    return take as usize;
+                }
+                Err(actual) => s = actual,
+            }
+        }
+        0
+    }
+
+    /// A snapshot of the number of currently queued waiters (zero if
+    /// permits are available).
+    pub fn waiting(&self) -> usize {
+        (-self.state.load(Ordering::SeqCst)).max(0) as usize
+    }
+
+    /// Number of live queue segments backing this semaphore's waiter queue
+    /// (diagnostics; the soak scenario tracks it to prove memory stays
+    /// proportional to live waiters).
+    pub fn live_segments(&self) -> usize {
+        self.cqs.live_segments()
     }
 
     /// Closes the semaphore: every queued acquirer is woken with an error

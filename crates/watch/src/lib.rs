@@ -694,6 +694,15 @@ mod runtime {
         /// time — queues a panic escaped from (or that were explicitly
         /// poisoned), now closed and failing operations fast.
         pub poisoned_primitives: u64,
+        /// Process resident set size in bytes at scan time (zero where
+        /// the probe is unavailable; see `cqs_harness::rss_bytes`). A
+        /// stalled-waiter pile-up that also inflates this is a leak, not
+        /// just a liveness problem.
+        pub rss_bytes: u64,
+        /// Sum of every `live_segments` gauge at scan time — the queue
+        /// segments currently allocated across primitives that publish
+        /// the gauge (sharded structures do per shard).
+        pub live_segments: u64,
         /// Operation-counter snapshot (all zeros unless the `stats`
         /// feature is also enabled).
         pub counters: cqs_stats::CqsStats,
@@ -797,6 +806,8 @@ mod runtime {
             }
             out.end_array();
             out.field_u64("poisoned_primitives", self.poisoned_primitives);
+            out.field_u64("rss_bytes", self.rss_bytes);
+            out.field_u64("live_segments", self.live_segments);
             out.key("counters");
             out.begin_object();
             for (name, value) in self.counters.fields() {
@@ -879,6 +890,12 @@ mod runtime {
                 .iter()
                 .filter(|g| g.name == "poisoned" && g.value != 0)
                 .count() as u64;
+            let rss_bytes = cqs_harness::rss_bytes();
+            let live_segments = gauges
+                .iter()
+                .filter(|g| g.name == "live_segments")
+                .map(|g| g.value.max(0) as u64)
+                .sum();
             let mut reports = Vec::new();
 
             // Deadlocks: confirm a cycle across consecutive scans before
@@ -925,6 +942,8 @@ mod runtime {
                     queues: queues.clone(),
                     gauges: gauges.clone(),
                     poisoned_primitives,
+                    rss_bytes,
+                    live_segments,
                     counters,
                 });
             }
@@ -969,6 +988,8 @@ mod runtime {
                     queues,
                     gauges,
                     poisoned_primitives,
+                    rss_bytes,
+                    live_segments,
                     counters,
                 });
             }
@@ -1414,6 +1435,38 @@ mod tests {
             .all(|h| h.primitive != id));
         w.complete();
         w2.complete();
+    }
+
+    #[test]
+    fn reports_carry_rss_and_live_segment_totals() {
+        let a = next_primitive_id("test.segments.a");
+        let b = next_primitive_id("test.segments.b");
+        gauge!(a, "live_segments", 3);
+        gauge!(b, "live_segments", 4);
+        // A negative gauge (transient publish race) must not wrap the sum.
+        let c = next_primitive_id("test.segments.c");
+        gauge!(c, "live_segments", -1);
+        let mut s = scanner(WatchConfig::new().stall_threshold(Duration::from_millis(0)));
+        let w = FakeWaiter::new();
+        register_waiter!(a, "test.segments.a", w.clone());
+        let reports = s.scan();
+        let report = reports.first().expect("stall report expected");
+        assert!(report.live_segments >= 7, "gauge sum lost: {report:?}");
+        if cfg!(target_os = "linux") {
+            assert!(report.rss_bytes > 0, "RSS probe must work on Linux");
+        }
+        let doc = cqs_harness::report::Json::parse(&report.to_json()).unwrap();
+        assert!(
+            doc.get("live_segments")
+                .and_then(cqs_harness::report::Json::as_f64)
+                .is_some_and(|v| v >= 7.0),
+            "live_segments missing from serialized report"
+        );
+        assert!(doc
+            .get("rss_bytes")
+            .and_then(cqs_harness::report::Json::as_f64)
+            .is_some());
+        w.complete();
     }
 }
 

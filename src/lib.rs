@@ -53,11 +53,14 @@ pub use cqs_core::{
     CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, FutureState, Request,
     ResumeMode, SimpleCancellation, Suspend,
 };
-pub use cqs_pool::{BlockingPool, PoolBackend, QueueBackend, QueuePool, StackBackend, StackPool};
+pub use cqs_pool::{
+    BlockingPool, PoolBackend, QueueBackend, QueuePool, ShardedPool, ShardedQueuePool,
+    ShardedStackPool, StackBackend, StackPool,
+};
 pub use cqs_sync::{
     Barrier, BarrierFuture, BarrierGuard, CountDownGuard, CountDownLatch, CyclicBarrier,
     ExcessRelease, LockError, Mutex, MutexGuard, RawMutex, RawRwLock, RwLockFuture, Semaphore,
-    SemaphoreGuard, SimpleCancelLatch,
+    SemaphoreGuard, ShardedSemaphore, ShardedSemaphoreGuard, SimpleCancelLatch,
 };
 
 mod channel;

@@ -37,7 +37,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 
-use cqs::{Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, SimpleCancellation};
+use cqs::{
+    Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, ShardedSemaphore,
+    SimpleCancellation,
+};
 use cqs_check::{Explorer, Program};
 
 /// The explorer installs a process-global `cqs_chaos` scheduler; tests
@@ -389,6 +392,144 @@ fn channel_receive_cancel_vs_send_conserves_element_and_slot() {
             })
     });
 }
+
+/// Sweeps a 1-permit sharded semaphore after a race settled: exactly one
+/// permit must exist across both shards — one probe acquire succeeds
+/// immediately, a second stays pending (and is cancelled for cleanup).
+fn assert_one_sharded_permit(sem: &ShardedSemaphore) -> Result<(), String> {
+    let mut p1 = sem.acquire_at(0);
+    match p1.try_get() {
+        FutureState::Ready(()) => {}
+        other => return Err(format!("permit lost: probe acquire got {other:?}")),
+    }
+    let p2 = sem.acquire_at(0);
+    if p2.is_immediate() {
+        return Err("phantom permit: two immediate acquires on one permit".into());
+    }
+    assert!(p2.cancel(), "cleanup: pending probe must cancel");
+    Ok(())
+}
+
+/// Cross-shard steal racing a local fast path, exhaustively: a 2-shard
+/// semaphore whose single permit is banked on shard 1, with T1 acquiring
+/// through shard 0 (it must *steal* across the `sharded.steal.window`
+/// schedule points) and T2 acquiring locally on shard 1. In every
+/// interleaving exactly one of them obtains the permit and the total never
+/// leaves 1 — the steal CAS and the local CAS can race but not double-pay.
+#[test]
+fn sharded_steal_vs_local_acquire_conserves_the_permit() {
+    let _serial = serial();
+    let exploration = explorer().check_exhaustive(|| {
+        let sem = Arc::new(ShardedSemaphore::with_shards(1, 2));
+        // Move the permit to shard 1: drain shard 0's share, then return
+        // it through shard 1 (no waiters anywhere, so it banks there).
+        let drained = sem.acquire_at(0);
+        assert!(drained.is_immediate(), "setup: shard 0 holds the permit");
+        sem.release_at(1);
+        let slots: [Slot2; 2] = [Arc::default(), Arc::default()];
+        Program::new()
+            .thread({
+                let (sem, slot) = (Arc::clone(&sem), Arc::clone(&slots[0]));
+                move || {
+                    *slot.lock().unwrap() = Some(sem.acquire_at(0)); // stealer
+                }
+            })
+            .thread({
+                let (sem, slot) = (Arc::clone(&sem), Arc::clone(&slots[1]));
+                move || {
+                    *slot.lock().unwrap() = Some(sem.acquire_at(1)); // local
+                }
+            })
+            .check(move || {
+                // Settle the losers *before* returning any permit: a
+                // release would (correctly) migrate to a still-parked
+                // waiter via the quiescence sweep and blur the tally.
+                let mut winners = Vec::new();
+                for (i, slot) in slots.iter().enumerate() {
+                    let mut f = slot
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .ok_or_else(|| format!("acquirer {i}: future never stored"))?;
+                    match f.try_get() {
+                        FutureState::Ready(()) => winners.push(i),
+                        FutureState::Pending => {
+                            if !f.cancel() {
+                                return Err(format!(
+                                    "acquirer {i}: cancel of a pending waiter lost \
+                                     with no release in flight"
+                                ));
+                            }
+                        }
+                        other => return Err(format!("acquirer {i}: got {other:?}")),
+                    }
+                }
+                let [winner] = winners[..] else {
+                    return Err(format!("{} acquirers won a single permit", winners.len()));
+                };
+                sem.release_at(winner);
+                assert_one_sharded_permit(&sem)
+            })
+    });
+    assert!(
+        exploration.runs >= 2,
+        "the steal window must branch the schedule, ran {}",
+        exploration.runs
+    );
+}
+
+/// The release-time sibling scan racing the waiter's cancellation: the
+/// single permit is held through shard 0 while a waiter parks on shard 1;
+/// T1 cancels the waiter while T2 releases at shard 0, whose quiescence
+/// sweep crosses the `sharded.rebalance.window` to feed shard 1. In every
+/// interleaving the cancel and the migrated permit resolve exactly-once:
+/// the waiter ends Ready with the permit or Cancelled with the permit
+/// banked — never both, never neither (no lost wakeup, no phantom).
+#[test]
+fn sharded_release_scan_vs_cancel_is_exactly_once() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let sem = Arc::new(ShardedSemaphore::with_shards(1, 2));
+        let held = sem.acquire_at(0);
+        assert!(held.is_immediate(), "setup: the permit starts held");
+        let waiter = sem.acquire_at(1);
+        assert!(!waiter.is_immediate(), "setup: the waiter must park");
+        let waiter = Arc::new(StdMutex::new(Some(waiter)));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (waiter, cancelled) = (Arc::clone(&waiter), Arc::clone(&cancelled));
+                move || {
+                    let w = waiter.lock().unwrap();
+                    cancelled.store(
+                        w.as_ref().expect("setup stored it").cancel(),
+                        Ordering::SeqCst,
+                    );
+                }
+            })
+            .thread({
+                let sem = Arc::clone(&sem);
+                move || sem.release_at(0)
+            })
+            .check(move || {
+                let mut w = waiter
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .ok_or("waiter: future never stored")?;
+                match (cancelled.load(Ordering::SeqCst), w.try_get()) {
+                    (true, FutureState::Cancelled) => {} // permit banked somewhere
+                    (false, FutureState::Ready(())) => sem.release_at(1), // waiter got it
+                    (c, other) => {
+                        return Err(format!("waiter: cancel()=={c} but future is {other:?}"))
+                    }
+                }
+                assert_one_sharded_permit(&sem)
+            })
+    });
+}
+
+type Slot2 = Arc<StdMutex<Option<CqsFuture<()>>>>;
 
 /// A waiter cancelling in the middle of a `resume_n` batch: value 2
 /// either reaches waiter 1 or comes back in the batch's failed-value

@@ -1,0 +1,336 @@
+//! Property-based tests for [`cqs::ShardedSemaphore`]: random operation
+//! sequences executed single-threaded against
+//!
+//! 1. an exact sequential reference model of the sharded protocol
+//!    (per-shard banks + FIFO queues, rebalance pulses every
+//!    `interval`-th banking release, the quiescence sweep when the last
+//!    holder releases), checking outcome agreement and global permit
+//!    conservation after every step, and
+//! 2. a plain [`cqs::Semaphore`] when `shards == 1`, where the sharded
+//!    wrapper must be observationally identical (same immediate/pending
+//!    outcomes, same FIFO wake order, same available count).
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use cqs::{CqsFuture, FutureState, Semaphore, ShardedSemaphore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `acquire_at(home)`.
+    Acquire(usize),
+    /// `release_at(home)` — skipped when nothing is held.
+    Release(usize),
+    /// `release_n_at(home, k)` with `k` clamped to the held count.
+    ReleaseN(usize, usize),
+    /// Cancel the pending waiter with this (wrapped) index.
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..8).prop_map(Op::Acquire),
+        3 => (0usize..8).prop_map(Op::Release),
+        1 => ((0usize..8), (1usize..4)).prop_map(|(h, k)| Op::ReleaseN(h, k)),
+        1 => (0usize..32).prop_map(Op::Cancel),
+    ]
+}
+
+fn configs() -> impl Strategy<Value = (usize, usize, u64, Vec<Op>)> {
+    (
+        1usize..6, // permits
+        1usize..5, // shards
+        1u64..5,   // rebalance interval
+        prop::collection::vec(op_strategy(), 0..120),
+    )
+}
+
+/// Exact sequential model of the sharded protocol. Permit conservation is
+/// structural: every permit is either in some shard's bank or held.
+struct Model {
+    banks: Vec<usize>,
+    waiters: Vec<VecDeque<usize>>,
+    streak: Vec<u64>,
+    held: usize,
+    interval: u64,
+}
+
+impl Model {
+    fn new(permits: usize, shards: usize, interval: u64) -> Self {
+        let banks = (0..shards)
+            .map(|i| permits / shards + usize::from(i < permits % shards))
+            .collect();
+        Model {
+            banks,
+            waiters: vec![VecDeque::new(); shards],
+            streak: vec![0; shards],
+            held: 0,
+            interval,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// `Some(())` = immediate grant, `None` = parked on `home`'s queue.
+    fn acquire_at(&mut self, home: usize, id: usize) -> Option<()> {
+        let n = self.shards();
+        let home = home % n;
+        for d in 0..n {
+            let s = (home + d) % n;
+            if self.banks[s] > 0 {
+                self.banks[s] -= 1;
+                self.held += 1;
+                return Some(());
+            }
+        }
+        self.waiters[home].push_back(id);
+        None
+    }
+
+    /// Returns the waiter ids served by this release, in wake order.
+    fn release_at(&mut self, home: usize) -> Vec<usize> {
+        let n = self.shards();
+        let home = home % n;
+        self.held -= 1;
+        if let Some(id) = self.waiters[home].pop_front() {
+            self.held += 1; // FIFO handoff: the waiter holds it now
+            return vec![id];
+        }
+        self.banks[home] += 1;
+        if n == 1 {
+            return Vec::new();
+        }
+        self.streak[home] += 1;
+        if self.streak[home] >= self.interval {
+            self.streak[home] = 0;
+            return self.rebalance_from(home);
+        }
+        if self.held == 0 {
+            // Quiescence sweep: the last holder just banked its permit.
+            return self.rebalance_from(home);
+        }
+        Vec::new()
+    }
+
+    fn release_n_at(&mut self, home: usize, k: usize) -> Vec<usize> {
+        let n = self.shards();
+        let home = home % n;
+        self.held -= k;
+        let mut served = Vec::new();
+        let mut left = k;
+        for d in 0..n {
+            if left == 0 {
+                return served;
+            }
+            let s = (home + d) % n;
+            let w = self.waiters[s].len().min(left);
+            for _ in 0..w {
+                served.push(self.waiters[s].pop_front().unwrap());
+            }
+            self.held += w;
+            left -= w;
+        }
+        self.banks[home] += left;
+        self.streak[home] = 0;
+        served.extend(self.rebalance_from(home));
+        served
+    }
+
+    fn rebalance_from(&mut self, home: usize) -> Vec<usize> {
+        let n = self.shards();
+        let mut served = Vec::new();
+        for d in 1..n {
+            let victim = (home + d) % n;
+            let starving = self.waiters[victim].len();
+            if starving == 0 {
+                continue;
+            }
+            let got = self.banks[home].min(starving);
+            if got == 0 {
+                break;
+            }
+            self.banks[home] -= got;
+            for _ in 0..got {
+                served.push(self.waiters[victim].pop_front().unwrap());
+            }
+            self.held += got;
+        }
+        served
+    }
+
+    fn cancel(&mut self, id: usize) {
+        for q in &mut self.waiters {
+            q.retain(|w| *w != id);
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.banks.iter().sum()
+    }
+
+    fn waiting(&self) -> usize {
+        self.waiters.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Pop the tracked future with this id and assert it is now `Ready`.
+fn expect_served(real: &mut Vec<(usize, CqsFuture<()>)>, id: usize) -> Result<(), TestCaseError> {
+    let (_, mut f) = real
+        .iter()
+        .position(|(i, _)| *i == id)
+        .map(|i| real.remove(i))
+        .ok_or_else(|| TestCaseError::fail(format!("served waiter {id} not tracked")))?;
+    prop_assert_eq!(f.try_get(), FutureState::Ready(()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The real sharded semaphore agrees with the sequential model on every
+    /// operation outcome, and permits are conserved after every step.
+    #[test]
+    fn sharded_semaphore_matches_sequential_model(
+        (permits, shards, interval, ops) in configs()
+    ) {
+        let s = ShardedSemaphore::with_shards_and_interval(permits, shards, interval);
+        let mut model = Model::new(permits, shards, interval);
+        let mut real: Vec<(usize, CqsFuture<()>)> = Vec::new();
+        let mut next_id = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Acquire(home) => {
+                    let f = s.acquire_at(home);
+                    match model.acquire_at(home, next_id) {
+                        Some(()) => prop_assert!(
+                            f.is_immediate(),
+                            "model grants immediately, real parked"
+                        ),
+                        None => {
+                            prop_assert!(
+                                !f.is_immediate(),
+                                "model parks, real granted immediately"
+                            );
+                            real.push((next_id, f));
+                        }
+                    }
+                    next_id += 1;
+                }
+                Op::Release(home) => {
+                    if model.held == 0 {
+                        continue; // never release what we do not hold
+                    }
+                    s.release_at(home);
+                    for id in model.release_at(home) {
+                        expect_served(&mut real, id)?;
+                    }
+                }
+                Op::ReleaseN(home, k) => {
+                    let k = k.min(model.held);
+                    if k == 0 {
+                        continue;
+                    }
+                    s.release_n_at(home, k);
+                    for id in model.release_n_at(home, k) {
+                        expect_served(&mut real, id)?;
+                    }
+                }
+                Op::Cancel(k) => {
+                    if real.is_empty() {
+                        continue;
+                    }
+                    let (id, f) = real.remove(k % real.len());
+                    prop_assert!(f.cancel());
+                    model.cancel(id);
+                }
+            }
+            // Conservation + bookkeeping agreement after every step.
+            prop_assert_eq!(model.available() + model.held, permits);
+            prop_assert_eq!(s.available_permits(), model.available());
+            prop_assert_eq!(s.waiting(), model.waiting());
+        }
+
+        // Whatever remains parked is still pending; drain everything and
+        // the full permit count must come back.
+        for (id, mut f) in real.drain(..) {
+            prop_assert_eq!(f.try_get(), FutureState::Pending);
+            prop_assert!(f.cancel());
+            model.cancel(id);
+        }
+        for _ in 0..model.held {
+            s.release_at(0);
+            model.release_at(0);
+        }
+        prop_assert_eq!(s.available_permits(), permits);
+        prop_assert_eq!(s.waiting(), 0);
+    }
+
+    /// With a single shard the sharded wrapper is observationally identical
+    /// to the plain FIFO semaphore: same immediate/pending outcomes, same
+    /// wake order, same available count, for every op sequence.
+    #[test]
+    fn single_shard_is_equivalent_to_plain_semaphore(
+        (permits, ops) in (1usize..5, prop::collection::vec(op_strategy(), 0..120))
+    ) {
+        let sharded = ShardedSemaphore::with_shards(permits, 1);
+        let plain = Semaphore::new(permits);
+        let mut held = 0usize;
+        let mut pairs: Vec<(CqsFuture<()>, CqsFuture<()>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Acquire(home) => {
+                    let a = sharded.acquire_at(home);
+                    let b = plain.acquire();
+                    prop_assert_eq!(a.is_immediate(), b.is_immediate());
+                    if a.is_immediate() {
+                        held += 1;
+                    } else {
+                        pairs.push((a, b));
+                    }
+                }
+                Op::Release(home) | Op::ReleaseN(home, _) => {
+                    if held == 0 {
+                        continue;
+                    }
+                    // Exercise both release entry points on the sharded side.
+                    if matches!(op, Op::Release(_)) {
+                        sharded.release_at(home);
+                    } else {
+                        sharded.release_n_at(home, 1);
+                    }
+                    plain.release();
+                    if pairs.is_empty() {
+                        held -= 1; // banked on both sides
+                    }
+                    // A handoff keeps `held` unchanged; the front waiter
+                    // (FIFO on both sides) is now ready.
+                    else {
+                        let (mut a, mut b) = pairs.remove(0);
+                        prop_assert_eq!(a.try_get(), FutureState::Ready(()));
+                        prop_assert_eq!(b.try_get(), FutureState::Ready(()));
+                    }
+                }
+                Op::Cancel(k) => {
+                    if pairs.is_empty() {
+                        continue;
+                    }
+                    let (a, b) = pairs.remove(k % pairs.len());
+                    prop_assert!(a.cancel());
+                    prop_assert!(b.cancel());
+                }
+            }
+            prop_assert_eq!(sharded.available_permits(), plain.available_permits());
+            prop_assert_eq!(sharded.waiting(), plain.waiting());
+        }
+
+        for (mut a, mut b) in pairs {
+            prop_assert_eq!(a.try_get(), FutureState::Pending);
+            prop_assert_eq!(b.try_get(), FutureState::Pending);
+        }
+    }
+}

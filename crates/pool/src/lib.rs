@@ -60,6 +60,11 @@ struct PoolShared<E: Send + 'static, B: PoolBackend<E>> {
     cqs: Cqs<E, PoolCallbacks<E, B>>,
 }
 
+/// Hook a sharded wrapper installs to learn that a taker's cancellation
+/// refused an in-flight resume and re-stored its element. See
+/// [`PoolCallbacks::complete_refused_resume`].
+pub(crate) type RefusalHook = Box<dyn Fn() + Send + Sync>;
+
 /// Smart-cancellation hooks of the abstract pool (paper, Listing 17).
 ///
 /// Holds a weak reference to the pool internals: a strong one would form a
@@ -68,6 +73,13 @@ struct PoolShared<E: Send + 'static, B: PoolBackend<E>> {
 /// with it.
 struct PoolCallbacks<E: Send + 'static, B: PoolBackend<E>> {
     shared: Weak<PoolShared<E, B>>,
+    /// Invoked after a refusal has fully settled (element back in this
+    /// shard's store). A refusal can settle on the *cancelling* thread —
+    /// when the resume delegated its element to the mid-flight canceller —
+    /// after the putting thread has long returned, so a sharded wrapper
+    /// cannot run its no-idle-element scan from the put path alone; this
+    /// hook hands it the only thread that knows.
+    on_refusal: Option<RefusalHook>,
 }
 
 impl<E: Send + 'static, B: PoolBackend<E>> CqsCallbacks<E> for PoolCallbacks<E, B> {
@@ -88,6 +100,9 @@ impl<E: Send + 'static, B: PoolBackend<E>> CqsCallbacks<E> for PoolCallbacks<E, 
             // !tryInsert(e): put(e)`).
             if let Err(element) = shared.backend.try_insert(element) {
                 shared.put(element);
+            }
+            if let Some(hook) = &self.on_refusal {
+                hook();
             }
         }
     }
@@ -124,17 +139,24 @@ impl<E: Send + 'static, B: PoolBackend<E> + Default> Default for BlockingPool<E,
 impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     /// Creates an empty pool around the given backend.
     pub fn with_backend(backend: B) -> Self {
-        Self::with_backend_config(backend, "pool.take", CqsConfig::DEFAULT_FREELIST_SLOTS)
+        Self::with_backend_config(backend, "pool.take", CqsConfig::DEFAULT_FREELIST_SLOTS, None)
     }
 
     /// Builds a shard of a sharded pool: the watchdog label distinguishes
-    /// shard queues in stall reports and `freelist_slots` is scaled down by
-    /// the shard count so N shards pin no more idle segments than one
-    /// queue would.
+    /// shard queues in stall reports and `freelist_slots` is scaled down
+    /// by the shard count, bounding the idle segments pinned by the whole
+    /// primitive to `max(DEFAULT_FREELIST_SLOTS, shards)` — the
+    /// single-queue envelope up to 4 shards, one per shard beyond that
+    /// (each shard keeps at least one slot). `on_refusal` is invoked
+    /// whenever a taker's cancellation refuses an in-flight resume on this
+    /// shard (re-storing the element here), possibly on the cancelling
+    /// thread after the putter already returned — the wrapper runs its
+    /// cross-shard migration scan from it.
     pub(crate) fn with_backend_config(
         backend: B,
         label: &'static str,
         freelist_slots: usize,
+        on_refusal: Option<RefusalHook>,
     ) -> Self {
         let shared = Arc::new_cyclic(|weak: &Weak<PoolShared<E, B>>| PoolShared {
             size: AtomicI64::new(0),
@@ -146,6 +168,7 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
                     .label(label),
                 PoolCallbacks {
                     shared: Weak::clone(weak),
+                    on_refusal,
                 },
             ),
         });
@@ -173,6 +196,20 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     /// waiting [`take`](Self::take) if there is one.
     pub fn put(&self, element: E) {
         self.shared.put(element);
+    }
+
+    /// Crate-internal sibling of [`put`](Self::put) reporting whether the
+    /// element was stored (`true`) or handed to a waiting taker
+    /// (`false`); the sharded pool runs its migration scan exactly when
+    /// an element was stored.
+    pub(crate) fn put_reporting(&self, element: E) -> bool {
+        self.shared.put(element)
+    }
+
+    /// Crate-internal sibling of [`put_many`](Self::put_many) reporting
+    /// how many elements were stored rather than handed to takers.
+    pub(crate) fn put_many_reporting(&self, elements: impl IntoIterator<Item = E>) -> usize {
+        self.shared.put_many(elements.into_iter().collect())
     }
 
     /// Returns a whole batch of elements at once: a single `fetch_add` on
@@ -285,7 +322,14 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
 }
 
 impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
-    fn put(&self, mut element: E) {
+    /// Returns `true` if the element was stored in the backend, `false`
+    /// if it was handed to a waiting taker. The decision comes from the
+    /// put's own `fetch_add`, never from a `waiting_takers()` snapshot —
+    /// a taker counted beforehand may cancel concurrently (its
+    /// `on_cancellation` increments the size word first), turning the
+    /// would-be handoff into a store. The sharded pool keys its migration
+    /// scan off this.
+    fn put(&self, mut element: E) -> bool {
         loop {
             let s = self.size.fetch_add(1, Ordering::SeqCst);
             cqs_watch::gauge!(self.cqs.watch_id(), "size", s + 1);
@@ -295,10 +339,10 @@ impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
                 self.cqs
                     .resume(element)
                     .unwrap_or_else(|_| unreachable!("smart async resume cannot fail"));
-                return;
+                return false;
             }
             match self.backend.try_insert(element) {
-                Ok(()) => return,
+                Ok(()) => return true,
                 // A racing take() discovered our increment but broke the
                 // slot; its decrement and our increment cancel out, restart.
                 Err(e) => element = e,
@@ -306,10 +350,13 @@ impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
         }
     }
 
-    fn put_many(&self, elements: Vec<E>) {
+    /// Returns how many of the elements were stored rather than handed to
+    /// waiting takers (see [`put`](PoolShared::put) for why a snapshot
+    /// cannot provide this).
+    fn put_many(&self, elements: Vec<E>) -> usize {
         let k = elements.len() as i64;
         if k == 0 {
-            return;
+            return 0;
         }
         let s = self.size.fetch_add(k, Ordering::SeqCst);
         cqs_watch::gauge!(self.cqs.watch_id(), "size", s + k);
@@ -323,14 +370,17 @@ impl<E: Send + 'static, B: PoolBackend<E>> PoolShared<E, B> {
                 .resume_n(elements.by_ref().take(to_waiters), to_waiters);
             debug_assert!(failed.is_empty(), "smart async resume cannot fail");
         }
+        let mut stored = 0;
         for element in elements {
             // The remaining increments announced stored elements; insert
             // them. A broken slot means a racing take() absorbed this
             // element's increment — `put` restarts with a fresh one.
-            if let Err(e) = self.backend.try_insert(element) {
-                self.put(e);
+            match self.backend.try_insert(element) {
+                Ok(()) => stored += 1,
+                Err(e) => stored += usize::from(self.put(e)),
             }
         }
+        stored
     }
 }
 

@@ -12,12 +12,32 @@ use cqs_core::{
 };
 use cqs_stats::CachePadded;
 
+/// Hook a sharded wrapper installs to learn that a cancellation refused an
+/// in-flight resume and re-banked its permit. See
+/// [`SemaphoreCallbacks::complete_refused_resume`].
+pub(crate) type RefusalHook = Box<dyn Fn() + Send + Sync>;
+
 /// Semaphore state shared with the smart-cancellation callbacks:
 /// `state >= 0` is the number of available permits, `state < 0` the negated
 /// number of waiters.
-#[derive(Debug)]
 struct SemaphoreCallbacks {
     state: Arc<CachePadded<AtomicI64>>,
+    /// Invoked after a refusal has fully settled (permit re-banked and the
+    /// refused value consumed). A refusal can settle on the *cancelling*
+    /// thread — when the resume delegated its value to the mid-flight
+    /// canceller — after the releasing thread has long returned, so a
+    /// sharded wrapper cannot run its no-idle-permit sweep from the release
+    /// path alone; this hook hands it the only thread that knows.
+    on_refusal: Option<RefusalHook>,
+}
+
+impl std::fmt::Debug for SemaphoreCallbacks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemaphoreCallbacks")
+            .field("state", &self.state)
+            .field("on_refusal", &self.on_refusal.is_some())
+            .finish()
+    }
 }
 
 impl CqsCallbacks<()> for SemaphoreCallbacks {
@@ -32,7 +52,13 @@ impl CqsCallbacks<()> for SemaphoreCallbacks {
     }
 
     fn complete_refused_resume(&self, _permit: ()) {
-        // The permit was returned to `state` by on_cancellation already.
+        // The permit was returned to `state` by on_cancellation already,
+        // which strictly precedes this call in both refusal paths (the
+        // canceller swaps the cell to REFUSE / observes the delegated value
+        // only after its re-banking increment).
+        if let Some(hook) = &self.on_refusal {
+            hook();
+        }
     }
 }
 
@@ -108,13 +134,20 @@ impl Semaphore {
     /// shard's excess-release accounting is capped at the *total* because
     /// rebalancing migrates credit between shards, so any one shard may
     /// transiently bank every permit. `freelist_slots` is scaled down by
-    /// the shard count so N shards pin no more idle segments than one
-    /// queue would.
+    /// the shard count, bounding the idle segments pinned by the whole
+    /// primitive to `max(DEFAULT_FREELIST_SLOTS, shards)` — the
+    /// single-queue envelope up to 4 shards, one per shard beyond that
+    /// (each shard keeps at least one slot).
+    /// `on_refusal` is invoked whenever a cancellation refuses an in-flight
+    /// resume on this shard (re-banking the permit here), possibly on the
+    /// cancelling thread after the releaser already returned — the wrapper
+    /// runs its cross-shard sweep from it.
     pub(crate) fn with_initial(
         cap: usize,
         initial: usize,
         label: &'static str,
         freelist_slots: usize,
+        on_refusal: Option<RefusalHook>,
     ) -> Self {
         assert!(cap > 0, "a semaphore needs at least one permit");
         debug_assert!(initial <= cap, "initial share exceeds the permit cap");
@@ -128,6 +161,7 @@ impl Semaphore {
             config,
             SemaphoreCallbacks {
                 state: Arc::clone(&state),
+                on_refusal,
             },
         );
         Semaphore {
@@ -152,6 +186,7 @@ impl Semaphore {
             config,
             SemaphoreCallbacks {
                 state: Arc::clone(&state),
+                on_refusal: None,
             },
         );
         Semaphore {
@@ -438,14 +473,33 @@ impl Semaphore {
 
     /// Returns a permit, resuming the first waiter if there is one.
     pub fn release(&self) {
+        let _ = self.release_reporting();
+    }
+
+    /// Crate-internal sibling of [`release`](Semaphore::release) that
+    /// reports where the permit went: `true` if it was banked in the
+    /// free-permit counter, `false` if it was handed to a waiter. The
+    /// sharded semaphore keys its rebalance accounting off this — a
+    /// `waiting()` snapshot taken *before* the release cannot tell which
+    /// path will be taken (a waiter the snapshot counted may cancel
+    /// concurrently, turning the would-be handoff into a bank), but the
+    /// release's own `fetch_add` can. Note that `false` only means the
+    /// resume *committed*: a cancellation refusing the in-flight resume
+    /// still re-banks the permit via `on_cancellation` — and when the
+    /// resume delegated its value to the mid-flight canceller, that
+    /// re-banking happens on the cancelling thread, possibly *after* this
+    /// method returned. Wrappers that must react to the re-bank listen via
+    /// the `on_refusal` hook instead of inspecting this return value.
+    pub(crate) fn release_reporting(&self) -> bool {
         // Linearizability-history seam (cqs-check): a release is a
         // complete operation, so both edges are recorded here.
         cqs_chaos::record!(self as *const Self as u64, "sem.release", Invoke, 0);
-        self.release_permit();
+        let banked = self.release_permit();
         cqs_chaos::record!(self as *const Self as u64, "sem.release", Response, 0);
+        banked
     }
 
-    fn release_permit(&self) {
+    fn release_permit(&self) -> bool {
         loop {
             let s = self.state.fetch_add(1, Ordering::SeqCst);
             cqs_watch::gauge!(self.cqs.watch_id(), "state", s + 1);
@@ -461,13 +515,13 @@ impl Semaphore {
                 "released more permits than were acquired"
             );
             if s >= 0 {
-                return;
+                return true;
             }
             // There is a waiter; try to resume it. With smart cancellation
             // and asynchronous resumption this never fails; in synchronous
             // mode a broken rendezvous makes us restart.
             if self.cqs.resume(()).is_ok() {
-                return;
+                return false;
             }
             // Synchronous mode: the rendezvous broke; give the lagging
             // suspender a chance to run before retrying.
@@ -483,8 +537,20 @@ impl Semaphore {
     /// round-trips. Used by `BlockingPool` teardown to hand every parked
     /// worker its shutdown permit at once.
     pub fn release_n(&self, k: usize) {
+        let _ = self.release_n_reporting(k);
+    }
+
+    /// Crate-internal sibling of [`release_n`](Semaphore::release_n)
+    /// reporting how many of the `k` permits were banked rather than
+    /// handed to waiters (see [`release_reporting`](Semaphore::release_reporting)
+    /// for why a pre-release `waiting()` snapshot cannot provide this).
+    /// The count is exact in asynchronous mode; refused resumes re-bank
+    /// through `on_cancellation` (possibly on the cancelling thread, after
+    /// this returns) and are not counted — the `on_refusal` hook reports
+    /// them.
+    pub(crate) fn release_n_reporting(&self, k: usize) -> usize {
         if k == 0 {
-            return;
+            return 0;
         }
         let k = k as i64;
         let s = self.state.fetch_add(k, Ordering::SeqCst);
@@ -498,8 +564,9 @@ impl Semaphore {
         // Exactly the increments that landed below zero belong to waiters;
         // the rest are banked as free permits.
         let waiters = (-s).clamp(0, k) as usize;
+        let mut banked = k as usize - waiters;
         if waiters == 0 {
-            return;
+            return banked;
         }
         let failed = self.cqs.resume_n(std::iter::repeat_n((), waiters), waiters);
         debug_assert!(
@@ -511,8 +578,9 @@ impl Semaphore {
             // own loop performs the Listing-16 refund increment and
             // retries, which is exactly the per-permit recovery we need.
             std::thread::yield_now();
-            self.release();
+            banked += usize::from(self.release_reporting());
         }
+        banked
     }
 }
 

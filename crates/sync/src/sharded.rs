@@ -40,7 +40,15 @@
 //!   sibling bank after registering (cancelling its request if the re-scan
 //!   wins). Together these close the bank-vs-suspend race — each side's
 //!   write precedes its read of the other's word (SeqCst), so at least one
-//!   of them observes the other.
+//!   of them observes the other. Whether a release banked is decided by
+//!   its own `fetch_add` (never by a `waiting()` snapshot, which a
+//!   concurrent cancellation can invalidate), and the quiescence check
+//!   also runs after a served handoff, because the recipient's
+//!   cancellation can refuse the in-flight resume and re-bank the permit.
+//!   A refusal can even settle on the *cancelling* thread after the
+//!   releaser returned (the resume delegates its permit to a mid-flight
+//!   canceller), so each shard additionally reports settled refusals
+//!   through a hook that re-runs the sweep from the cancelling thread.
 //!
 //! Under a steady stream of releases, a parked waiter is therefore served
 //! after at most `rebalance_interval` overtakes; at quiescence it is served
@@ -49,11 +57,12 @@
 //! later may complete first.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use cqs_core::{Cancelled, CqsFuture};
 use cqs_stats::CachePadded;
 
-use crate::semaphore::Semaphore;
+use crate::semaphore::{RefusalHook, Semaphore};
 
 /// Default cap on [`ShardedSemaphore::new`]'s shard count; see
 /// [`cqs_core::shard::default_shard_count`].
@@ -81,6 +90,17 @@ pub const DEFAULT_REBALANCE_INTERVAL: u64 = 64;
 /// ```
 #[derive(Debug)]
 pub struct ShardedSemaphore {
+    /// The shards and rebalance machinery live behind an `Arc` so each
+    /// shard's refusal hook can hold a `Weak` back-reference: a refusal can
+    /// settle on the *cancelling* thread after the releasing thread already
+    /// swept and returned (the resume delegated its permit to the
+    /// mid-flight canceller), making the canceller the only thread that can
+    /// still run the no-idle-permit sweep.
+    inner: Arc<SemInner>,
+}
+
+#[derive(Debug)]
+struct SemInner {
     shards: Box<[Semaphore]>,
     /// Per-shard count of consecutive banking releases since the last
     /// rebalance pulse from that shard (padded: each is hammered by the
@@ -88,6 +108,72 @@ pub struct ShardedSemaphore {
     bank_streak: Box<[CachePadded<AtomicU64>]>,
     permits: usize,
     rebalance_interval: u64,
+}
+
+impl SemInner {
+    fn available_permits(&self) -> usize {
+        self.shards.iter().map(Semaphore::available_permits).sum()
+    }
+
+    fn waiting(&self) -> usize {
+        self.shards.iter().map(Semaphore::waiting).sum()
+    }
+
+    /// Migrates banked credit from `home`'s bank to starving sibling
+    /// shards, a batch per recipient, until the bank runs dry or no sibling
+    /// is starving. Returns the number of permits migrated.
+    fn rebalance_from(&self, home: usize) -> usize {
+        let n = self.shards.len();
+        let mut moved = 0;
+        for d in 1..n {
+            let victim = &self.shards[(home + d) % n];
+            let starving = victim.waiting();
+            if starving == 0 {
+                continue;
+            }
+            cqs_chaos::inject!("sharded.rebalance.window");
+            // Reclaim a batch of credit from our own bank. Racing local
+            // acquirers may drain it first — then the credit went to a
+            // completed operation instead, which is equally conservative.
+            let got = self.shards[home].try_acquire_many_weak(starving);
+            if got == 0 {
+                break;
+            }
+            cqs_stats::bump!(shard_rebalances, got);
+            victim.release_n(got);
+            moved += got;
+        }
+        moved
+    }
+
+    fn rebalance(&self) -> usize {
+        (0..self.shards.len())
+            .map(|home| self.rebalance_from(home))
+            .sum()
+    }
+
+    /// The no-idle-permit guarantee: if no permit is held anywhere (every
+    /// permit is banked) while waiters are parked, they have no future
+    /// release to serve them — migrate banked credit toward them now,
+    /// from *every* shard's bank, until the system stops moving. The loop
+    /// matters: a migration batch can itself be outrun by a cancelling
+    /// recipient (whose refusal re-banks the credit at the recipient
+    /// shard), so a single pass is not enough.
+    ///
+    /// `sum(positive states) == permits` is exactly "no holders": each
+    /// holder subtracts one from the signed total while waiters' negative
+    /// contributions are excluded from the sum. Away from quiescence the
+    /// first comparison fails and this is a handful of loads.
+    ///
+    /// Runs from every release and, through each shard's refusal hook,
+    /// from every settled refusal — the latter covers re-banks that land
+    /// on a cancelling thread after the releaser already swept.
+    fn quiescence_sweep(&self) {
+        while self.available_permits() == self.permits
+            && self.waiting() > 0
+            && self.rebalance() > 0
+        {}
+    }
 }
 
 impl ShardedSemaphore {
@@ -128,57 +214,81 @@ impl ShardedSemaphore {
         assert!(permits > 0, "a semaphore needs at least one permit");
         assert!(shards > 0, "a sharded semaphore needs at least one shard");
         assert!(interval > 0, "the rebalance interval must be positive");
-        // Divide the default freelist bound across the shards so the idle
-        // segments pinned by the whole primitive stay in the same envelope
-        // as a single queue (each shard keeps at least one slot: recycling
-        // off entirely would re-toll the allocator on every churn wave).
+        // Divide the default freelist bound across the shards. Each shard
+        // keeps at least one slot — recycling off entirely would re-toll
+        // the allocator on every churn wave — so the idle segments pinned
+        // by the whole primitive are bounded by
+        // `max(DEFAULT_FREELIST_SLOTS, shards)`: the single-queue envelope
+        // up to 4 shards, one segment per shard beyond that.
         let slots = (cqs_core::CqsConfig::DEFAULT_FREELIST_SLOTS / shards).max(1);
-        let shard_vec: Vec<Semaphore> = (0..shards)
-            .map(|i| {
-                let share = permits / shards + usize::from(i < permits % shards);
-                Semaphore::with_initial(permits, share, "sharded-semaphore.shard", slots)
-            })
-            .collect();
-        ShardedSemaphore {
-            shards: shard_vec.into_boxed_slice(),
-            bank_streak: (0..shards)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
-                .collect(),
-            permits,
-            rebalance_interval: interval,
-        }
+        let inner = Arc::new_cyclic(|weak: &Weak<SemInner>| {
+            let shard_vec: Vec<Semaphore> = (0..shards)
+                .map(|i| {
+                    let share = permits / shards + usize::from(i < permits % shards);
+                    // With siblings to strand a waiter on, each shard
+                    // reports settled refusals back so the wrapper can
+                    // re-run the quiescence sweep from the cancelling
+                    // thread (the weak upgrade only fails when the whole
+                    // primitive is already gone — nothing left to sweep).
+                    let on_refusal: Option<RefusalHook> = (shards > 1).then(|| {
+                        let weak = Weak::clone(weak);
+                        Box::new(move || {
+                            if let Some(inner) = weak.upgrade() {
+                                inner.quiescence_sweep();
+                            }
+                        }) as RefusalHook
+                    });
+                    Semaphore::with_initial(
+                        permits,
+                        share,
+                        "sharded-semaphore.shard",
+                        slots,
+                        on_refusal,
+                    )
+                })
+                .collect();
+            SemInner {
+                shards: shard_vec.into_boxed_slice(),
+                bank_streak: (0..shards)
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect(),
+                permits,
+                rebalance_interval: interval,
+            }
+        });
+        ShardedSemaphore { inner }
     }
 
     /// The number of permits this semaphore was created with.
     pub fn permits(&self) -> usize {
-        self.permits
+        self.inner.permits
     }
 
     /// The number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// The calling thread's home shard index.
     pub fn home(&self) -> usize {
-        cqs_core::shard::home_shard(self.shards.len())
+        cqs_core::shard::home_shard(self.inner.shards.len())
     }
 
     /// A snapshot of the permits currently banked across all shards (zero
     /// does not imply waiters exist; see [`waiting`](Self::waiting)).
     pub fn available_permits(&self) -> usize {
-        self.shards.iter().map(Semaphore::available_permits).sum()
+        self.inner.available_permits()
     }
 
     /// A snapshot of the waiters currently queued across all shards.
     pub fn waiting(&self) -> usize {
-        self.shards.iter().map(Semaphore::waiting).sum()
+        self.inner.waiting()
     }
 
     /// Total live queue segments across all shards (diagnostics; the soak
     /// scenario tracks this to prove memory stays bounded).
     pub fn live_segments(&self) -> usize {
-        self.shards.iter().map(Semaphore::live_segments).sum()
+        self.inner.shards.iter().map(Semaphore::live_segments).sum()
     }
 
     /// Acquires a permit routed through the calling thread's home shard.
@@ -194,24 +304,25 @@ impl ShardedSemaphore {
     /// steal pass over the siblings); otherwise parks in the home shard's
     /// FIFO queue. Cancel the returned future to abort waiting.
     pub fn acquire_at(&self, home: usize) -> CqsFuture<()> {
-        let n = self.shards.len();
+        let shards = &self.inner.shards;
+        let n = shards.len();
         let home = home % n;
-        if self.shards[home].is_closed() {
+        if shards[home].is_closed() {
             return CqsFuture::cancelled();
         }
-        if self.shards[home].try_acquire_weak() {
+        if shards[home].try_acquire_weak() {
             cqs_stats::bump!(shard_local_hits);
             return CqsFuture::immediate(());
         }
         for d in 1..n {
             cqs_chaos::inject!("sharded.steal.window");
-            if self.shards[(home + d) % n].try_acquire_weak() {
+            if shards[(home + d) % n].try_acquire_weak() {
                 cqs_stats::bump!(shard_steals);
                 return CqsFuture::immediate(());
             }
         }
         // Global miss: park in the home shard's FIFO queue...
-        let f = self.shards[home].acquire();
+        let f = shards[home].acquire();
         if f.is_immediate() {
             return f;
         }
@@ -224,7 +335,7 @@ impl ShardedSemaphore {
         // an in-flight grant we hold one permit too many and return it.
         for d in 1..n {
             cqs_chaos::inject!("sharded.steal.window");
-            if self.shards[(home + d) % n].try_acquire_weak() {
+            if shards[(home + d) % n].try_acquire_weak() {
                 if f.cancel() {
                     cqs_stats::bump!(shard_steals);
                     return CqsFuture::immediate(());
@@ -283,32 +394,36 @@ impl ShardedSemaphore {
     /// shard's banking streak reached the interval, or (b) runs a full
     /// sweep if no permit is held anywhere — the no-idle-permit guarantee.
     pub fn release_at(&self, home: usize) {
-        let n = self.shards.len();
+        let inner = &*self.inner;
+        let n = inner.shards.len();
         let home = home % n;
-        let shard = &self.shards[home];
-        if shard.waiting() > 0 {
-            // Local FIFO handoff; no bank is created, nothing to migrate.
-            shard.release();
-            return;
-        }
-        shard.release();
+        // Whether the permit banked or served the local FIFO head is
+        // decided by the release's own `fetch_add`, not by a `waiting()`
+        // snapshot taken beforehand: a waiter the snapshot counted can
+        // cancel concurrently (its `on_cancellation` increments the state
+        // word first), turning the would-be handoff into a bank that a
+        // snapshot-guided early return would leave unswept — a lost
+        // wakeup for a waiter parked on a sibling shard.
+        let banked = inner.shards[home].release_reporting();
         if n == 1 {
+            // Single shard: the bank serves its own FIFO queue directly.
             return;
         }
-        let streak = self.bank_streak[home].fetch_add(1, Ordering::Relaxed) + 1;
-        if streak >= self.rebalance_interval {
-            self.bank_streak[home].store(0, Ordering::Relaxed);
-            self.rebalance_from(home);
-            return;
+        if banked {
+            let streak = inner.bank_streak[home].fetch_add(1, Ordering::Relaxed) + 1;
+            if streak >= inner.rebalance_interval {
+                inner.bank_streak[home].store(0, Ordering::Relaxed);
+                inner.rebalance_from(home);
+            }
         }
-        // Quiescence guard: if no permit is held anywhere (every permit is
-        // banked), parked waiters have no future release to serve them —
-        // migrate now. `sum(positive states) == permits` is exactly
-        // "no holders": each holder subtracts one from the signed total
-        // while waiters' negative contributions are excluded from the sum.
-        if self.available_permits() == self.permits {
-            self.rebalance_from(home);
-        }
+        // Quiescence guard — on *both* paths: even a committed handoff can
+        // be voided by the waiter's cancellation refusing the in-flight
+        // resume, which re-banks the permit. When the refusal settles
+        // before this release returns, this sweep catches it; when the
+        // resume delegated its permit to a mid-flight canceller, the
+        // refusal settles on the cancelling thread *after* we return, and
+        // that shard's refusal hook re-runs the sweep from there.
+        inner.quiescence_sweep();
     }
 
     /// Returns `k` permits through shard `home % shards`: suspended waiters
@@ -320,27 +435,43 @@ impl ShardedSemaphore {
         if k == 0 {
             return;
         }
-        let n = self.shards.len();
+        let inner = &*self.inner;
+        let n = inner.shards.len();
         let home = home % n;
         let mut left = k;
         for d in 0..n {
             if left == 0 {
-                return;
+                break;
             }
-            let shard = &self.shards[(home + d) % n];
+            let idx = (home + d) % n;
+            let shard = &inner.shards[idx];
             let waiters = shard.waiting().min(left);
             if waiters > 0 {
                 if d > 0 {
                     cqs_chaos::inject!("sharded.rebalance.window");
                     cqs_stats::bump!(shard_rebalances, waiters);
                 }
-                shard.release_n(waiters);
+                let banked = shard.release_n_reporting(waiters);
                 left -= waiters;
+                if banked > 0 && d > 0 {
+                    // Waiters counted by the snapshot cancelled under us:
+                    // part of the credit landed in this *foreign* shard's
+                    // bank. Clear its streak and sweep from it right away
+                    // so the credit reaches waiters parked elsewhere
+                    // instead of stranding.
+                    inner.bank_streak[idx].store(0, Ordering::Relaxed);
+                    inner.rebalance_from(idx);
+                }
             }
         }
-        self.shards[home].release_n(left);
-        self.bank_streak[home].store(0, Ordering::Relaxed);
-        self.rebalance_from(home);
+        // No early return above: every batched release ends with the home
+        // sweep and the quiescence check, even when the waiter count it
+        // served against consumed all `k` permits — those counts were
+        // snapshots and may have over-promised.
+        inner.shards[home].release_n(left);
+        inner.bank_streak[home].store(0, Ordering::Relaxed);
+        inner.rebalance_from(home);
+        inner.quiescence_sweep();
     }
 
     /// Returns `k` permits through the calling thread's home shard; see
@@ -349,76 +480,47 @@ impl ShardedSemaphore {
         self.release_n_at(self.home(), k);
     }
 
-    /// Migrates banked credit from `home`'s bank to starving sibling
-    /// shards, a batch per recipient, until the bank runs dry or no sibling
-    /// is starving. Returns the number of permits migrated.
-    fn rebalance_from(&self, home: usize) -> usize {
-        let n = self.shards.len();
-        let mut moved = 0;
-        for d in 1..n {
-            let victim = &self.shards[(home + d) % n];
-            let starving = victim.waiting();
-            if starving == 0 {
-                continue;
-            }
-            cqs_chaos::inject!("sharded.rebalance.window");
-            // Reclaim a batch of credit from our own bank. Racing local
-            // acquirers may drain it first — then the credit went to a
-            // completed operation instead, which is equally conservative.
-            let got = self.shards[home].try_acquire_many_weak(starving);
-            if got == 0 {
-                break;
-            }
-            cqs_stats::bump!(shard_rebalances, got);
-            victim.release_n(got);
-            moved += got;
-        }
-        moved
-    }
-
     /// Runs a rebalance sweep from every shard's bank toward starving
     /// shards. Normally unnecessary (releases rebalance on their own
     /// cadence); exposed for tests, drains, and operators reacting to a
     /// watchdog report.
     pub fn rebalance(&self) -> usize {
-        (0..self.shards.len())
-            .map(|home| self.rebalance_from(home))
-            .sum()
+        self.inner.rebalance()
     }
 
     /// Closes the semaphore: every queued acquirer on every shard is woken
     /// with [`Cancelled`] and subsequent acquires fail fast. Permits
     /// already handed out stay valid and may still be released.
     pub fn close(&self) {
-        for shard in self.shards.iter() {
+        for shard in self.inner.shards.iter() {
             shard.close();
         }
     }
 
     /// Whether [`close`](Self::close) was called.
     pub fn is_closed(&self) -> bool {
-        self.shards[0].is_closed()
+        self.inner.shards[0].is_closed()
     }
 
     /// Poisons every shard: marks the queues poisoned and closes them. Use
     /// when a permit holder crashed and the guarded resource may be
     /// inconsistent.
     pub fn poison(&self) {
-        for shard in self.shards.iter() {
+        for shard in self.inner.shards.iter() {
             shard.poison();
         }
     }
 
     /// Whether any shard was poisoned.
     pub fn is_poisoned(&self) -> bool {
-        self.shards.iter().any(Semaphore::is_poisoned)
+        self.inner.shards.iter().any(Semaphore::is_poisoned)
     }
 
     /// Publishes per-shard depth and live-segment gauges to the watchdog
     /// (`shard_depth`, `live_segments`, keyed by each shard's primitive
     /// id). No-op without the `watch` feature.
     pub fn publish_gauges(&self) {
-        for shard in self.shards.iter() {
+        for shard in self.inner.shards.iter() {
             cqs_watch::gauge!(shard.watch_id(), "shard_depth", shard.waiting() as i64);
             cqs_watch::gauge!(
                 shard.watch_id(),

@@ -24,7 +24,12 @@
 //!   nobody: every waiter settles with the value or a cancellation;
 //! * **mid-batch cancellation** — a waiter cancelling while `resume_n`
 //!   traverses either gets its value or the batch reports it failed,
-//!   never both, and its neighbours are unaffected.
+//!   never both, and its neighbours are unaffected;
+//! * **sharded handoff vs. cancellation** — for both the sharded
+//!   semaphore and the sharded pool, a cancellation voiding a same-shard
+//!   handoff (deregistering before the release's/put's `fetch_add`, or
+//!   refusing its in-flight resume) never strands a waiter parked on a
+//!   sibling shard next to the re-banked permit/element.
 //!
 //! With `--features "chaos planted-bug"` the permit-conservation program
 //! is required to *fail* instead: the planted `REFUSE -> CANCELLED` swap
@@ -38,8 +43,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 
 use cqs::{
-    Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, ShardedSemaphore,
-    SimpleCancellation,
+    Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, ShardedQueuePool,
+    ShardedSemaphore, SimpleCancellation,
 };
 use cqs_check::{Explorer, Program};
 
@@ -525,6 +530,170 @@ fn sharded_release_scan_vs_cancel_is_exactly_once() {
                     }
                 }
                 assert_one_sharded_permit(&sem)
+            })
+    });
+}
+
+/// The *same-shard* sibling of the program above — the lost-wakeup corner
+/// the `release_at` handoff path owns: the single permit is held through
+/// shard 0, one waiter parks on shard 0 (the release's own shard) and a
+/// second on shard 1. T1 cancels the shard-0 waiter while T2 releases at
+/// shard 0. If the cancel voids the handoff — by deregistering before the
+/// release's `fetch_add`, or by refusing the in-flight resume afterwards
+/// (which re-banks the permit via `on_cancellation`) — the permit banks
+/// at shard 0 with no holder anywhere, and the release must still sweep
+/// it to the shard-1 waiter. A `waiting()`-snapshot-guided early return
+/// strands that waiter forever; the fix decides banked-vs-served from the
+/// release's own `fetch_add` and runs the quiescence sweep on both paths.
+#[test]
+fn sharded_same_shard_cancel_vs_release_handoff_loses_no_wakeup() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let sem = Arc::new(ShardedSemaphore::with_shards(1, 2));
+        let held = sem.acquire_at(0);
+        assert!(held.is_immediate(), "setup: the permit starts held");
+        let local = sem.acquire_at(0);
+        assert!(!local.is_immediate(), "setup: the shard-0 waiter must park");
+        let mut remote = sem.acquire_at(1);
+        assert!(!remote.is_immediate(), "setup: the shard-1 waiter must park");
+        let local = Arc::new(StdMutex::new(Some(local)));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (local, cancelled) = (Arc::clone(&local), Arc::clone(&cancelled));
+                move || {
+                    let w = local.lock().unwrap();
+                    cancelled.store(
+                        w.as_ref().expect("setup stored it").cancel(),
+                        Ordering::SeqCst,
+                    );
+                }
+            })
+            .thread({
+                let sem = Arc::clone(&sem);
+                move || sem.release_at(0)
+            })
+            .check(move || {
+                let mut w = local
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .ok_or("local waiter: future never stored")?;
+                match (cancelled.load(Ordering::SeqCst), w.try_get()) {
+                    (true, FutureState::Cancelled) => {
+                        // The handoff was voided; the permit must have
+                        // reached the shard-1 waiter — a banked permit
+                        // next to a parked waiter is the lost wakeup this
+                        // program exists to rule out.
+                        match remote.try_get() {
+                            FutureState::Ready(()) => sem.release_at(1),
+                            other => {
+                                return Err(format!(
+                                    "lost wakeup: local waiter cancelled but the \
+                                     shard-1 waiter is {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    (false, FutureState::Ready(())) => {
+                        // The local waiter won the permit; the shard-1
+                        // waiter stays parked and must cancel cleanly.
+                        if !remote.cancel() {
+                            return Err(
+                                "shard-1 waiter: cancel lost with no release in flight".into()
+                            );
+                        }
+                        sem.release_at(0);
+                    }
+                    (c, other) => {
+                        return Err(format!(
+                            "local waiter: cancel()=={c} but future is {other:?}"
+                        ))
+                    }
+                }
+                assert_one_sharded_permit(&sem)
+            })
+    });
+}
+
+/// The pool mirror of the program above: two takers park (one per shard),
+/// T1 cancels the shard-0 taker while T2 puts through shard 0. If the
+/// cancel voids the handoff the element is *stored* at shard 0 — and
+/// unlike semaphore credit, a stored element has no future release coming
+/// — so the put must migrate it to the shard-1 taker in every
+/// interleaving (including the refusal one, where `complete_refused_resume`
+/// re-stores the element after the put's resume already committed).
+#[test]
+fn sharded_pool_same_shard_cancel_vs_put_loses_no_wakeup() {
+    let _serial = serial();
+    explorer().check_exhaustive(|| {
+        let pool: Arc<ShardedQueuePool<u64>> = Arc::new(ShardedQueuePool::with_shards(2));
+        let local = pool.take_at(0);
+        assert!(!local.is_immediate(), "setup: the shard-0 taker must park");
+        let mut remote = pool.take_at(1);
+        assert!(!remote.is_immediate(), "setup: the shard-1 taker must park");
+        let local = Arc::new(StdMutex::new(Some(local)));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (local, cancelled) = (Arc::clone(&local), Arc::clone(&cancelled));
+                move || {
+                    let t = local.lock().unwrap();
+                    cancelled.store(
+                        t.as_ref().expect("setup stored it").cancel(),
+                        Ordering::SeqCst,
+                    );
+                }
+            })
+            .thread({
+                let pool = Arc::clone(&pool);
+                move || pool.put_at(0, 42)
+            })
+            .check(move || {
+                let mut t = local
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .ok_or("local taker: future never stored")?;
+                match (cancelled.load(Ordering::SeqCst), t.try_get()) {
+                    (true, FutureState::Cancelled) => {
+                        // The handoff was voided; the element must have
+                        // migrated to the shard-1 taker instead of idling
+                        // in shard 0's store.
+                        match remote.try_get() {
+                            FutureState::Ready(42) => pool.put_at(1, 42),
+                            other => {
+                                return Err(format!(
+                                    "lost wakeup: local taker cancelled but the \
+                                     shard-1 taker is {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    (false, FutureState::Ready(42)) => {
+                        if !remote.cancel() {
+                            return Err(
+                                "shard-1 taker: cancel lost with no put in flight".into()
+                            );
+                        }
+                        pool.put_at(0, 42);
+                    }
+                    (c, other) => {
+                        return Err(format!("local taker: cancel()=={c} but future is {other:?}"))
+                    }
+                }
+                // Exactly one element must exist, wherever the race put it.
+                let mut probe = pool.take_at(0);
+                match probe.try_get() {
+                    FutureState::Ready(42) => {}
+                    other => return Err(format!("element lost: probe take got {other:?}")),
+                }
+                let second = pool.take_at(0);
+                if second.is_immediate() {
+                    return Err("phantom element: two immediate takes of one element".into());
+                }
+                assert!(second.cancel(), "cleanup: pending probe must cancel");
+                Ok(())
             })
     });
 }

@@ -103,16 +103,19 @@ impl Model {
         if n == 1 {
             return Vec::new();
         }
+        let mut served = Vec::new();
         self.streak[home] += 1;
         if self.streak[home] >= self.interval {
             self.streak[home] = 0;
-            return self.rebalance_from(home);
+            served.extend(self.rebalance_from(home));
         }
         if self.held == 0 {
-            // Quiescence sweep: the last holder just banked its permit.
-            return self.rebalance_from(home);
+            // Quiescence sweep: the last holder just banked its permit, so
+            // no future release will serve the parked waiters — migrate
+            // from *every* bank (the real sweep's all-shards pass).
+            served.extend(self.sweep());
         }
-        Vec::new()
+        served
     }
 
     fn release_n_at(&mut self, home: usize, k: usize) -> Vec<usize> {
@@ -123,7 +126,7 @@ impl Model {
         let mut left = k;
         for d in 0..n {
             if left == 0 {
-                return served;
+                break;
             }
             let s = (home + d) % n;
             let w = self.waiters[s].len().min(left);
@@ -133,9 +136,28 @@ impl Model {
             self.held += w;
             left -= w;
         }
+        // No early return: like the real batched release, the trailing
+        // home rebalance and the quiescence check run even when waiters
+        // consumed all `k` permits — earlier banking releases may have
+        // left idle credit at home next to waiters parked elsewhere.
         self.banks[home] += left;
         self.streak[home] = 0;
         served.extend(self.rebalance_from(home));
+        if self.held == 0 {
+            served.extend(self.sweep());
+        }
+        served
+    }
+
+    /// One all-shards rebalance pass: the sequential shadow of the real
+    /// quiescence sweep. (The real sweep loops until nothing moves, but
+    /// sequentially any movement serves a waiter, which leaves quiescence
+    /// — so exactly one pass ever runs.)
+    fn sweep(&mut self) -> Vec<usize> {
+        let mut served = Vec::new();
+        for home in 0..self.shards() {
+            served.extend(self.rebalance_from(home));
+        }
         served
     }
 

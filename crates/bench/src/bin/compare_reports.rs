@@ -1,0 +1,65 @@
+//! Offline regression gate: compares two existing `BENCH_*.json` reports
+//! without re-measuring anything.
+//!
+//! ```text
+//! compare_reports <current.json> <baseline.json> [--regression-pct X]
+//! ```
+//!
+//! Runs the same `compare_to_baseline` check that `figures --baseline`
+//! applies to a fresh measurement: every series point whose median slowed
+//! down by more than the threshold (default 25%) relative to the baseline
+//! is listed on stderr and the process exits non-zero. Noisy points (wide
+//! interquartile range in either run) are exempt, as are points present
+//! in only one report.
+//!
+//! CI uses this to prove the perf gate actually fires: it synthesizes a
+//! baseline with artificially shrunk medians from the measured report and
+//! asserts this binary rejects the pair.
+
+use cqs_bench::report::{compare_to_baseline, Json};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path}: not valid JSON: {e}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut paths = Vec::new();
+    let mut regression_pct = 25.0;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--regression-pct" => {
+                regression_pct = args
+                    .next()
+                    .expect("--regression-pct needs a number")
+                    .parse()
+                    .expect("bad percentage");
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [current, baseline] = &paths[..] else {
+        eprintln!("usage: compare_reports <current.json> <baseline.json> [--regression-pct X]");
+        std::process::exit(2);
+    };
+
+    let regressions = compare_to_baseline(&load(current), &load(baseline), regression_pct);
+    if regressions.is_empty() {
+        println!(
+            "{current}: no non-noisy point regressed more than {regression_pct}% vs {baseline}"
+        );
+        return;
+    }
+    eprintln!(
+        "{current}: {} point(s) regressed more than {regression_pct}% vs {baseline}:",
+        regressions.len()
+    );
+    for r in &regressions {
+        eprintln!(
+            "  {} / {} @ x={}: {:.1} ns -> {:.1} ns (+{:.1}%)",
+            r.figure, r.series, r.x, r.baseline_ns, r.current_ns, r.pct
+        );
+    }
+    std::process::exit(1);
+}

@@ -40,21 +40,34 @@ const HELP: &str = "\
 figures — regenerate the paper's benchmark figures
 
 USAGE:
-    figures [OPTIONS] (--all | --fig N ... | --ablation NAME ...)
+    figures [OPTIONS] (--all | --fig N ... | --ablation NAME ... | --scenario NAME ...)
 
 FIGURE SELECTION:
     --all                 every figure and ablation
-    --fig N               one of 5|6|7|8|13|14|15|ch|a1|a2|a3 (repeatable;
+    --fig N               one of 5|6|7|8|13|14|15|ch|a1|a2|a3|a4 (repeatable;
                           ch = channel producer-consumer extension)
-    --ablation NAME       cancellation (a1), segment (a2) or batch-resume (a3)
+    --ablation NAME       cancellation (a1), segment (a2), batch-resume (a3)
+                          or reclaim (a4: epoch vs hazard vs owned-slot
+                          backends, incl. the stalled-guard churn soaks)
     --scenario NAME       production-traffic scenario (not part of --all):
-                          contended | open-loop | burst | ramp | soak
+                          contended   closed-loop contended acquire,
+                                      single-queue vs sharded
+                          open-loop   timed arrivals with load shedding
+                          burst       bursty fan-out suspend+wake cycles
+                          ramp        live-waiter ramp with RSS/segment
+                                      snapshots, then mass cancellation
+                          soak        steady-state soak with periodic
+                                      resource snapshots
 
 MEASUREMENT:
     --quick               reduced operation counts for smoke runs
     --threads a,b,c       thread sweep (default: machine-derived)
     --warmup N            warmup repetitions per point
     --repeats N           timed repetitions per point (median reported)
+    --reclaimer NAME      process-default memory-reclamation backend for
+                          every queue the run constructs (epoch | hazard |
+                          owned; default epoch). The a4 ablation sweeps
+                          all three regardless.
 
 WAIT-LADDER TUNING (spin→yield→park; see cqs_core::WaitPolicy):
     --wait-spin N         spin_loop() polls before yielding (default 64)
@@ -111,9 +124,11 @@ fn parse_args() -> Options {
                     .expect("bad percentage");
             }
             "--all" => {
-                figures = ["5", "6", "7", "8", "13", "14", "15", "ch", "a1", "a2", "a3"]
-                    .map(String::from)
-                    .to_vec();
+                figures = [
+                    "5", "6", "7", "8", "13", "14", "15", "ch", "a1", "a2", "a3", "a4",
+                ]
+                .map(String::from)
+                .to_vec();
             }
             "--fig" => figures.push(args.next().expect("--fig needs a number")),
             "--ablation" => {
@@ -122,8 +137,15 @@ fn parse_args() -> Options {
                     "cancellation" => "a1".to_string(),
                     "segment" => "a2".to_string(),
                     "batch-resume" => "a3".to_string(),
+                    "reclaim" => "a4".to_string(),
                     other => panic!("unknown ablation {other}"),
                 });
+            }
+            "--reclaimer" => {
+                let which = args.next().expect("--reclaimer needs a name");
+                let kind = cqs_core::ReclaimerKind::parse(&which)
+                    .unwrap_or_else(|| panic!("unknown reclaimer {which} (epoch|hazard|owned)"));
+                cqs_core::set_default_reclaimer(kind);
             }
             "--scenario" => {
                 let which = args.next().expect("--scenario needs a name");
@@ -228,12 +250,11 @@ fn emit_scenario(
     if !samples.is_empty() {
         println!("{:>12} | {:>14} | {:>13}", x_label, "rss", "live segments");
         for s in &samples {
-            println!(
-                "{:>12} | {:>11} kB | {:>13}",
-                s.x,
-                s.rss_bytes / 1024,
-                s.live_segments
-            );
+            let rss = match s.rss_bytes {
+                Some(b) => format!("{} kB", b / 1024),
+                None => "-".to_string(),
+            };
+            println!("{:>12} | {:>14} | {:>13}", s.x, rss, s.live_segments);
         }
     }
     report.push(FigureReport {
@@ -392,6 +413,35 @@ fn main() {
                     "waiters per wake",
                     timed(|| ablations::batch_resume(scale, repeats)),
                 );
+            }
+            "a4" => {
+                emit(
+                    &mut figures,
+                    "a4_reclaim_round_trip".to_string(),
+                    "Ablation A4: suspend+resume round-trip per reclamation backend (ns/op)"
+                        .to_string(),
+                    "threads",
+                    timed(|| ablations::reclaim_round_trip(scale, repeats)),
+                );
+                emit(
+                    &mut figures,
+                    "a4_reclaim_batch_resume".to_string(),
+                    "Ablation A4: batched resume_n per reclamation backend (ns/wake)".to_string(),
+                    "waiters per wake",
+                    timed(|| ablations::reclaim_batch_resume(scale, repeats)),
+                );
+                for kind in cqs_core::ReclaimerKind::ALL {
+                    emit_scenario(
+                        &mut figures,
+                        &format!("a4_stall_{}", kind.name()),
+                        &format!(
+                            "Ablation A4: churn soak with stalled {} guard-holder (ns/op)",
+                            kind.name()
+                        ),
+                        "round-trips",
+                        timed_scenario(|| ablations::reclaim_stalled_soak(scale, kind)),
+                    );
+                }
             }
             "s1" => emit_scenario(
                 &mut figures,

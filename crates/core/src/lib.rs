@@ -66,6 +66,14 @@ pub use cqs_future::{
     WaitPolicy,
 };
 
+// Re-export the reclamation vocabulary for the same reason: primitives
+// offering a backend knob ([`CqsConfig::reclaimer`]) name the kind without
+// depending on cqs-reclaim directly.
+pub use cqs_reclaim::{
+    default_reclaimer, flush_reclaimer, pin_with, retired_approx, set_default_reclaimer,
+    ReclaimerKind,
+};
+
 #[cfg(test)]
 mod tests;
 

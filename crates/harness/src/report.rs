@@ -101,9 +101,10 @@ impl RunMeta {
 pub struct ResourceSample {
     /// Sweep value the snapshot was taken at (live waiters, soak second).
     pub x: u64,
-    /// Resident set size in bytes ([`crate::rss_bytes`]; zero means the
-    /// probe was unavailable, not an empty process).
-    pub rss_bytes: u64,
+    /// Resident set size in bytes ([`crate::rss_bytes`]); `None` where the
+    /// probe is unavailable, in which case the JSON omits the key rather
+    /// than writing a misleading zero.
+    pub rss_bytes: Option<u64>,
     /// Live queue segments across the primitives under test.
     pub live_segments: u64,
 }
@@ -250,11 +251,11 @@ impl BenchReport {
                     if j > 0 {
                         out.push(',');
                     }
-                    let _ = write!(
-                        out,
-                        "{{\"x\":{},\"rss_bytes\":{},\"live_segments\":{}}}",
-                        s.x, s.rss_bytes, s.live_segments
-                    );
+                    let _ = write!(out, "{{\"x\":{}", s.x);
+                    if let Some(rss) = s.rss_bytes {
+                        let _ = write!(out, ",\"rss_bytes\":{rss}");
+                    }
+                    let _ = write!(out, ",\"live_segments\":{}}}", s.live_segments);
                 }
                 out.push(']');
             }
@@ -792,12 +793,24 @@ pub fn validate_report(doc: &Json) -> Vec<String> {
                 None => err(format!("figure {fig_name}: samples must be an array")),
                 Some(samples) => {
                     for sample in samples {
-                        for key in ["x", "rss_bytes", "live_segments"] {
+                        for key in ["x", "live_segments"] {
                             match sample.get(key).and_then(Json::as_f64) {
                                 Some(v) if v.is_finite() && v >= 0.0 => {}
                                 other => err(format!(
                                     "figure {fig_name}: sample {key} must be a \
                                      non-negative number, got {other:?}"
+                                )),
+                            }
+                        }
+                        // `rss_bytes` is optional (the writer omits it where
+                        // the probe is unavailable) but must be a valid
+                        // number when present.
+                        if let Some(v) = sample.get("rss_bytes") {
+                            match v.as_f64() {
+                                Some(v) if v.is_finite() && v >= 0.0 => {}
+                                other => err(format!(
+                                    "figure {fig_name}: sample rss_bytes must be a \
+                                     non-negative number when present, got {other:?}"
                                 )),
                             }
                         }
@@ -1077,12 +1090,12 @@ mod tests {
         report.figures[0].samples = vec![
             ResourceSample {
                 x: 1_000,
-                rss_bytes: 4096,
+                rss_bytes: Some(4096),
                 live_segments: 2,
             },
             ResourceSample {
                 x: 100_000,
-                rss_bytes: 8192,
+                rss_bytes: Some(8192),
                 live_segments: 30,
             },
         ];
@@ -1097,10 +1110,16 @@ mod tests {
             samples[1].get("live_segments").and_then(Json::as_f64),
             Some(30.0)
         );
+        // An unavailable probe omits the key entirely and still validates.
+        report.figures[0].samples[1].rss_bytes = None;
+        let json = report.to_json();
+        assert_eq!(json.matches("\"rss_bytes\":").count(), 1);
+        let doc = Json::parse(&json).unwrap();
+        assert!(validate_report(&doc).is_empty());
         // A malformed snapshot is rejected.
         let bad = report
             .to_json()
-            .replace("\"rss_bytes\":8192", "\"rss_bytes\":-1");
+            .replace("\"rss_bytes\":4096", "\"rss_bytes\":-1");
         let doc = Json::parse(&bad).unwrap();
         assert!(validate_report(&doc)
             .iter()

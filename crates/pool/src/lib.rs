@@ -139,7 +139,26 @@ impl<E: Send + 'static, B: PoolBackend<E> + Default> Default for BlockingPool<E,
 impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
     /// Creates an empty pool around the given backend.
     pub fn with_backend(backend: B) -> Self {
-        Self::with_backend_config(backend, "pool.take", CqsConfig::DEFAULT_FREELIST_SLOTS, None)
+        Self::with_backend_config(
+            backend,
+            "pool.take",
+            CqsConfig::DEFAULT_FREELIST_SLOTS,
+            None,
+            None,
+        )
+    }
+
+    /// Creates an empty pool around the given backend whose taker queue
+    /// uses the given memory-reclamation backend instead of the
+    /// process-wide [`cqs_core::default_reclaimer`].
+    pub fn with_backend_and_reclaimer(backend: B, reclaimer: cqs_core::ReclaimerKind) -> Self {
+        Self::with_backend_config(
+            backend,
+            "pool.take",
+            CqsConfig::DEFAULT_FREELIST_SLOTS,
+            None,
+            Some(reclaimer),
+        )
     }
 
     /// Builds a shard of a sharded pool: the watchdog label distinguishes
@@ -157,15 +176,20 @@ impl<E: Send + 'static, B: PoolBackend<E>> BlockingPool<E, B> {
         label: &'static str,
         freelist_slots: usize,
         on_refusal: Option<RefusalHook>,
+        reclaimer: Option<cqs_core::ReclaimerKind>,
     ) -> Self {
+        let mut config = CqsConfig::new()
+            .cancellation_mode(CancellationMode::Smart)
+            .freelist_slots(freelist_slots)
+            .label(label);
+        if let Some(kind) = reclaimer {
+            config = config.reclaimer(kind);
+        }
         let shared = Arc::new_cyclic(|weak: &Weak<PoolShared<E, B>>| PoolShared {
             size: AtomicI64::new(0),
             backend,
             cqs: Cqs::new(
-                CqsConfig::new()
-                    .cancellation_mode(CancellationMode::Smart)
-                    .freelist_slots(freelist_slots)
-                    .label(label),
+                config,
                 PoolCallbacks {
                     shared: Weak::clone(weak),
                     on_refusal,

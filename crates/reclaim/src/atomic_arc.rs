@@ -2,25 +2,39 @@
 //!
 //! The cell owns one strong reference to the stored value. Loads clone that
 //! reference (one atomic increment); stores/swaps/CASes replace the pointer
-//! and *defer* the release of the displaced reference through the epoch
-//! engine. Deferring is what makes [`AtomicArc::load`] sound: between reading
-//! the raw pointer and incrementing the strong count, the cell's own
-//! reference cannot be dropped, because every thread that could drop it is
-//! excluded by the loader's epoch pin.
+//! and *retire* the displaced reference through the guard's reclamation
+//! backend. Retiring is what makes [`AtomicArc::load`] sound: between
+//! reading the raw pointer and incrementing the strong count, the cell's
+//! own reference cannot be dropped —
+//!
+//! * under an **epoch** guard, because every thread that could drop it is
+//!   excluded by the loader's pin for the guard's whole lifetime;
+//! * under a **hazard** guard, because the load publishes the pointer in a
+//!   hazard slot and re-validates it, and retire-list scans spare hazarded
+//!   pointers;
+//! * under an **owned** guard, because the load holds a striped borrow
+//!   across the window and retires only proceed (or limbo entries only
+//!   drain) when every stripe reads zero.
+//!
+//! Mixing backends on one cell voids these arguments: all threads
+//! operating on a given cell must present guards of the same kind.
 
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use crate::Guard;
+use crate::guard::{GuardInner, Retired};
+use crate::{owned, Guard};
 
 /// An atomically swappable `Option<Arc<T>>`.
 ///
 /// All operations are lock-free. Operations that can observe concurrent
-/// modification require an epoch [`Guard`], obtained from [`crate::pin`] or
-/// a [`crate::LocalHandle`]. All collaborating threads must pin the **same**
-/// collector (the free function [`crate::pin`] always does).
+/// modification require a [`Guard`], obtained from [`crate::pin`] (epoch),
+/// [`crate::pin_with`] (any backend) or a [`crate::LocalHandle`]. All
+/// collaborating threads must use the **same** backend on a given cell
+/// (and, for epoch, the same collector — the free function [`crate::pin`]
+/// always uses the default one).
 ///
 /// # Example
 ///
@@ -87,43 +101,68 @@ impl<T: Send + Sync + 'static> AtomicArc<T> {
     }
 
     /// Returns a clone of the stored reference, or `None` if empty.
-    pub fn load(&self, _guard: &Guard) -> Option<Arc<T>> {
-        let p = self.ptr.load(Ordering::Acquire);
-        if p.is_null() {
-            return None;
-        }
-        // SAFETY: `p` was produced by `Arc::into_raw` and the reference the
-        // cell held at the moment of the load is released only through an
-        // epoch-deferred drop, which cannot run while `_guard` pins us. The
-        // strong count is therefore >= 1 here.
-        unsafe {
-            Arc::increment_strong_count(p);
-            Some(Arc::from_raw(p))
+    pub fn load(&self, guard: &Guard) -> Option<Arc<T>> {
+        match &guard.inner {
+            GuardInner::Epoch(_) => {
+                let p = self.ptr.load(Ordering::Acquire);
+                if p.is_null() {
+                    return None;
+                }
+                // SAFETY: `p` was produced by `Arc::into_raw` and the
+                // reference the cell held at the moment of the load is
+                // released only through an epoch-deferred drop, which
+                // cannot run while `guard` pins us. The strong count is
+                // therefore >= 1 here.
+                unsafe {
+                    Arc::increment_strong_count(p);
+                    Some(Arc::from_raw(p))
+                }
+            }
+            GuardInner::Hazard(h) => h.load_arc(&self.ptr),
+            GuardInner::Owned(_) => {
+                // The borrow spans the pointer read *and* the strong-count
+                // increment; `_borrow` drops only at scope exit, after the
+                // Arc below is constructed.
+                let _borrow = owned::borrow();
+                // SeqCst (invariant): `R_p` of the owned backend's Dekker
+                // pairing — see `crate::owned` for the full argument.
+                let p = self.ptr.load(Ordering::SeqCst);
+                if p.is_null() {
+                    return None;
+                }
+                // SAFETY: the held borrow forces a concurrent retire of the
+                // cell's reference into limbo, and limbo cannot drain while
+                // any stripe is non-zero. The strong count is >= 1 here.
+                unsafe {
+                    Arc::increment_strong_count(p);
+                    Some(Arc::from_raw(p))
+                }
+            }
         }
     }
 
     /// Replaces the stored reference with `value`, releasing the previous
-    /// reference after a grace period.
+    /// reference once the guard's backend proves no reader can hold it.
     pub fn store(&self, value: Option<Arc<T>>, guard: &Guard) {
-        let old = self.ptr.swap(into_ptr(value), Ordering::AcqRel);
-        defer_release(old, guard);
+        let old = self.ptr.swap(into_ptr(value), write_ordering(guard));
+        retire_displaced(old, guard);
     }
 
     /// Replaces the stored reference with `value` and returns the previous
     /// one.
     pub fn swap(&self, value: Option<Arc<T>>, guard: &Guard) -> Option<Arc<T>> {
-        let old = self.ptr.swap(into_ptr(value), Ordering::AcqRel);
+        let old = self.ptr.swap(into_ptr(value), write_ordering(guard));
         if old.is_null() {
             return None;
         }
-        // SAFETY: same argument as in `load`; we return a *new* reference to
-        // the caller and defer the release of the cell's original one, so
-        // concurrent in-flight loads of `old` stay sound.
+        // SAFETY: we displaced the cell's reference, so until we retire it
+        // below *we* own it; incrementing it to mint the caller's return
+        // value cannot race its release.
         let result = unsafe {
             Arc::increment_strong_count(old);
             Arc::from_raw(old)
         };
-        defer_release(old, guard);
+        retire_displaced(old, guard);
         Some(result)
     }
 
@@ -145,11 +184,11 @@ impl<T: Send + Sync + 'static> AtomicArc<T> {
         match self.ptr.compare_exchange(
             current as *mut T,
             new_ptr,
-            Ordering::AcqRel,
+            write_ordering(guard),
             Ordering::Acquire,
         ) {
             Ok(old) => {
-                defer_release(old, guard);
+                retire_displaced(old, guard);
                 Ok(())
             }
             Err(_) => {
@@ -191,16 +230,52 @@ impl<T: Send + Sync + 'static> AtomicArc<T> {
     }
 }
 
-fn defer_release<T: Send + Sync + 'static>(old: *mut T, guard: &Guard) {
+/// Ordering for the pointer write of store/swap/CAS. The owned backend's
+/// soundness argument places the displacing write in the SeqCst total
+/// order against loader borrows (see `crate::owned`); the epoch and
+/// hazard backends need only AcqRel (their pairings go through the pin
+/// fence and the hazard publish/scan fences respectively).
+fn write_ordering(guard: &Guard) -> Ordering {
+    match &guard.inner {
+        GuardInner::Owned(_) => Ordering::SeqCst,
+        _ => Ordering::AcqRel,
+    }
+}
+
+/// Monomorphized releaser for a displaced cell reference.
+///
+/// # Safety
+///
+/// `p` must be an `Arc<T>::into_raw` pointer whose reference is owned by
+/// the caller; called at most once per ownership transfer.
+unsafe fn release_arc<T: Send + Sync>(p: *mut ()) {
+    // SAFETY: forwarded contract.
+    unsafe { drop(Arc::from_raw(p as *const T)) }
+}
+
+fn retire_displaced<T: Send + Sync + 'static>(old: *mut T, guard: &Guard) {
     if old.is_null() {
         return;
     }
-    let old = old as usize;
-    guard.defer(move || {
-        // SAFETY: this reference was owned by the cell and displaced by the
-        // operation that deferred us; nothing else releases it.
-        unsafe { drop(Arc::from_raw(old as *const T)) }
-    });
+    match &guard.inner {
+        GuardInner::Epoch(g) => {
+            let old = old as usize;
+            g.defer_boxed(Box::new(move || {
+                // SAFETY: this reference was owned by the cell and displaced
+                // by the operation that deferred us; nothing else releases
+                // it.
+                unsafe { drop(Arc::from_raw(old as *const T)) }
+            }));
+        }
+        // SAFETY (both arms): the displaced reference is owned by this
+        // retire, and `release_arc::<T>` matches the pointer's true type.
+        GuardInner::Hazard(h) => {
+            crate::hazard::retire(h, unsafe { Retired::new(old as *mut (), release_arc::<T>) });
+        }
+        GuardInner::Owned(_) => {
+            owned::retire(unsafe { Retired::new(old as *mut (), release_arc::<T>) });
+        }
+    }
 }
 
 impl<T> Drop for AtomicArc<T> {
@@ -328,6 +403,112 @@ mod tests {
         }
         collector.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn all_backends_round_trip_and_reclaim() {
+        use crate::{flush_reclaimer, pin_with, ReclaimerKind};
+        for kind in ReclaimerKind::ALL {
+            let drops = Arc::new(AtomicUsize::new(0));
+            {
+                let cell = AtomicArc::new(Some(Arc::new(Tracked {
+                    value: 0,
+                    drops: Arc::clone(&drops),
+                })));
+                for i in 1..100usize {
+                    let guard = pin_with(kind);
+                    let loaded = cell.load(&guard).unwrap();
+                    assert_eq!(loaded.value, i - 1, "backend {kind}");
+                    cell.store(
+                        Some(Arc::new(Tracked {
+                            value: i,
+                            drops: Arc::clone(&drops),
+                        })),
+                        &guard,
+                    );
+                    let p = cell.load_ptr(&guard);
+                    assert!(cell
+                        .compare_exchange(
+                            p,
+                            Some(Arc::new(Tracked {
+                                value: i,
+                                drops: Arc::clone(&drops),
+                            })),
+                            &guard,
+                        )
+                        .is_ok());
+                }
+                drop(cell);
+            }
+            for _ in 0..50 {
+                if drops.load(Ordering::SeqCst) == 199 {
+                    break;
+                }
+                flush_reclaimer(kind);
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                199,
+                "backend {kind} leaked or double-dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_on_hazard_and_owned_backends() {
+        use crate::{flush_reclaimer, pin_with, ReclaimerKind};
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        for kind in [ReclaimerKind::Hazard, ReclaimerKind::Owned] {
+            let drops = Arc::new(AtomicUsize::new(0));
+            let created = Arc::new(AtomicUsize::new(0));
+            let cell = Arc::new(AtomicArc::new(Some(Arc::new(Tracked {
+                value: usize::MAX,
+                drops: Arc::clone(&drops),
+            }))));
+            created.fetch_add(1, Ordering::SeqCst);
+            let mut joins = Vec::new();
+            for t in 0..THREADS {
+                let cell = Arc::clone(&cell);
+                let drops = Arc::clone(&drops);
+                let created = Arc::clone(&created);
+                joins.push(std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        let guard = pin_with(kind);
+                        if (i + t) % 3 == 0 {
+                            created.fetch_add(1, Ordering::SeqCst);
+                            cell.swap(
+                                Some(Arc::new(Tracked {
+                                    value: i,
+                                    drops: Arc::clone(&drops),
+                                })),
+                                &guard,
+                            );
+                        } else {
+                            let v = cell.load(&guard).expect("cell never empty");
+                            assert!(v.value == usize::MAX || v.value < OPS);
+                        }
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            drop(cell);
+            for _ in 0..100 {
+                if drops.load(Ordering::SeqCst) == created.load(Ordering::SeqCst) {
+                    break;
+                }
+                flush_reclaimer(kind);
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                created.load(Ordering::SeqCst),
+                "backend {kind} leaked or double-dropped references"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! pointer churn, both of which are orders of magnitude rarer than
 //! `suspend`/`resume` themselves.
 
+use crate::guard::Guard;
 use cqs_stats::CachePadded;
 use std::cell::Cell;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
@@ -61,6 +62,9 @@ struct Global {
     epoch: AtomicUsize,
     participants: Mutex<Vec<Arc<Participant>>>,
     bags: Mutex<Bags>,
+    /// Gauge: deferred destructors not yet executed, mirrored outside the
+    /// bags lock for `cqs_reclaim::retired_approx`.
+    retired_count: AtomicUsize,
 }
 
 impl Global {
@@ -72,6 +76,7 @@ impl Global {
                 bins: [Vec::new(), Vec::new(), Vec::new()],
                 since_collect: 0,
             }),
+            retired_count: AtomicUsize::new(0),
         }
     }
 
@@ -139,6 +144,8 @@ impl Global {
             bags.since_collect = 0;
             std::mem::take(&mut bags.bins[stale_bin])
         };
+        self.retired_count
+            .fetch_sub(garbage.len(), Ordering::Relaxed);
         for g in garbage {
             cqs_stats::bump!(epoch_collects);
             g();
@@ -148,6 +155,7 @@ impl Global {
     fn defer(&self, deferred: Deferred) {
         cqs_stats::bump!(epoch_defers);
         cqs_chaos::inject!("epoch.defer.pre-bin");
+        self.retired_count.fetch_add(1, Ordering::Relaxed);
         let collect_now = {
             let mut bags = self.bags.lock().unwrap();
             // Relaxed under the bags lock, mirroring `collect`: coherence
@@ -249,6 +257,11 @@ impl LocalHandle {
     /// more than one step past the epoch observed here. Reentrant: nested
     /// pins share the outermost epoch.
     pub fn pin(&self) -> Guard<'_> {
+        Guard::from_epoch(self.pin_epoch())
+    }
+
+    /// The backend-internal pin, returning the raw epoch guard.
+    pub(crate) fn pin_epoch(&self) -> EpochGuard<'_> {
         let count = self.pin_count.get();
         self.pin_count.set(count + 1);
         if count == 0 {
@@ -286,7 +299,7 @@ impl LocalHandle {
                 self.global.collect();
             }
         }
-        Guard { local: self }
+        EpochGuard { local: self }
     }
 }
 
@@ -315,22 +328,23 @@ impl std::fmt::Debug for LocalHandle {
     }
 }
 
-/// Witness that the current thread is pinned. While any `Guard` is alive,
-/// memory retired through [`Guard::defer`] by threads in the same epoch is
-/// guaranteed not to be freed.
-pub struct Guard<'a> {
+/// Witness that the current thread is pinned in the epoch backend. While
+/// any epoch guard is alive, memory retired by threads in the same epoch
+/// is guaranteed not to be freed. The public face of this type is the
+/// unified [`Guard`], which wraps it.
+pub(crate) struct EpochGuard<'a> {
     local: &'a LocalHandle,
 }
 
-impl Guard<'_> {
+impl EpochGuard<'_> {
     /// Defers `f` until after a grace period: it runs only once every thread
     /// pinned at the time of this call has since unpinned.
-    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
-        self.local.global.defer(Box::new(f));
+    pub(crate) fn defer_boxed(&self, f: Deferred) {
+        self.local.global.defer(f);
     }
 }
 
-impl Drop for Guard<'_> {
+impl Drop for EpochGuard<'_> {
     fn drop(&mut self) {
         let count = self.local.pin_count.get();
         self.local.pin_count.set(count - 1);
@@ -349,12 +363,6 @@ impl Drop for Guard<'_> {
                 .state
                 .store(state & !1, Ordering::Release);
         }
-    }
-}
-
-impl std::fmt::Debug for Guard<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Guard")
     }
 }
 
@@ -377,6 +385,15 @@ thread_local! {
 /// [`Collector::flush`]; the caller must not hold a live [`Guard`].
 pub fn flush() {
     default_collector().flush();
+}
+
+/// Gauge for [`crate::retired_approx`]: deferred-but-unexecuted
+/// destructors in the default collector.
+pub(crate) fn default_retired_approx() -> usize {
+    default_collector()
+        .global
+        .retired_count
+        .load(Ordering::Relaxed)
 }
 
 /// Pins the current thread in the default (process-global) collector.

@@ -1,41 +1,63 @@
 #![warn(missing_docs)]
 
-//! Epoch-based memory reclamation and atomically swappable [`std::sync::Arc`] cells.
+//! Pluggable memory reclamation and atomically swappable [`std::sync::Arc`] cells.
 //!
 //! The CQS paper assumes a garbage-collected runtime (the JVM): segments of
 //! the waiter queue are unlinked with plain pointer manipulation and the
 //! collector frees them once unreachable. A Rust reproduction must supply the
-//! reclamation story itself. This crate provides the two pieces the rest of
-//! the workspace builds on:
+//! reclamation story itself. This crate provides it behind the [`Reclaimer`]
+//! seam, with three interchangeable backends:
 //!
-//! * an **epoch-based reclamation engine** ([`Collector`], [`Guard`],
-//!   [`pin`]) written from scratch in the style of classic epoch schemes:
-//!   three logical epochs, per-thread participants, and deferred destruction
-//!   that runs only after every thread pinned in an older epoch has moved on;
-//! * [`AtomicArc`], a lock-free cell holding an `Option<Arc<T>>` that can be
-//!   loaded, stored, swapped and compare-exchanged concurrently. Displaced
-//!   references are released through the epoch engine, so a concurrent
-//!   [`AtomicArc::load`] can always safely increment the reference count it
-//!   observed.
+//! * an **epoch-based reclamation engine** ([`Collector`], [`pin`]) in the
+//!   style of classic epoch schemes: three logical epochs, per-thread
+//!   participants, and deferred destruction that runs only after every
+//!   thread pinned in an older epoch has moved on — the default;
+//! * a **hazard-pointer backend** ([`ReclaimerKind::Hazard`]): per-thread
+//!   hazard slots published around each pointer load, retire lists scanned
+//!   against them — *bounded* garbage even when a thread stalls mid-pin;
+//! * a GC-free **owned-slot backend** ([`ReclaimerKind::Owned`]) exploiting
+//!   CQS structure: guards are free tokens, loads take a transient striped
+//!   borrow, and displaced references are usually dropped on the spot.
+//!
+//! On top of whichever backend a [`Guard`] came from sits [`AtomicArc`], a
+//! lock-free cell holding an `Option<Arc<T>>` that can be loaded, stored,
+//! swapped and compare-exchanged concurrently; displaced references are
+//! retired through the guard's backend, so a concurrent [`AtomicArc::load`]
+//! can always safely increment the reference count it observed.
 //!
 //! # Example
 //!
 //! ```
 //! use std::sync::Arc;
-//! use cqs_reclaim::{pin, AtomicArc};
+//! use cqs_reclaim::{pin, pin_with, AtomicArc, ReclaimerKind};
 //!
 //! let cell = AtomicArc::new(Some(Arc::new(1)));
-//! let guard = pin();
+//! let guard = pin(); // epoch, the default backend
 //! let old = cell.swap(Some(Arc::new(2)), &guard);
 //! assert_eq!(*old.unwrap(), 1);
 //! assert_eq!(*cell.load(&guard).unwrap(), 2);
+//!
+//! // A different cell can use a different backend — all threads touching
+//! // one cell must agree on it.
+//! let owned_cell = AtomicArc::new(Some(Arc::new(3)));
+//! let guard = pin_with(ReclaimerKind::Owned);
+//! assert_eq!(*owned_cell.load(&guard).unwrap(), 3);
 //! ```
 
 mod atomic_arc;
 mod epoch;
+mod guard;
+mod hazard;
+mod owned;
+mod reclaimer;
 
 pub use atomic_arc::AtomicArc;
-pub use epoch::{flush, pin, Collector, Guard, LocalHandle};
+pub use epoch::{flush, pin, Collector, LocalHandle};
+pub use guard::Guard;
+pub use reclaimer::{
+    default_reclaimer, flush_reclaimer, pin_with, reclaimer, retired_approx, set_default_reclaimer,
+    EpochReclaimer, HazardReclaimer, OwnedReclaimer, Reclaimer, ReclaimerKind,
+};
 
 #[cfg(test)]
 mod tests {

@@ -203,6 +203,17 @@ define_counters! {
     epoch_defers,
     /// Deferred destructors actually executed by the epoch engine.
     epoch_collects,
+    /// Owned-slot guard acquisitions that took no atomic action at all —
+    /// the GC-free backend's fast path, where protection is deferred to
+    /// the individual pointer loads instead of a guard-lifetime pin.
+    guard_elisions,
+    /// Hazard-pointer retire-list scans (each walks every registered
+    /// thread's published hazard slots once).
+    hp_scans,
+    /// Retired objects physically reclaimed by the hazard-pointer and
+    /// owned-slot backends (immediate frees plus limbo/retire-list
+    /// drains); the epoch engine's equivalent is `epoch_collects`.
+    retired_reclaimed,
     /// Batched resumption traversals (`Cqs::resume_n` / `resume_all` /
     /// the batched `close()` sweep) — one per traversal, however many
     /// cells it visited.

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cqs_core::{
-    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
+    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ReclaimerKind,
+    ResumeMode, Suspend,
 };
 use cqs_stats::CachePadded;
 
@@ -96,12 +97,27 @@ pub struct RawMutex {
 impl RawMutex {
     /// Creates an unlocked mutex.
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates an unlocked mutex whose waiter queue uses the given
+    /// memory-reclamation backend instead of the process-wide
+    /// [`cqs_core::default_reclaimer`].
+    pub fn with_reclaimer(reclaimer: ReclaimerKind) -> Self {
+        Self::build(Some(reclaimer))
+    }
+
+    fn build(reclaimer: Option<ReclaimerKind>) -> Self {
         let state = Arc::new(CachePadded::new(AtomicI64::new(1)));
+        let mut config = CqsConfig::new()
+            .resume_mode(ResumeMode::Synchronous)
+            .cancellation_mode(CancellationMode::Smart)
+            .label("mutex.lock");
+        if let Some(kind) = reclaimer {
+            config = config.reclaimer(kind);
+        }
         let cqs = Cqs::new(
-            CqsConfig::new()
-                .resume_mode(ResumeMode::Synchronous)
-                .cancellation_mode(CancellationMode::Smart)
-                .label("mutex.lock"),
+            config,
             MutexCallbacks {
                 state: Arc::clone(&state),
             },

@@ -8,7 +8,8 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use cqs_core::{
-    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ResumeMode, Suspend,
+    CancellationMode, Cancelled, Cqs, CqsCallbacks, CqsConfig, CqsFuture, ReclaimerKind,
+    ResumeMode, Suspend,
 };
 use cqs_stats::CachePadded;
 
@@ -103,7 +104,19 @@ impl Semaphore {
     ///
     /// Panics if `permits` is zero.
     pub fn new(permits: usize) -> Self {
-        Self::with_mode(permits, ResumeMode::Asynchronous, None)
+        Self::with_mode(permits, ResumeMode::Asynchronous, None, None)
+    }
+
+    /// Creates an asynchronous-resumption semaphore whose waiter queue uses
+    /// the given memory-reclamation backend instead of the process-wide
+    /// [`cqs_core::default_reclaimer`]. See the `cqs_reclaim` crate docs
+    /// for the trade-offs between the backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn with_reclaimer(permits: usize, reclaimer: ReclaimerKind) -> Self {
+        Self::with_mode(permits, ResumeMode::Asynchronous, None, Some(reclaimer))
     }
 
     /// Creates a semaphore using synchronous resumption, which additionally
@@ -113,7 +126,7 @@ impl Semaphore {
     ///
     /// Panics if `permits` is zero.
     pub fn new_sync(permits: usize) -> Self {
-        Self::with_mode(permits, ResumeMode::Synchronous, None)
+        Self::with_mode(permits, ResumeMode::Synchronous, None, None)
     }
 
     /// Like [`new_sync`](Semaphore::new_sync), but with an explicit
@@ -126,7 +139,7 @@ impl Semaphore {
     ///
     /// Panics if `permits` is zero.
     pub fn new_sync_with_spin(permits: usize, spin_limit: usize) -> Self {
-        Self::with_mode(permits, ResumeMode::Synchronous, Some(spin_limit))
+        Self::with_mode(permits, ResumeMode::Synchronous, Some(spin_limit), None)
     }
 
     /// Builds a shard of a sharded semaphore: asynchronous resumption with
@@ -148,15 +161,19 @@ impl Semaphore {
         label: &'static str,
         freelist_slots: usize,
         on_refusal: Option<RefusalHook>,
+        reclaimer: Option<ReclaimerKind>,
     ) -> Self {
         assert!(cap > 0, "a semaphore needs at least one permit");
         debug_assert!(initial <= cap, "initial share exceeds the permit cap");
         let state = Arc::new(CachePadded::new(AtomicI64::new(initial as i64)));
-        let config = CqsConfig::new()
+        let mut config = CqsConfig::new()
             .resume_mode(ResumeMode::Asynchronous)
             .cancellation_mode(CancellationMode::Smart)
             .freelist_slots(freelist_slots)
             .label(label);
+        if let Some(kind) = reclaimer {
+            config = config.reclaimer(kind);
+        }
         let cqs = Cqs::new(
             config,
             SemaphoreCallbacks {
@@ -172,7 +189,12 @@ impl Semaphore {
         }
     }
 
-    fn with_mode(permits: usize, mode: ResumeMode, spin_limit: Option<usize>) -> Self {
+    fn with_mode(
+        permits: usize,
+        mode: ResumeMode,
+        spin_limit: Option<usize>,
+        reclaimer: Option<ReclaimerKind>,
+    ) -> Self {
         assert!(permits > 0, "a semaphore needs at least one permit");
         let state = Arc::new(CachePadded::new(AtomicI64::new(permits as i64)));
         let mut config = CqsConfig::new()
@@ -181,6 +203,9 @@ impl Semaphore {
             .label("semaphore.acquire");
         if let Some(limit) = spin_limit {
             config = config.spin_limit(limit);
+        }
+        if let Some(kind) = reclaimer {
+            config = config.reclaimer(kind);
         }
         let cqs = Cqs::new(
             config,
@@ -200,6 +225,12 @@ impl Semaphore {
     /// The number of permits this semaphore was created with.
     pub fn permits(&self) -> usize {
         self.permits
+    }
+
+    /// The memory-reclamation backend guarding this semaphore's waiter
+    /// queue (resolved once at construction).
+    pub fn reclaimer(&self) -> ReclaimerKind {
+        self.cqs.reclaimer()
     }
 
     /// A snapshot of the number of currently available permits (zero if

@@ -169,10 +169,9 @@ impl SemInner {
     /// from every settled refusal — the latter covers re-banks that land
     /// on a cancelling thread after the releaser already swept.
     fn quiescence_sweep(&self) {
-        while self.available_permits() == self.permits
-            && self.waiting() > 0
-            && self.rebalance() > 0
-        {}
+        while self.available_permits() == self.permits && self.waiting() > 0 && self.rebalance() > 0
+        {
+        }
     }
 }
 
@@ -211,6 +210,32 @@ impl ShardedSemaphore {
     ///
     /// Panics if `permits`, `shards` or `interval` is zero.
     pub fn with_shards_and_interval(permits: usize, shards: usize, interval: u64) -> Self {
+        Self::build(permits, shards, interval, None)
+    }
+
+    /// Creates a sharded semaphore whose shard queues all use the given
+    /// memory-reclamation backend instead of the process-wide
+    /// [`cqs_core::default_reclaimer`]. Shard count and rebalance interval
+    /// follow the defaults of [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn with_reclaimer(permits: usize, reclaimer: cqs_core::ReclaimerKind) -> Self {
+        Self::build(
+            permits,
+            cqs_core::shard::default_shard_count(MAX_DEFAULT_SHARDS),
+            DEFAULT_REBALANCE_INTERVAL,
+            Some(reclaimer),
+        )
+    }
+
+    fn build(
+        permits: usize,
+        shards: usize,
+        interval: u64,
+        reclaimer: Option<cqs_core::ReclaimerKind>,
+    ) -> Self {
         assert!(permits > 0, "a semaphore needs at least one permit");
         assert!(shards > 0, "a sharded semaphore needs at least one shard");
         assert!(interval > 0, "the rebalance interval must be positive");
@@ -244,6 +269,7 @@ impl ShardedSemaphore {
                         "sharded-semaphore.shard",
                         slots,
                         on_refusal,
+                        reclaimer,
                     )
                 })
                 .collect();

@@ -434,6 +434,27 @@ mod runtime {
         pub value: i64,
     }
 
+    /// The retired-but-unreclaimed backlog of one memory-reclamation
+    /// backend, as observed by a scan (`cqs_reclaim::retired_approx`).
+    #[derive(Debug, Clone)]
+    pub struct ReclaimGauge {
+        /// Backend name (`"epoch"`, `"hazard"`, `"owned"`).
+        pub backend: &'static str,
+        /// Objects retired through this backend and still awaiting
+        /// physical reclamation.
+        pub retired: u64,
+    }
+
+    fn reclaim_snapshot() -> Vec<ReclaimGauge> {
+        cqs_reclaim::ReclaimerKind::ALL
+            .iter()
+            .map(|kind| ReclaimGauge {
+                backend: kind.name(),
+                retired: cqs_reclaim::retired_approx(*kind) as u64,
+            })
+            .collect()
+    }
+
     fn gauges_snapshot() -> Vec<GaugeInfo> {
         let dir = directory().lock().unwrap();
         let map = gauges().lock().unwrap();
@@ -694,11 +715,18 @@ mod runtime {
         /// time — queues a panic escaped from (or that were explicitly
         /// poisoned), now closed and failing operations fast.
         pub poisoned_primitives: u64,
-        /// Process resident set size in bytes at scan time (zero where
-        /// the probe is unavailable; see `cqs_harness::rss_bytes`). A
-        /// stalled-waiter pile-up that also inflates this is a leak, not
-        /// just a liveness problem.
-        pub rss_bytes: u64,
+        /// Process resident set size in bytes at scan time; `None` where
+        /// the probe is unavailable (see `cqs_harness::rss_bytes`) — the
+        /// JSON then omits the key rather than reporting a misleading
+        /// zero. A stalled-waiter pile-up that also inflates this is a
+        /// leak, not just a liveness problem.
+        pub rss_bytes: Option<u64>,
+        /// Per-backend count of objects retired through each
+        /// memory-reclamation backend but not yet physically reclaimed
+        /// (see `cqs_reclaim::retired_approx`). A growing epoch figure
+        /// alongside stalled waiters usually means a guard is pinned
+        /// somewhere in the stall.
+        pub reclaim: Vec<ReclaimGauge>,
         /// Sum of every `live_segments` gauge at scan time — the queue
         /// segments currently allocated across primitives that publish
         /// the gauge (sharded structures do per shard).
@@ -806,8 +834,16 @@ mod runtime {
             }
             out.end_array();
             out.field_u64("poisoned_primitives", self.poisoned_primitives);
-            out.field_u64("rss_bytes", self.rss_bytes);
+            if let Some(rss) = self.rss_bytes {
+                out.field_u64("rss_bytes", rss);
+            }
             out.field_u64("live_segments", self.live_segments);
+            out.key("reclaim");
+            out.begin_object();
+            for g in &self.reclaim {
+                out.field_u64(g.backend, g.retired);
+            }
+            out.end_object();
             out.key("counters");
             out.begin_object();
             for (name, value) in self.counters.fields() {
@@ -891,6 +927,7 @@ mod runtime {
                 .filter(|g| g.name == "poisoned" && g.value != 0)
                 .count() as u64;
             let rss_bytes = cqs_harness::rss_bytes();
+            let reclaim = reclaim_snapshot();
             let live_segments = gauges
                 .iter()
                 .filter(|g| g.name == "live_segments")
@@ -943,6 +980,7 @@ mod runtime {
                     gauges: gauges.clone(),
                     poisoned_primitives,
                     rss_bytes,
+                    reclaim: reclaim.clone(),
                     live_segments,
                     counters,
                 });
@@ -989,6 +1027,7 @@ mod runtime {
                     gauges,
                     poisoned_primitives,
                     rss_bytes,
+                    reclaim,
                     live_segments,
                     counters,
                 });
@@ -1121,8 +1160,8 @@ mod runtime {
 pub use runtime::{
     detect_cycles, dropped_registrations, enabled, live_waiters, next_primitive_id,
     runtime_acquired, runtime_gauge, runtime_register_waiter, runtime_released, spawn_from_env,
-    CycleEdge, GaugeInfo, HolderInfo, QueueDepth, ReportKind, Scanner, WaiterInfo, WatchConfig,
-    WatchPolicy, WatchReport, Watchdog,
+    CycleEdge, GaugeInfo, HolderInfo, QueueDepth, ReclaimGauge, ReportKind, Scanner, WaiterInfo,
+    WatchConfig, WatchPolicy, WatchReport, Watchdog,
 };
 
 // Inert stand-ins so callers can manage the watchdog unconditionally; with
@@ -1453,7 +1492,10 @@ mod tests {
         let report = reports.first().expect("stall report expected");
         assert!(report.live_segments >= 7, "gauge sum lost: {report:?}");
         if cfg!(target_os = "linux") {
-            assert!(report.rss_bytes > 0, "RSS probe must work on Linux");
+            assert!(
+                report.rss_bytes.is_some_and(|r| r > 0),
+                "RSS probe must work on Linux"
+            );
         }
         let doc = cqs_harness::report::Json::parse(&report.to_json()).unwrap();
         assert!(
@@ -1462,10 +1504,25 @@ mod tests {
                 .is_some_and(|v| v >= 7.0),
             "live_segments missing from serialized report"
         );
-        assert!(doc
-            .get("rss_bytes")
-            .and_then(cqs_harness::report::Json::as_f64)
-            .is_some());
+        // The key is present exactly when the probe worked.
+        assert_eq!(
+            doc.get("rss_bytes")
+                .and_then(cqs_harness::report::Json::as_f64)
+                .is_some(),
+            report.rss_bytes.is_some()
+        );
+        // The per-backend reclamation gauge serializes as an object with
+        // one key per backend.
+        assert_eq!(report.reclaim.len(), 3);
+        for backend in ["epoch", "hazard", "owned"] {
+            assert!(
+                doc.get("reclaim")
+                    .and_then(|r| r.get(backend))
+                    .and_then(cqs_harness::report::Json::as_f64)
+                    .is_some(),
+                "reclaim gauge missing backend {backend}"
+            );
+        }
         w.complete();
     }
 }

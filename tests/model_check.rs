@@ -29,7 +29,13 @@
 //!   semaphore and the sharded pool, a cancellation voiding a same-shard
 //!   handoff (deregistering before the release's/put's `fetch_add`, or
 //!   refusing its in-flight resume) never strands a waiter parked on a
-//!   sibling shard next to the re-banked permit/element.
+//!   sibling shard next to the re-banked permit/element;
+//! * **synchronous resume vs. cancellation** — with `spin_limit(0)` the
+//!   rendezvous race resolves exactly-once: the waiter takes the value or
+//!   the resume fails and keeps it, never both, never neither;
+//! * **segment retire vs. concurrent traversal** — for each reclamation
+//!   backend, a cancellation unlinking (and retiring) a whole segment
+//!   while a resume traverses past it never loses the resume's value.
 //!
 //! With `--features "chaos planted-bug"` the permit-conservation program
 //! is required to *fail* instead: the planted `REFUSE -> CANCELLED` swap
@@ -43,8 +49,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 
 use cqs::{
-    Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, Semaphore, ShardedQueuePool,
-    ShardedSemaphore, SimpleCancellation,
+    Cqs, CqsChannel, CqsConfig, CqsFuture, FutureState, ReclaimerKind, ResumeMode, Semaphore,
+    ShardedQueuePool, ShardedSemaphore, SimpleCancellation,
 };
 use cqs_check::{Explorer, Program};
 
@@ -555,7 +561,10 @@ fn sharded_same_shard_cancel_vs_release_handoff_loses_no_wakeup() {
         let local = sem.acquire_at(0);
         assert!(!local.is_immediate(), "setup: the shard-0 waiter must park");
         let mut remote = sem.acquire_at(1);
-        assert!(!remote.is_immediate(), "setup: the shard-1 waiter must park");
+        assert!(
+            !remote.is_immediate(),
+            "setup: the shard-1 waiter must park"
+        );
         let local = Arc::new(StdMutex::new(Some(local)));
         let cancelled = Arc::new(AtomicBool::new(false));
         Program::new()
@@ -672,14 +681,14 @@ fn sharded_pool_same_shard_cancel_vs_put_loses_no_wakeup() {
                     }
                     (false, FutureState::Ready(42)) => {
                         if !remote.cancel() {
-                            return Err(
-                                "shard-1 taker: cancel lost with no put in flight".into()
-                            );
+                            return Err("shard-1 taker: cancel lost with no put in flight".into());
                         }
                         pool.put_at(0, 42);
                     }
                     (c, other) => {
-                        return Err(format!("local taker: cancel()=={c} but future is {other:?}"))
+                        return Err(format!(
+                            "local taker: cancel()=={c} but future is {other:?}"
+                        ))
                     }
                 }
                 // Exactly one element must exist, wherever the race put it.
@@ -763,4 +772,148 @@ fn mid_batch_cancellation_is_exactly_once() {
                 Ok(())
             })
     });
+}
+
+/// The synchronous-resumption rendezvous racing a cancellation,
+/// exhaustively. `spin_limit(0)` removes the resumer's wait loop, so the
+/// rendezvous is decided purely by the cell state machine — the corner
+/// where a stale wakeup or a double-delivery would hide. In every
+/// interleaving exactly one side wins and the value is conserved: either
+/// the waiter observes `Ready(7)` (and the cancel reports failure), or the
+/// cancel succeeds and the resume returns `Err(7)` — the value stays with
+/// the resumer, never delivered into a cancelled cell, never dropped.
+#[test]
+fn sync_mode_resume_vs_cancel_is_exactly_once() {
+    let _serial = serial();
+    let exploration = explorer().check_exhaustive(|| {
+        let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+            CqsConfig::new()
+                .resume_mode(ResumeMode::Synchronous)
+                .spin_limit(0)
+                .segment_size(2),
+            SimpleCancellation,
+        ));
+        let waiter = cqs.suspend().expect_future();
+        assert!(!waiter.is_immediate(), "setup: the waiter must park");
+        let waiter = Arc::new(StdMutex::new(Some(waiter)));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let resume_ok = Arc::new(AtomicBool::new(false));
+        Program::new()
+            .thread({
+                let (waiter, cancelled) = (Arc::clone(&waiter), Arc::clone(&cancelled));
+                move || {
+                    let w = waiter.lock().unwrap();
+                    cancelled.store(
+                        w.as_ref().expect("setup stored it").cancel(),
+                        Ordering::SeqCst,
+                    );
+                }
+            })
+            .thread({
+                let (cqs, resume_ok) = (Arc::clone(&cqs), Arc::clone(&resume_ok));
+                move || {
+                    resume_ok.store(cqs.resume(7).is_ok(), Ordering::SeqCst);
+                }
+            })
+            .check(move || {
+                let mut w = take(&waiter, "waiter")?;
+                let (cancelled, resume_ok) = (
+                    cancelled.load(Ordering::SeqCst),
+                    resume_ok.load(Ordering::SeqCst),
+                );
+                match (cancelled, resume_ok, w.try_get()) {
+                    // Cancel won; the resume kept its value.
+                    (true, false, FutureState::Cancelled) => Ok(()),
+                    // Rendezvous completed; the cancel reported failure.
+                    (false, true, FutureState::Ready(7)) => Ok(()),
+                    (c, r, other) => Err(format!(
+                        "exactly-once violated: cancel()=={c}, resume.is_ok()=={r}, \
+                         waiter observes {other:?}"
+                    )),
+                }
+            })
+    });
+    assert!(
+        exploration.runs >= 2,
+        "the rendezvous race must branch the schedule, ran {}",
+        exploration.runs
+    );
+}
+
+/// Segment retirement racing a resume traversal, once per reclamation
+/// backend. With `segment_size(1)` each waiter owns a segment and
+/// `freelist_slots(0)` forces an unlinked segment through the backend's
+/// retire path (`epoch.defer.pre-bin` / `reclaim.hazard.retire.pre-scan` /
+/// `reclaim.owned.retire.pre-scan` — each a schedule point under the
+/// explorer). T1 cancels waiter 0, unlinking its segment mid-race, while
+/// T2 resumes 9 and must traverse past that segment: in every
+/// interleaving the value lands exactly once — on waiter 0 if the resume
+/// beat the cancel, on waiter 1 if the retire won — and the traversal
+/// never touches freed memory (the explorer runs every schedule, so a
+/// use-after-free on the unlink window would crash the exploration).
+#[test]
+fn segment_retire_vs_resume_traversal_loses_no_value() {
+    for kind in ReclaimerKind::ALL {
+        let _serial = serial();
+        explorer().check_exhaustive(move || {
+            let cqs: Arc<Cqs<u64, SimpleCancellation>> = Arc::new(Cqs::new(
+                CqsConfig::new()
+                    .segment_size(1)
+                    .freelist_slots(0)
+                    .reclaimer(kind),
+                SimpleCancellation,
+            ));
+            let f0 = cqs.suspend().expect_future();
+            let mut f1 = cqs.suspend().expect_future();
+            assert!(
+                !f0.is_immediate() && !f1.is_immediate(),
+                "setup: both waiters must park"
+            );
+            let f0 = Arc::new(StdMutex::new(Some(f0)));
+            let cancelled = Arc::new(AtomicBool::new(false));
+            Program::new()
+                .thread({
+                    let (f0, cancelled) = (Arc::clone(&f0), Arc::clone(&cancelled));
+                    move || {
+                        let f = f0.lock().unwrap();
+                        cancelled.store(
+                            f.as_ref().expect("setup stored it").cancel(),
+                            Ordering::SeqCst,
+                        );
+                    }
+                })
+                .thread({
+                    let cqs = Arc::clone(&cqs);
+                    move || {
+                        // Simple mode: a resume hitting the cancelled cell
+                        // bounces the value; retry walks to the next cell.
+                        let mut v = 9;
+                        while let Err(bounced) = cqs.resume(v) {
+                            v = bounced;
+                        }
+                    }
+                })
+                .check(move || {
+                    let mut f0 = take(&f0, "waiter 0")?;
+                    match (cancelled.load(Ordering::SeqCst), f0.try_get()) {
+                        (true, FutureState::Cancelled) => {
+                            // The retire won; the traversal must have
+                            // carried the value past the unlinked segment.
+                            expect_ready(&mut f1, 9, &format!("[{kind}] waiter 1"))
+                        }
+                        (false, FutureState::Ready(9)) => {
+                            if !f1.cancel() {
+                                return Err(format!(
+                                    "[{kind}] waiter 1: cancel of a pending waiter lost"
+                                ));
+                            }
+                            Ok(())
+                        }
+                        (c, other) => Err(format!(
+                            "[{kind}] waiter 0: cancel()=={c} but future is {other:?}"
+                        )),
+                    }
+                })
+        });
+    }
 }
